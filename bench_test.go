@@ -1,0 +1,62 @@
+package sstore_test
+
+// testing.B entry points, one per table/figure of the paper's
+// evaluation (§4). Each wraps the same experiment code that
+// cmd/sstore-bench runs, in Quick mode so `go test -bench=.` finishes
+// in minutes; use the command for full sweeps. The reported metric is
+// wall time per full experiment; the figures' own rows (throughput per
+// configuration) are what EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"sstore/internal/benchutil"
+	"sstore/internal/experiments"
+)
+
+func runFigure(b *testing.B, fn func(experiments.Options) (*benchutil.Table, error)) {
+	b.Helper()
+	opts := experiments.Options{Quick: true, Dir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5EETriggers regenerates Figure 5 (EE triggers vs
+// PE-to-EE round trips).
+func BenchmarkFig5EETriggers(b *testing.B) { runFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6PETriggers regenerates Figure 6 (PE triggers vs
+// client-driven workflow chaining).
+func BenchmarkFig6PETriggers(b *testing.B) { runFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7Windows regenerates Figure 7 (native vs manual sliding
+// windows).
+func BenchmarkFig7Windows(b *testing.B) { runFigure(b, experiments.Fig7) }
+
+// BenchmarkFig8Leaderboard regenerates Figure 8 (leaderboard
+// maintenance, S-Store vs H-Store, offered-rate sweep).
+func BenchmarkFig8Leaderboard(b *testing.B) { runFigure(b, experiments.Fig8) }
+
+// BenchmarkFig9Logging regenerates Figure 9a (logging overhead, strong
+// vs weak recovery, no group commit).
+func BenchmarkFig9Logging(b *testing.B) { runFigure(b, experiments.Fig9a) }
+
+// BenchmarkFig9Recovery regenerates Figure 9b (recovery time, strong
+// vs weak).
+func BenchmarkFig9Recovery(b *testing.B) { runFigure(b, experiments.Fig9b) }
+
+// BenchmarkFig10SDMS regenerates Figure 10 (voter with leaderboard on
+// modern stream processors, with and without validation).
+func BenchmarkFig10SDMS(b *testing.B) { runFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11LinearRoad regenerates Figure 11 (multi-core
+// scalability on the Linear Road subset).
+func BenchmarkFig11LinearRoad(b *testing.B) { runFigure(b, experiments.Fig11) }
+
+// BenchmarkAblations runs the design-choice ablations (index-vs-scan
+// validation, atomic-batch size, trigger mechanism cost).
+func BenchmarkAblations(b *testing.B) { runFigure(b, experiments.Ablations) }

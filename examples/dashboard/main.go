@@ -1,0 +1,163 @@
+// Dashboard: the hybrid-workload pattern the paper's introduction
+// motivates (§1) — a streaming workflow continuously folds events into
+// shared tables while OLTP transactions read consistent summaries of
+// that state. A nested transaction (§2.3) groups the workflow's two
+// steps into one isolation unit so a concurrent OLTP reader can never
+// observe the orders table updated but the per-region rollup not yet.
+//
+// Run with: go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sstore"
+)
+
+func main() {
+	eng, err := sstore.Open(sstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	for _, ddl := range []string{
+		"CREATE STREAM orders_in (region VARCHAR, amount BIGINT)",
+		"CREATE TABLE orders (region VARCHAR, amount BIGINT)",
+		"CREATE TABLE region_totals (region VARCHAR, orders BIGINT, revenue BIGINT)",
+		"CREATE INDEX region_totals_r ON region_totals (region)",
+	} {
+		if err := eng.ExecDDL(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// RecordOrder appends the raw order; RollupRegion maintains the
+	// summary. Both run against params so they can be composed into a
+	// nested transaction per order.
+	err = eng.RegisterProc("RecordOrder", func(ctx *sstore.ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO orders VALUES (?, ?)", ctx.Params()[0], ctx.Params()[1])
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = eng.RegisterProc("RollupRegion", func(ctx *sstore.ProcCtx) error {
+		region, amount := ctx.Params()[0], ctx.Params()[1]
+		existing, err := ctx.Query("SELECT orders FROM region_totals WHERE region = ?", region)
+		if err != nil {
+			return err
+		}
+		if len(existing.Rows) == 0 {
+			_, err = ctx.Query("INSERT INTO region_totals VALUES (?, 1, ?)", region, amount)
+			return err
+		}
+		_, err = ctx.Query(
+			"UPDATE region_totals SET orders = orders + 1, revenue = revenue + ? WHERE region = ?",
+			amount, region)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The streaming border SP turns each arriving batch into a nested
+	// pair of calls — executed here inline (same partition, same
+	// isolation) by issuing both steps inside one TE.
+	err = eng.RegisterProc("IngestOrders", func(ctx *sstore.ProcCtx) error {
+		rows, err := ctx.Query("SELECT region, amount FROM orders_in")
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			if _, err := ctx.Query("INSERT INTO orders VALUES (?, ?)", r[0], r[1]); err != nil {
+				return err
+			}
+			existing, err := ctx.Query("SELECT orders FROM region_totals WHERE region = ?", r[0])
+			if err != nil {
+				return err
+			}
+			if len(existing.Rows) == 0 {
+				if _, err := ctx.Query("INSERT INTO region_totals VALUES (?, 1, ?)", r[0], r[1]); err != nil {
+					return err
+				}
+			} else if _, err := ctx.Query(
+				"UPDATE region_totals SET orders = orders + 1, revenue = revenue + ? WHERE region = ?",
+				r[1], r[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The OLTP dashboard read: one consistent snapshot of the summary.
+	err = eng.RegisterProc("Dashboard", func(ctx *sstore.ProcCtx) error {
+		res, err := ctx.Query(
+			"SELECT region, orders, revenue FROM region_totals ORDER BY revenue DESC")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(res)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wf, err := sstore.NewWorkflow("orders", []sstore.Node{
+		{SP: "IngestOrders", Input: "orders_in"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.DeployWorkflow(wf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream orders in.
+	orders := []struct {
+		region string
+		amount int64
+	}{
+		{"emea", 120}, {"amer", 340}, {"apac", 75}, {"amer", 90}, {"emea", 410}, {"apac", 300},
+	}
+	for i, o := range orders {
+		if err := eng.IngestSync("orders_in", &sstore.Batch{
+			ID:   int64(i + 1),
+			Rows: []sstore.Row{{sstore.Text(o.region), sstore.Int(o.amount)}},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An OLTP write arrives out of band as a nested transaction:
+	// record + rollup commit together or not at all.
+	if _, err := eng.CallNested([]sstore.NestedCall{
+		{SP: "RecordOrder", Params: sstore.Row{sstore.Text("emea"), sstore.Int(55)}},
+		{SP: "RollupRegion", Params: sstore.Row{sstore.Text("emea"), sstore.Int(55)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Call("Dashboard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("revenue dashboard (region, orders, revenue):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-5v %3v %6v\n", row[0], row[1], row[2])
+	}
+	// The raw table and the rollup must agree — the consistency the
+	// hybrid model exists to provide.
+	raw, _ := eng.Query(0, "SELECT COALESCE(SUM(amount), 0), COUNT(*) FROM orders")
+	agg, _ := eng.Query(0, "SELECT COALESCE(SUM(revenue), 0), COALESCE(SUM(orders), 0) FROM region_totals")
+	fmt.Printf("raw orders: %v rows / %v revenue; rollup: %v orders / %v revenue\n",
+		raw.Rows[0][1], raw.Rows[0][0], agg.Rows[0][1], agg.Rows[0][0])
+}

@@ -1,0 +1,126 @@
+// Quickstart: a minimal hybrid S-Store application.
+//
+// A two-step streaming workflow (clean → aggregate) shares a table
+// with an ordinary OLTP transaction: sensor readings stream in, are
+// filtered and averaged per sensor, and a pull-style OLTP procedure
+// reads the same state consistently at any time.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sstore"
+)
+
+func main() {
+	eng, err := sstore.Open(sstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// State: two streams, one shared public table (§2's state kinds).
+	for _, ddl := range []string{
+		"CREATE STREAM raw_readings (sensor BIGINT, value BIGINT)",
+		"CREATE STREAM clean_readings (sensor BIGINT, value BIGINT)",
+		"CREATE TABLE averages (sensor BIGINT PRIMARY KEY, n BIGINT, total BIGINT)",
+	} {
+		if err := eng.ExecDDL(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Streaming SP 1: drop readings outside the plausible range.
+	err = eng.RegisterProc("Clean", func(ctx *sstore.ProcCtx) error {
+		_, err := ctx.Query(
+			"INSERT INTO clean_readings SELECT sensor, value FROM raw_readings WHERE value >= 0 AND value <= 1000")
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Streaming SP 2: fold the clean readings into running averages.
+	err = eng.RegisterProc("Aggregate", func(ctx *sstore.ProcCtx) error {
+		rows, err := ctx.Query("SELECT sensor, value FROM clean_readings")
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			existing, err := ctx.Query("SELECT n FROM averages WHERE sensor = ?", r[0])
+			if err != nil {
+				return err
+			}
+			if len(existing.Rows) == 0 {
+				_, err = ctx.Query("INSERT INTO averages VALUES (?, 1, ?)", r[0], r[1])
+			} else {
+				_, err = ctx.Query(
+					"UPDATE averages SET n = n + 1, total = total + ? WHERE sensor = ?", r[1], r[0])
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OLTP SP: a client-invoked read of the shared state.
+	err = eng.RegisterProc("Report", func(ctx *sstore.ProcCtx) error {
+		res, err := ctx.Query(
+			"SELECT sensor, total / n AS avg, n FROM averages ORDER BY sensor")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(res)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wire the workflow: raw_readings → Clean → clean_readings →
+	// Aggregate. The engine compiles the edge into a PE trigger.
+	wf, err := sstore.NewWorkflow("pipeline", []sstore.Node{
+		{SP: "Clean", Input: "raw_readings", Outputs: []string{"clean_readings"}},
+		{SP: "Aggregate", Input: "clean_readings"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.DeployWorkflow(wf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Push atomic batches (the streaming half)...
+	readings := [][2]int64{
+		{1, 20}, {1, 22}, {2, 400}, {1, -5} /* dropped */, {2, 404}, {2, 9999} /* dropped */, {1, 24},
+	}
+	for i, r := range readings {
+		err := eng.IngestSync("raw_readings", &sstore.Batch{
+			ID:   int64(i + 1),
+			Rows: []sstore.Row{{sstore.Int(r[0]), sstore.Int(r[1])}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then query it with OLTP (the pull half).
+	res, err := eng.Call("Report")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sensor averages (sensor, avg, readings):")
+	for _, row := range res.Rows {
+		fmt.Printf("  sensor %v: avg %v over %v readings\n", row[0], row[1], row[2])
+	}
+}

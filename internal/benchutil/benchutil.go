@@ -1,0 +1,211 @@
+// Package benchutil provides the measurement machinery shared by the
+// experiment harness (cmd/sstore-bench) and the testing.B benchmarks:
+// latency recording with percentiles, an open-loop rate-controlled
+// driver, and aligned table printing for the paper-style result rows.
+package benchutil
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates durations and reports percentiles. It is
+// safe for concurrent Record calls.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 with no
+// samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range r.samples {
+		total += s
+	}
+	return total / time.Duration(len(r.samples))
+}
+
+// OpenLoopResult reports one open-loop run.
+type OpenLoopResult struct {
+	// Offered is the configured request rate (per second).
+	Offered float64
+	// Completed is the number of requests that finished within the
+	// measurement window plus drain.
+	Completed int
+	// Throughput is completions per second of the measurement
+	// window.
+	Throughput float64
+	// Latency holds per-request completion latencies.
+	Latency *LatencyRecorder
+}
+
+// OpenLoop submits requests at a fixed rate for the given duration,
+// without waiting for completions (an asynchronous client, as in §4).
+// submit must arrange for done() to be called when the request
+// completes; OpenLoop waits for all issued requests to finish after
+// the window closes and reports throughput over the send window.
+// Returning an error from submit stops the run.
+func OpenLoop(rate float64, window time.Duration, submit func(done func()) error) (*OpenLoopResult, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("benchutil: rate must be positive")
+	}
+	res := &OpenLoopResult{Offered: rate, Latency: &LatencyRecorder{}}
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	var completedInWindow int64
+	var mu sync.Mutex
+
+	start := time.Now()
+	next := start
+	deadline := start.Add(window)
+	for time.Now().Before(deadline) {
+		if now := time.Now(); now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		sent := time.Now()
+		wg.Add(1)
+		err := submit(func() {
+			res.Latency.Record(time.Since(sent))
+			mu.Lock()
+			if time.Since(start) <= window {
+				completedInWindow++
+			}
+			mu.Unlock()
+			wg.Done()
+		})
+		if err != nil {
+			wg.Done()
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	mu.Lock()
+	res.Completed = int(completedInWindow)
+	mu.Unlock()
+	res.Throughput = float64(res.Completed) / elapsed.Seconds()
+	return res, nil
+}
+
+// MeasureRate runs fn repeatedly for the window and returns executions
+// per second — the closed-loop throughput probe used by the
+// micro-benchmarks.
+func MeasureRate(window time.Duration, fn func() error) (float64, error) {
+	start := time.Now()
+	n := 0
+	for time.Since(start) < window {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// Table accumulates aligned rows for printing paper-style result
+// tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch v := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Print writes the table, aligned, to w.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,200 @@
+package ee
+
+import (
+	"fmt"
+
+	"sstore/internal/sql"
+	"sstore/internal/types"
+)
+
+// aggregator accumulates one aggregate function over the rows of one
+// group.
+type aggregator interface {
+	add(v types.Value) error
+	result() types.Value
+}
+
+// newAggregator builds an accumulator for the named aggregate.
+func newAggregator(call *sql.FuncCall) (aggregator, error) {
+	switch call.Name {
+	case "count":
+		if call.Distinct {
+			return &countDistinctAgg{seen: make(map[uint64][]types.Value)}, nil
+		}
+		return &countAgg{}, nil
+	case "sum":
+		return &sumAgg{}, nil
+	case "avg":
+		return &avgAgg{}, nil
+	case "min":
+		return &minMaxAgg{min: true}, nil
+	case "max":
+		return &minMaxAgg{}, nil
+	default:
+		return nil, fmt.Errorf("ee: unknown aggregate %s", call.Name)
+	}
+}
+
+// countAgg implements COUNT(x) and COUNT(*). NULLs are skipped for
+// COUNT(x); the caller feeds a non-null marker for COUNT(*).
+type countAgg struct{ n int64 }
+
+func (a *countAgg) add(v types.Value) error {
+	if !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+func (a *countAgg) result() types.Value { return types.NewInt(a.n) }
+
+// countDistinctAgg implements COUNT(DISTINCT x) with hash buckets and
+// exact-equality chains.
+type countDistinctAgg struct {
+	seen map[uint64][]types.Value
+	n    int64
+}
+
+func (a *countDistinctAgg) add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	h := v.Hash()
+	for _, prev := range a.seen[h] {
+		if prev.Equal(v) {
+			return nil
+		}
+	}
+	a.seen[h] = append(a.seen[h], v)
+	a.n++
+	return nil
+}
+func (a *countDistinctAgg) result() types.Value { return types.NewInt(a.n) }
+
+// sumAgg sums ints exactly and floats in float64; mixing promotes to
+// float.
+type sumAgg struct {
+	i       int64
+	f       float64
+	isFloat bool
+	any     bool
+}
+
+func (a *sumAgg) add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.IsNumeric() {
+		return fmt.Errorf("ee: SUM of %s", v.Kind())
+	}
+	a.any = true
+	if v.Kind() == types.KindFloat || a.isFloat {
+		if !a.isFloat {
+			a.f = float64(a.i)
+			a.isFloat = true
+		}
+		a.f += v.Float()
+		return nil
+	}
+	a.i += v.Int()
+	return nil
+}
+
+func (a *sumAgg) result() types.Value {
+	if !a.any {
+		return types.Null
+	}
+	if a.isFloat {
+		return types.NewFloat(a.f)
+	}
+	return types.NewInt(a.i)
+}
+
+// avgAgg averages numerics, always returning a float.
+type avgAgg struct {
+	sum sumAgg
+	n   int64
+}
+
+func (a *avgAgg) add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if err := a.sum.add(v); err != nil {
+		return fmt.Errorf("ee: AVG: %w", err)
+	}
+	a.n++
+	return nil
+}
+
+func (a *avgAgg) result() types.Value {
+	if a.n == 0 {
+		return types.Null
+	}
+	return types.NewFloat(a.sum.result().Float() / float64(a.n))
+}
+
+// minMaxAgg tracks the extremum under Value.Compare.
+type minMaxAgg struct {
+	min  bool
+	best types.Value
+	any  bool
+}
+
+func (a *minMaxAgg) add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !a.any {
+		a.best, a.any = v, true
+		return nil
+	}
+	c, err := v.Compare(a.best)
+	if err != nil {
+		return fmt.Errorf("ee: MIN/MAX: %w", err)
+	}
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minMaxAgg) result() types.Value {
+	if !a.any {
+		return types.Null
+	}
+	return a.best
+}
+
+// collectAggregates walks an expression tree appending every aggregate
+// FuncCall (deduplicated by pointer) to calls.
+func collectAggregates(e sql.Expr, calls *[]*sql.FuncCall) {
+	switch e := e.(type) {
+	case *sql.FuncCall:
+		if e.IsAggregate() {
+			*calls = append(*calls, e)
+			return
+		}
+		for _, a := range e.Args {
+			collectAggregates(a, calls)
+		}
+	case *sql.Binary:
+		collectAggregates(e.Left, calls)
+		collectAggregates(e.Right, calls)
+	case *sql.Unary:
+		collectAggregates(e.Operand, calls)
+	case *sql.IsNull:
+		collectAggregates(e.Operand, calls)
+	case *sql.InList:
+		collectAggregates(e.Operand, calls)
+		for _, it := range e.Items {
+			collectAggregates(it, calls)
+		}
+	case *sql.Between:
+		collectAggregates(e.Operand, calls)
+		collectAggregates(e.Lo, calls)
+		collectAggregates(e.Hi, calls)
+	case *sql.Like:
+		collectAggregates(e.Operand, calls)
+		collectAggregates(e.Pattern, calls)
+	}
+}

@@ -1,0 +1,121 @@
+package ee
+
+import (
+	"fmt"
+	"testing"
+
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+func benchExecutor(b *testing.B) *Executor {
+	b.Helper()
+	e := NewExecutor(storage.NewCatalog())
+	ctx := &ExecCtx{}
+	stmts := []string{
+		"CREATE TABLE bt (id BIGINT PRIMARY KEY, v BIGINT)",
+	}
+	for _, s := range stmts {
+		if _, err := e.Execute(s, nil, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := e.Execute("INSERT INTO bt VALUES (?, ?)",
+			[]types.Value{types.NewInt(int64(i)), types.NewInt(int64(i * 3))}, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkExecutorIndexProbe(b *testing.B) {
+	e := benchExecutor(b)
+	ctx := &ExecCtx{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT v FROM bt WHERE id = ?",
+			[]types.Value{types.NewInt(int64(i % 10000))}, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorInsert(b *testing.B) {
+	e := NewExecutor(storage.NewCatalog())
+	ctx := &ExecCtx{}
+	if _, err := e.Execute("CREATE TABLE ins (v BIGINT)", nil, ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("INSERT INTO ins VALUES (?)",
+			[]types.Value{types.NewInt(int64(i))}, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorAggregate(b *testing.B) {
+	e := benchExecutor(b)
+	ctx := &ExecCtx{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT COUNT(*), SUM(v) FROM bt WHERE v % 2 = 0", nil, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowSlideInsert(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			e := NewExecutor(storage.NewCatalog())
+			ctx := &ExecCtx{}
+			ddl := fmt.Sprintf("CREATE WINDOW bw (v BIGINT) SIZE %d SLIDE %d", size, size/10+1)
+			if _, err := e.Execute(ddl, nil, ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Execute("INSERT INTO bw VALUES (?)",
+					[]types.Value{types.NewInt(int64(i))}, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEETriggerChain(b *testing.B) {
+	e := NewExecutor(storage.NewCatalog())
+	ctx := &ExecCtx{}
+	for i := 1; i <= 4; i++ {
+		if _, err := e.Execute(fmt.Sprintf("CREATE STREAM bs%d (v BIGINT)", i), nil, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := e.Execute("CREATE TABLE bsink (v BIGINT)", nil, ctx); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		target := fmt.Sprintf("bs%d", i+1)
+		if i == 3 {
+			target = "bsink"
+		}
+		if err := e.AddTrigger(&Trigger{
+			Table: fmt.Sprintf("bs%d", i),
+			Stmts: []string{fmt.Sprintf("INSERT INTO %s SELECT v FROM bs%d", target, i)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &ExecCtx{BatchID: int64(i + 1)}
+		if _, err := e.Execute("INSERT INTO bs1 VALUES (?)",
+			[]types.Value{types.NewInt(int64(i))}, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

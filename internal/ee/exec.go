@@ -1,0 +1,683 @@
+package ee
+
+import (
+	"fmt"
+
+	"sstore/internal/index"
+	"sstore/internal/sql"
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+// maxTriggerDepth bounds EE-trigger cascades to catch accidental
+// cycles; workflows in practice are shallow DAGs.
+const maxTriggerDepth = 64
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds SELECT output rows.
+	Rows []types.Row
+	// RowsAffected counts rows written by INSERT/UPDATE/DELETE.
+	RowsAffected int
+}
+
+// TxnState is what the executor needs from the enclosing transaction:
+// physical undo recording plus one-shot window-state capture so aborts
+// restore window bookkeeping (§2.4).
+type TxnState interface {
+	storage.Undo
+	// MarkWindow captures the window's scalar state the first time
+	// the transaction touches it.
+	MarkWindow(t *storage.Table)
+}
+
+// StreamAppend records that a statement appended an atomic batch to a
+// stream table; the partition engine turns these into PE-trigger
+// invocations at commit (§3.2.3).
+type StreamAppend struct {
+	Table   string
+	BatchID int64
+}
+
+// ExecCtx is the per-transaction-execution context threaded through
+// statement execution.
+type ExecCtx struct {
+	// SP is the executing stored procedure's name; empty for ad-hoc
+	// OLTP statements. Window tables may only be touched by their
+	// owning SP.
+	SP string
+	// BatchID is the atomic batch being processed; inserts into
+	// stream tables tag tuples with it.
+	BatchID int64
+	// Txn records undo information; nil disables rollback support
+	// (used only by tests and recovery internals).
+	Txn TxnState
+	// Appends accumulates stream appends for PE-trigger dispatch.
+	Appends []StreamAppend
+	depth   int
+}
+
+func (ctx *ExecCtx) undo() storage.Undo {
+	if ctx.Txn == nil {
+		return nil
+	}
+	return ctx.Txn
+}
+
+// Trigger is an EE trigger (§3.2.3): SQL statements attached to a
+// stream or window table, executed in the same transaction as the
+// insert that fired them. For stream tables the trigger fires on every
+// atomic-batch insert; for window tables it fires when an insert causes
+// the window to slide. Statements receive the current batch ID as
+// parameter ?1.
+type Trigger struct {
+	Table string
+	Stmts []string
+}
+
+// Executor runs SQL statements against one partition's catalog. It is
+// confined to the partition's goroutine; plans are cached per statement
+// text.
+type Executor struct {
+	cat        *storage.Catalog
+	plans      map[string]*prepared
+	triggers   map[string][]*Trigger
+	peConsumed map[string]bool // streams consumed by PE triggers: no EE-level GC
+}
+
+// NewExecutor creates an executor over a catalog.
+func NewExecutor(cat *storage.Catalog) *Executor {
+	return &Executor{
+		cat:        cat,
+		plans:      make(map[string]*prepared),
+		triggers:   make(map[string][]*Trigger),
+		peConsumed: make(map[string]bool),
+	}
+}
+
+// Catalog returns the underlying catalog.
+func (e *Executor) Catalog() *storage.Catalog { return e.cat }
+
+// AddTrigger attaches an EE trigger to its table. Windows accept EE
+// triggers; streams accept EE triggers; plain tables do not (§3.2.3).
+func (e *Executor) AddTrigger(tr *Trigger) error {
+	t, err := e.cat.Get(tr.Table)
+	if err != nil {
+		return err
+	}
+	if t.Kind() == storage.KindTable {
+		return fmt.Errorf("ee: EE triggers attach to streams or windows, not table %s", tr.Table)
+	}
+	// Validate the statements parse now; they are planned lazily
+	// because downstream tables may not exist yet.
+	for _, s := range tr.Stmts {
+		if _, err := sql.Parse(s); err != nil {
+			return fmt.Errorf("ee: trigger on %s: %w", tr.Table, err)
+		}
+	}
+	key := lowerName(tr.Table)
+	e.triggers[key] = append(e.triggers[key], tr)
+	return nil
+}
+
+// SetPEConsumed marks a stream as consumed by a PE trigger, disabling
+// the EE layer's automatic batch GC for it (the partition engine
+// garbage-collects after the downstream TE commits).
+func (e *Executor) SetPEConsumed(table string) {
+	e.peConsumed[lowerName(table)] = true
+}
+
+// InvalidatePlans drops the plan cache; call after DDL.
+func (e *Executor) InvalidatePlans() { e.plans = make(map[string]*prepared) }
+
+func lowerName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// prepared is a compiled statement.
+type prepared struct {
+	sel *selectPlan
+	ins *insertPlan
+	upd *updatePlan
+	del *deletePlan
+	ddl sql.Statement
+}
+
+type insertPlan struct {
+	table    string
+	colMap   []int // target ordinal for each value position
+	rows     [][]compiledExpr
+	query    *selectPlan
+	querySel *sql.Select
+}
+
+type updatePlan struct {
+	table  string
+	probe  *indexProbe
+	filter compiledExpr
+	sets   []struct {
+		ord  int
+		expr compiledExpr
+	}
+}
+
+type deletePlan struct {
+	table  string
+	probe  *indexProbe
+	filter compiledExpr
+}
+
+// Prepare parses and plans a statement, caching by text.
+func (e *Executor) Prepare(text string) (*prepared, error) {
+	if p, ok := e.plans[text]; ok {
+		return p, nil
+	}
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	e.plans[text] = p
+	return p, nil
+}
+
+func (e *Executor) compile(stmt sql.Statement) (*prepared, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		plan, err := compileSelect(s, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		return &prepared{sel: plan}, nil
+	case *sql.Insert:
+		plan, err := e.compileInsert(s)
+		if err != nil {
+			return nil, err
+		}
+		return &prepared{ins: plan}, nil
+	case *sql.Update:
+		plan, err := e.compileUpdate(s)
+		if err != nil {
+			return nil, err
+		}
+		return &prepared{upd: plan}, nil
+	case *sql.Delete:
+		plan, err := e.compileDelete(s)
+		if err != nil {
+			return nil, err
+		}
+		return &prepared{del: plan}, nil
+	case *sql.CreateTable, *sql.CreateWindow, *sql.CreateIndex:
+		return &prepared{ddl: stmt}, nil
+	default:
+		return nil, fmt.Errorf("ee: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Executor) compileInsert(s *sql.Insert) (*insertPlan, error) {
+	t, err := e.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	plan := &insertPlan{table: s.Table}
+	if len(s.Columns) > 0 {
+		plan.colMap = make([]int, len(s.Columns))
+		for i, c := range s.Columns {
+			ord, ok := schema.Index(c)
+			if !ok {
+				return nil, fmt.Errorf("ee: table %s has no column %s", s.Table, c)
+			}
+			plan.colMap[i] = ord
+		}
+	}
+	width := schema.Len()
+	if plan.colMap != nil {
+		width = len(plan.colMap)
+	}
+	if s.Query != nil {
+		qp, err := compileSelect(s.Query, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		if len(qp.colNames) != width {
+			return nil, fmt.Errorf("ee: INSERT SELECT arity %d, target %d", len(qp.colNames), width)
+		}
+		plan.query = qp
+		plan.querySel = s.Query
+		return plan, nil
+	}
+	for _, row := range s.Rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("ee: INSERT row arity %d, target %d", len(row), width)
+		}
+		var compiled []compiledExpr
+		for _, ex := range row {
+			ce, err := compileExpr(ex, newScope(), nil)
+			if err != nil {
+				return nil, err
+			}
+			compiled = append(compiled, ce)
+		}
+		plan.rows = append(plan.rows, compiled)
+	}
+	return plan, nil
+}
+
+func (e *Executor) compileUpdate(s *sql.Update) (*updatePlan, error) {
+	t, err := e.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := newScope()
+	sc.addTable(lowerName(s.Table), t.Schema())
+	plan := &updatePlan{table: s.Table}
+	if s.Where != nil {
+		probe, residual, err := extractIndexProbe(s.Where, lowerName(s.Table), t, sc)
+		if err != nil {
+			return nil, err
+		}
+		plan.probe = probe
+		if residual != nil {
+			f, err := compileExpr(residual, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			plan.filter = f
+		}
+	}
+	for _, set := range s.Set {
+		ord, ok := t.Schema().Index(set.Column)
+		if !ok {
+			return nil, fmt.Errorf("ee: table %s has no column %s", s.Table, set.Column)
+		}
+		ce, err := compileExpr(set.Value, sc, nil)
+		if err != nil {
+			return nil, err
+		}
+		plan.sets = append(plan.sets, struct {
+			ord  int
+			expr compiledExpr
+		}{ord, ce})
+	}
+	return plan, nil
+}
+
+func (e *Executor) compileDelete(s *sql.Delete) (*deletePlan, error) {
+	t, err := e.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := newScope()
+	sc.addTable(lowerName(s.Table), t.Schema())
+	plan := &deletePlan{table: s.Table}
+	if s.Where != nil {
+		probe, residual, err := extractIndexProbe(s.Where, lowerName(s.Table), t, sc)
+		if err != nil {
+			return nil, err
+		}
+		plan.probe = probe
+		if residual != nil {
+			f, err := compileExpr(residual, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			plan.filter = f
+		}
+	}
+	return plan, nil
+}
+
+// Execute runs one SQL statement with parameters under the given
+// execution context.
+func (e *Executor) Execute(text string, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	p, err := e.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(p, params, ctx)
+}
+
+func (e *Executor) run(p *prepared, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	switch {
+	case p.sel != nil:
+		if err := e.checkWindowAccess(p.sel.baseTable, ctx); err != nil {
+			return nil, err
+		}
+		for _, j := range p.sel.joins {
+			if err := e.checkWindowAccess(j.table, ctx); err != nil {
+				return nil, err
+			}
+		}
+		return p.sel.run(e.cat, params)
+	case p.ins != nil:
+		return e.runInsert(p.ins, params, ctx)
+	case p.upd != nil:
+		return e.runUpdate(p.upd, params, ctx)
+	case p.del != nil:
+		return e.runDelete(p.del, params, ctx)
+	case p.ddl != nil:
+		return e.runDDL(p.ddl, ctx)
+	default:
+		return nil, fmt.Errorf("ee: empty plan")
+	}
+}
+
+// checkWindowAccess enforces the paper's window scoping rule (§3.2.2):
+// a window table is only visible to transaction executions of its
+// owning stored procedure.
+func (e *Executor) checkWindowAccess(table string, ctx *ExecCtx) error {
+	t, err := e.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if t.Kind() == storage.KindWindow && t.OwnerSP != "" && t.OwnerSP != ctx.SP {
+		return fmt.Errorf("ee: window %s is private to stored procedure %s (accessed from %q)", table, t.OwnerSP, ctx.SP)
+	}
+	return nil
+}
+
+func (e *Executor) runInsert(p *insertPlan, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	if err := e.checkWindowAccess(p.table, ctx); err != nil {
+		return nil, err
+	}
+	t, err := e.cat.Get(p.table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	if p.query != nil {
+		qres, err := p.query.run(e.cat, params)
+		if err != nil {
+			return nil, err
+		}
+		rows = qres.Rows
+	} else {
+		env := &evalEnv{params: params}
+		for _, compiled := range p.rows {
+			row := make(types.Row, len(compiled))
+			for i, ce := range compiled {
+				v, err := ce(env)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	if t.Kind() == storage.KindWindow && ctx.Txn != nil {
+		ctx.Txn.MarkWindow(t)
+	}
+	slid := false
+	for _, row := range rows {
+		full := row
+		if p.colMap != nil {
+			full = make(types.Row, t.Schema().Len())
+			for i, ord := range p.colMap {
+				full[ord] = row[i]
+			}
+		}
+		res, err := t.Insert(full, ctx.BatchID, ctx.undo())
+		if err != nil {
+			return nil, err
+		}
+		slid = slid || res.Slid
+	}
+	result := &Result{RowsAffected: len(rows)}
+	if len(rows) == 0 {
+		return result, nil
+	}
+	switch t.Kind() {
+	case storage.KindStream:
+		ctx.Appends = append(ctx.Appends, StreamAppend{Table: lowerName(p.table), BatchID: ctx.BatchID})
+		if err := e.fireTriggers(t, ctx); err != nil {
+			return nil, err
+		}
+	case storage.KindWindow:
+		if slid {
+			if err := e.fireTriggers(t, ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return result, nil
+}
+
+// fireTriggers runs the EE triggers attached to a table, then
+// garbage-collects the consumed batch for streams not owned by a PE
+// trigger (§3.2.3).
+func (e *Executor) fireTriggers(t *storage.Table, ctx *ExecCtx) error {
+	key := lowerName(t.Name())
+	trs := e.triggers[key]
+	if len(trs) > 0 {
+		if ctx.depth >= maxTriggerDepth {
+			return fmt.Errorf("ee: trigger cascade deeper than %d on %s", maxTriggerDepth, t.Name())
+		}
+		ctx.depth++
+		batchParam := []types.Value{types.NewInt(ctx.BatchID)}
+		for _, tr := range trs {
+			for _, stmt := range tr.Stmts {
+				if _, err := e.Execute(stmt, batchParam, ctx); err != nil {
+					ctx.depth--
+					return fmt.Errorf("ee: trigger on %s: %w", t.Name(), err)
+				}
+			}
+		}
+		ctx.depth--
+	}
+	if t.Kind() == storage.KindStream && len(trs) > 0 && !e.peConsumed[key] {
+		storage.DeleteBatch(t, ctx.BatchID, ctx.undo())
+	}
+	return nil
+}
+
+func (e *Executor) runUpdate(p *updatePlan, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	if err := e.checkWindowAccess(p.table, ctx); err != nil {
+		return nil, err
+	}
+	t, err := e.cat.Get(p.table)
+	if err != nil {
+		return nil, err
+	}
+	tids, err := e.matchTIDs(t, p.probe, p.filter, params)
+	if err != nil {
+		return nil, err
+	}
+	env := &evalEnv{params: params}
+	for _, tid := range tids {
+		_, old, ok := t.Get(tid)
+		if !ok {
+			continue
+		}
+		env.row = old
+		newRow := old.Clone()
+		for _, set := range p.sets {
+			v, err := set.expr(env)
+			if err != nil {
+				return nil, err
+			}
+			newRow[set.ord] = v
+		}
+		if err := t.Update(tid, newRow, ctx.undo()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(tids)}, nil
+}
+
+func (e *Executor) runDelete(p *deletePlan, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	if err := e.checkWindowAccess(p.table, ctx); err != nil {
+		return nil, err
+	}
+	t, err := e.cat.Get(p.table)
+	if err != nil {
+		return nil, err
+	}
+	tids, err := e.matchTIDs(t, p.probe, p.filter, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, tid := range tids {
+		if _, err := t.Delete(tid, ctx.undo()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(tids)}, nil
+}
+
+// matchTIDs evaluates the access path of UPDATE/DELETE, returning the
+// matching tuple IDs before any mutation happens.
+func (e *Executor) matchTIDs(t *storage.Table, probe *indexProbe, filter compiledExpr, params []types.Value) ([]uint64, error) {
+	env := &evalEnv{params: params}
+	var tids []uint64
+	consider := func(meta storage.TupleMeta, row types.Row) (bool, error) {
+		if meta.Staged {
+			return false, nil
+		}
+		if filter != nil {
+			env.row = row
+			ok, err := boolOf(filter, env)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	if probe != nil {
+		key := make(index.Key, len(probe.keyExprs))
+		for i, ke := range probe.keyExprs {
+			v, err := ke(env)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		idx := findIndex(t, probe.indexName)
+		if idx == nil {
+			return nil, fmt.Errorf("ee: plan references missing index %s", probe.indexName)
+		}
+		for _, tid := range idx.Lookup(key) {
+			meta, row, ok := t.Get(tid)
+			if !ok {
+				continue
+			}
+			match, err := consider(meta, row)
+			if err != nil {
+				return nil, err
+			}
+			if match {
+				tids = append(tids, tid)
+			}
+		}
+		return tids, nil
+	}
+	var scanErr error
+	t.Scan(func(meta storage.TupleMeta, row types.Row) bool {
+		match, err := consider(meta, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if match {
+			tids = append(tids, meta.TID)
+		}
+		return true
+	})
+	return tids, scanErr
+}
+
+// runDDL executes CREATE TABLE/STREAM/WINDOW/INDEX. DDL is not
+// transactional; it is intended for setup time.
+func (e *Executor) runDDL(stmt sql.Statement, ctx *ExecCtx) (*Result, error) {
+	defer e.InvalidatePlans()
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		cols := make([]types.Column, len(s.Columns))
+		var pk []int
+		for i, c := range s.Columns {
+			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+			if c.PrimaryKey {
+				pk = append(pk, i)
+			}
+		}
+		schema, err := types.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		kind := storage.KindTable
+		if s.Stream {
+			kind = storage.KindStream
+		}
+		t := storage.NewTable(s.Name, kind, schema)
+		if len(pk) > 0 {
+			if err := t.AddIndex(index.NewHashIndex(s.Name+"_pk", pk, true)); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.cat.Create(t); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CreateWindow:
+		cols := make([]types.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+		}
+		schema, err := types.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		spec := storage.WindowSpec{Size: s.Size, Slide: s.Slide}
+		if s.TimeColumn != "" {
+			ord, ok := schema.Index(s.TimeColumn)
+			if !ok {
+				return nil, fmt.Errorf("ee: window %s: no column %s", s.Name, s.TimeColumn)
+			}
+			spec.TimeBased = true
+			spec.TimeColumn = ord
+		}
+		t, err := storage.NewWindowTable(s.Name, schema, spec)
+		if err != nil {
+			return nil, err
+		}
+		t.OwnerSP = ctx.SP
+		if err := e.cat.Create(t); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CreateIndex:
+		t, err := e.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, len(s.Columns))
+		for i, c := range s.Columns {
+			ord, ok := t.Schema().Index(c)
+			if !ok {
+				return nil, fmt.Errorf("ee: table %s has no column %s", s.Table, c)
+			}
+			cols[i] = ord
+		}
+		var idx index.Index
+		if s.BTree {
+			idx = index.NewBTree(s.Name, cols, s.Unique)
+		} else {
+			idx = index.NewHashIndex(s.Name, cols, s.Unique)
+		}
+		return &Result{}, t.AddIndex(idx)
+	default:
+		return nil, fmt.Errorf("ee: unsupported DDL %T", stmt)
+	}
+}

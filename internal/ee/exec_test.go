@@ -1,0 +1,461 @@
+package ee
+
+import (
+	"fmt"
+	"testing"
+
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+// newTestExec builds an executor with an empty catalog.
+func newTestExec(t *testing.T) *Executor {
+	t.Helper()
+	return NewExecutor(storage.NewCatalog())
+}
+
+// mustExec runs a statement, failing the test on error.
+func mustExec(t *testing.T, e *Executor, stmt string, params ...types.Value) *Result {
+	t.Helper()
+	res, err := e.Execute(stmt, params, &ExecCtx{})
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", stmt, err)
+	}
+	return res
+}
+
+func setupVotes(t *testing.T, e *Executor) {
+	t.Helper()
+	mustExec(t, e, "CREATE TABLE contestants (id BIGINT PRIMARY KEY, name VARCHAR)")
+	mustExec(t, e, "CREATE TABLE votes (phone BIGINT, contestant_id BIGINT)")
+	mustExec(t, e, "CREATE UNIQUE INDEX votes_phone ON votes (phone)")
+	mustExec(t, e, "CREATE INDEX votes_cand ON votes (contestant_id)")
+	for i := 1; i <= 3; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO contestants VALUES (%d, 'cand%d')", i, i))
+	}
+	// 6 votes: cand1 gets 3, cand2 gets 2, cand3 gets 1.
+	for i, cand := range []int{1, 1, 1, 2, 2, 3} {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO votes VALUES (%d, %d)", 100+i, cand))
+	}
+}
+
+func TestInsertSelectBasic(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT phone, contestant_id FROM votes WHERE contestant_id = 1")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.Columns[0] != "phone" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT * FROM contestants ORDER BY id")
+	if len(res.Rows) != 3 || len(res.Rows[0]) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Text() != "cand1" {
+		t.Errorf("first row = %v", res.Rows[0])
+	}
+}
+
+func TestWhereFilters(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"contestant_id = 2", 2},
+		{"contestant_id <> 2", 4},
+		{"contestant_id > 1 AND contestant_id < 3", 2},
+		{"contestant_id = 1 OR contestant_id = 3", 4},
+		{"NOT (contestant_id = 1)", 3},
+		{"phone >= 103", 3},
+		{"contestant_id % 2 = 0", 2},
+		{"contestant_id + 1 = 4", 1},
+		{"phone IS NULL", 0},
+		{"phone IS NOT NULL", 6},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, e, "SELECT phone FROM votes WHERE "+tt.where)
+		if len(res.Rows) != tt.want {
+			t.Errorf("WHERE %s: rows = %d, want %d", tt.where, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestParams(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT phone FROM votes WHERE contestant_id = ?", types.NewInt(2))
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Missing param should error.
+	if _, err := e.Execute("SELECT phone FROM votes WHERE contestant_id = ?", nil, &ExecCtx{}); err == nil {
+		t.Error("missing parameter should fail")
+	}
+}
+
+func TestIndexProbeUsed(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	p, err := e.Prepare("SELECT phone FROM votes WHERE phone = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.sel.probe == nil {
+		t.Error("unique-index equality should compile to a probe")
+	}
+	p, err = e.Prepare("SELECT phone FROM votes WHERE contestant_id = ? AND phone > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.sel.probe == nil || p.sel.filter == nil {
+		t.Error("want probe on contestant_id plus residual filter")
+	}
+	p, err = e.Prepare("SELECT phone FROM votes WHERE phone > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.sel.probe != nil {
+		t.Error("range predicate must not use a hash probe")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT COUNT(*), SUM(contestant_id), AVG(contestant_id), MIN(phone), MAX(phone) FROM votes")
+	row := res.Rows[0]
+	if row[0].Int() != 6 {
+		t.Errorf("count = %v", row[0])
+	}
+	if row[1].Int() != 10 {
+		t.Errorf("sum = %v", row[1])
+	}
+	if row[2].Float() < 1.66 || row[2].Float() > 1.67 {
+		t.Errorf("avg = %v", row[2])
+	}
+	if row[3].Int() != 100 || row[4].Int() != 105 {
+		t.Errorf("min/max = %v %v", row[3], row[4])
+	}
+}
+
+func TestGroupByHavingOrder(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, `SELECT contestant_id, COUNT(*) AS n FROM votes
+		GROUP BY contestant_id HAVING COUNT(*) >= 2 ORDER BY n DESC`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 3 {
+		t.Errorf("top group = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Int() != 2 {
+		t.Errorf("second group = %v", res.Rows[1])
+	}
+}
+
+func TestCountEmptyTable(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE empty (x BIGINT)")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM empty")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 {
+		t.Errorf("COUNT over empty = %v", res.Rows)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM empty GROUP BY x")
+	if len(res.Rows) != 0 {
+		t.Errorf("grouped COUNT over empty = %v", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT COUNT(DISTINCT contestant_id) FROM votes")
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("distinct = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, `SELECT c.name, COUNT(*) AS n FROM votes v
+		JOIN contestants c ON v.contestant_id = c.id
+		GROUP BY c.name ORDER BY n DESC, c.name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Text() != "cand1" || res.Rows[0][1].Int() != 3 {
+		t.Errorf("top = %v", res.Rows[0])
+	}
+}
+
+func TestJoinUsesIndexProbe(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	p, err := e.Prepare("SELECT c.name FROM votes v JOIN contestants c ON c.id = v.contestant_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.sel.joins) != 1 || p.sel.joins[0].probe == nil {
+		t.Error("join on contestants.id (pk) should compile to an index probe")
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "SELECT phone FROM votes ORDER BY phone DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 105 || res.Rows[1][0].Int() != 104 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, e, "SELECT phone FROM votes LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0 = %v", res.Rows)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	res := mustExec(t, e, "UPDATE votes SET contestant_id = 9 WHERE contestant_id = 2")
+	if res.RowsAffected != 2 {
+		t.Fatalf("updated %d, want 2", res.RowsAffected)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM votes WHERE contestant_id = 9")
+	if res.Rows[0][0].Int() != 2 {
+		t.Error("update did not apply")
+	}
+	// Index maintained: probe by new value.
+	res = mustExec(t, e, "SELECT phone FROM votes WHERE contestant_id = ?", types.NewInt(9))
+	if len(res.Rows) != 2 {
+		t.Error("index stale after update")
+	}
+	res = mustExec(t, e, "DELETE FROM votes WHERE contestant_id = 9")
+	if res.RowsAffected != 2 {
+		t.Fatalf("deleted %d, want 2", res.RowsAffected)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM votes")
+	if res.Rows[0][0].Int() != 4 {
+		t.Error("delete did not apply")
+	}
+}
+
+func TestUpdateSelfReference(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE counters (id BIGINT PRIMARY KEY, n BIGINT)")
+	mustExec(t, e, "INSERT INTO counters VALUES (1, 0)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, e, "UPDATE counters SET n = n + 1 WHERE id = 1")
+	}
+	res := mustExec(t, e, "SELECT n FROM counters WHERE id = 1")
+	if res.Rows[0][0].Int() != 5 {
+		t.Errorf("n = %v", res.Rows[0][0])
+	}
+}
+
+func TestUniqueViolation(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	if _, err := e.Execute("INSERT INTO votes VALUES (100, 2)", nil, &ExecCtx{}); err == nil {
+		t.Error("duplicate phone should fail")
+	}
+}
+
+func TestInsertExplicitColumns(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT, b VARCHAR, c FLOAT)")
+	mustExec(t, e, "INSERT INTO t (c, a) VALUES (1.5, 7)")
+	res := mustExec(t, e, "SELECT a, b, c FROM t")
+	row := res.Rows[0]
+	if row[0].Int() != 7 || !row[1].IsNull() || row[2].Float() != 1.5 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestInsertFromSelect(t *testing.T) {
+	e := newTestExec(t)
+	setupVotes(t, e)
+	mustExec(t, e, "CREATE TABLE top (contestant_id BIGINT, n BIGINT)")
+	mustExec(t, e, `INSERT INTO top SELECT contestant_id, COUNT(*) FROM votes GROUP BY contestant_id`)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM top")
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("top rows = %v", res.Rows[0][0])
+	}
+}
+
+func TestStreamEETriggerChain(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE STREAM s1 (v BIGINT)")
+	mustExec(t, e, "CREATE STREAM s2 (v BIGINT)")
+	mustExec(t, e, "CREATE TABLE sink (v BIGINT)")
+	// s1 → s2 → sink, all within the EE (the paper's Figure 5 shape).
+	if err := e.AddTrigger(&Trigger{Table: "s1", Stmts: []string{"INSERT INTO s2 SELECT v FROM s1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTrigger(&Trigger{Table: "s2", Stmts: []string{"INSERT INTO sink SELECT v FROM s2"}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &ExecCtx{BatchID: 1}
+	if _, err := e.Execute("INSERT INTO s1 VALUES (42)", nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, "SELECT v FROM sink")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 42 {
+		t.Fatalf("sink = %v", res.Rows)
+	}
+	// Automatic GC: both stream tables drained.
+	for _, s := range []string{"s1", "s2"} {
+		res := mustExec(t, e, "SELECT COUNT(*) FROM "+s)
+		if res.Rows[0][0].Int() != 0 {
+			t.Errorf("%s not garbage collected", s)
+		}
+	}
+}
+
+func TestTriggerOnPlainTableRejected(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT)")
+	if err := e.AddTrigger(&Trigger{Table: "t", Stmts: []string{"DELETE FROM t"}}); err == nil {
+		t.Error("EE trigger on plain table should be rejected")
+	}
+}
+
+func TestWindowTriggerFiresOnSlide(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE STREAM s1 (v BIGINT)")
+	mustExec(t, e, "CREATE WINDOW w (v BIGINT) SIZE 3 SLIDE 3")
+	mustExec(t, e, "CREATE TABLE agg (total BIGINT)")
+	if err := e.AddTrigger(&Trigger{Table: "w", Stmts: []string{"INSERT INTO agg SELECT SUM(v) FROM w"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO w VALUES (%d)", i))
+	}
+	// Window tumbles at 3 (sum 6) and 6 (sum 15); 7th insert stays
+	// staged.
+	res := mustExec(t, e, "SELECT total FROM agg")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 6 || res.Rows[1][0].Int() != 15 {
+		t.Fatalf("agg = %v", res.Rows)
+	}
+}
+
+func TestStagedRowsInvisible(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE WINDOW w (v BIGINT) SIZE 3 SLIDE 1")
+	mustExec(t, e, "INSERT INTO w VALUES (1)")
+	mustExec(t, e, "INSERT INTO w VALUES (2)")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM w")
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("staged tuples visible: count = %v", res.Rows[0][0])
+	}
+	mustExec(t, e, "INSERT INTO w VALUES (3)")
+	res = mustExec(t, e, "SELECT COUNT(*) FROM w")
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("window not visible after fill: %v", res.Rows[0][0])
+	}
+}
+
+func TestWindowScoping(t *testing.T) {
+	e := newTestExec(t)
+	// SP1 creates a private window.
+	if _, err := e.Execute("CREATE WINDOW w (v BIGINT) SIZE 2 SLIDE 1", nil, &ExecCtx{SP: "SP1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("INSERT INTO w VALUES (1)", nil, &ExecCtx{SP: "SP1"}); err != nil {
+		t.Errorf("owner access should succeed: %v", err)
+	}
+	if _, err := e.Execute("SELECT * FROM w", nil, &ExecCtx{SP: "SP2"}); err == nil {
+		t.Error("foreign SP access to window should fail")
+	}
+	if _, err := e.Execute("INSERT INTO w VALUES (2)", nil, &ExecCtx{SP: ""}); err == nil {
+		t.Error("ad-hoc access to window should fail")
+	}
+}
+
+func TestStreamAppendsRecorded(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE STREAM s1 (v BIGINT)")
+	ctx := &ExecCtx{BatchID: 7}
+	if _, err := e.Execute("INSERT INTO s1 VALUES (1)", nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Appends) != 1 || ctx.Appends[0].Table != "s1" || ctx.Appends[0].BatchID != 7 {
+		t.Fatalf("appends = %+v", ctx.Appends)
+	}
+}
+
+func TestPEConsumedSkipsGC(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE STREAM s1 (v BIGINT)")
+	mustExec(t, e, "CREATE TABLE sink (v BIGINT)")
+	if err := e.AddTrigger(&Trigger{Table: "s1", Stmts: []string{"INSERT INTO sink SELECT v FROM s1"}}); err != nil {
+		t.Fatal(err)
+	}
+	e.SetPEConsumed("s1")
+	ctx := &ExecCtx{BatchID: 1}
+	if _, err := e.Execute("INSERT INTO s1 VALUES (5)", nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, "SELECT COUNT(*) FROM s1")
+	if res.Rows[0][0].Int() != 1 {
+		t.Error("PE-consumed stream must not be GC'd by the EE")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT, s VARCHAR)")
+	mustExec(t, e, "INSERT INTO t VALUES (-5, 'hello')")
+	res := mustExec(t, e, "SELECT ABS(a), LENGTH(s), COALESCE(NULL, a, 1), FLOOR(2.7) FROM t")
+	row := res.Rows[0]
+	if row[0].Int() != 5 || row[1].Int() != 5 || row[2].Int() != -5 || row[3].Int() != 2 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1)")
+	if _, err := e.Execute("SELECT a / 0 FROM t", nil, &ExecCtx{}); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := e.Execute("SELECT a + 'x' FROM t", nil, &ExecCtx{}); err == nil {
+		t.Error("adding text should fail")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE a (id BIGINT)")
+	mustExec(t, e, "CREATE TABLE b (id BIGINT)")
+	if _, err := e.Execute("SELECT id FROM a JOIN b ON a.id = b.id", nil, &ExecCtx{}); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestUnknownEntities(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT)")
+	for _, q := range []string{
+		"SELECT a FROM missing",
+		"SELECT missing FROM t",
+		"INSERT INTO t (missing) VALUES (1)",
+		"UPDATE t SET missing = 1",
+		"SELECT NOSUCHFUNC(a) FROM t",
+	} {
+		if _, err := e.Execute(q, nil, &ExecCtx{}); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}

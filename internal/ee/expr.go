@@ -1,0 +1,565 @@
+// Package ee is the execution engine: it compiles parsed SQL statements
+// into physical plans and runs them against a partition's catalog. It
+// also owns the streaming features that live at the EE layer in the
+// paper's architecture (§3.2): native sliding windows and EE triggers.
+package ee
+
+import (
+	"fmt"
+	"strings"
+
+	"sstore/internal/sql"
+	"sstore/internal/types"
+)
+
+// evalEnv is the runtime environment for compiled expressions: the
+// current (possibly concatenated, for joins) input row and the
+// statement parameters.
+type evalEnv struct {
+	row    types.Row
+	params []types.Value
+}
+
+// compiledExpr evaluates to a value in an environment.
+type compiledExpr func(*evalEnv) (types.Value, error)
+
+// scope resolves column references to slots in the runtime row. Slots
+// are registered under both their bare name (when unambiguous) and
+// their qualified "alias.name" form.
+type scope struct {
+	slots     map[string]int
+	ambiguous map[string]bool
+	width     int
+}
+
+func newScope() *scope {
+	return &scope{slots: make(map[string]int), ambiguous: make(map[string]bool)}
+}
+
+// addTable registers a table's columns at the current end of the row.
+func (s *scope) addTable(alias string, schema *types.Schema) {
+	for i := 0; i < schema.Len(); i++ {
+		name := strings.ToLower(schema.Column(i).Name)
+		slot := s.width + i
+		s.slots[alias+"."+name] = slot
+		if _, dup := s.slots[name]; dup {
+			s.ambiguous[name] = true
+		} else {
+			s.slots[name] = slot
+		}
+	}
+	s.width += schema.Len()
+}
+
+// resolve maps a column reference to its slot.
+func (s *scope) resolve(ref *sql.ColumnRef) (int, error) {
+	if ref.Table != "" {
+		slot, ok := s.slots[ref.Table+"."+ref.Column]
+		if !ok {
+			return 0, fmt.Errorf("ee: unknown column %s.%s", ref.Table, ref.Column)
+		}
+		return slot, nil
+	}
+	if s.ambiguous[ref.Column] {
+		return 0, fmt.Errorf("ee: ambiguous column %s", ref.Column)
+	}
+	slot, ok := s.slots[ref.Column]
+	if !ok {
+		return 0, fmt.Errorf("ee: unknown column %s", ref.Column)
+	}
+	return slot, nil
+}
+
+// compileExpr compiles an AST expression against a scope. aggSlots maps
+// aggregate FuncCall nodes to their slot in the (synthetic) aggregate
+// output row and is nil outside aggregate queries.
+func compileExpr(e sql.Expr, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	switch e := e.(type) {
+	case *sql.Literal:
+		v := e.Value
+		return func(*evalEnv) (types.Value, error) { return v, nil }, nil
+	case *sql.ColumnRef:
+		slot, err := sc.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			if slot >= len(env.row) {
+				return types.Null, fmt.Errorf("ee: row too short for slot %d", slot)
+			}
+			return env.row[slot], nil
+		}, nil
+	case *sql.Param:
+		idx := e.Index
+		return func(env *evalEnv) (types.Value, error) {
+			if idx >= len(env.params) {
+				return types.Null, fmt.Errorf("ee: missing parameter %d", idx+1)
+			}
+			return env.params[idx], nil
+		}, nil
+	case *sql.Unary:
+		operand, err := compileExpr(e.Operand, sc, aggSlots)
+		if err != nil {
+			return nil, err
+		}
+		if e.Neg {
+			return func(env *evalEnv) (types.Value, error) {
+				v, err := operand(env)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				switch v.Kind() {
+				case types.KindInt:
+					return types.NewInt(-v.Int()), nil
+				case types.KindFloat:
+					return types.NewFloat(-v.Float()), nil
+				default:
+					return types.Null, fmt.Errorf("ee: cannot negate %s", v.Kind())
+				}
+			}, nil
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			v, err := operand(env)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindBool {
+				return types.Null, fmt.Errorf("ee: NOT of %s", v.Kind())
+			}
+			return types.NewBool(!v.Bool()), nil
+		}, nil
+	case *sql.IsNull:
+		operand, err := compileExpr(e.Operand, sc, aggSlots)
+		if err != nil {
+			return nil, err
+		}
+		negate := e.Negate
+		return func(env *evalEnv) (types.Value, error) {
+			v, err := operand(env)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(v.IsNull() != negate), nil
+		}, nil
+	case *sql.Binary:
+		return compileBinary(e, sc, aggSlots)
+	case *sql.InList:
+		return compileInList(e, sc, aggSlots)
+	case *sql.Between:
+		return compileBetween(e, sc, aggSlots)
+	case *sql.Like:
+		return compileLike(e, sc, aggSlots)
+	case *sql.FuncCall:
+		if slot, ok := aggSlots[e]; ok {
+			return func(env *evalEnv) (types.Value, error) {
+				return env.row[slot], nil
+			}, nil
+		}
+		if e.IsAggregate() {
+			return nil, fmt.Errorf("ee: aggregate %s not allowed here", e.Name)
+		}
+		return compileScalarFunc(e, sc, aggSlots)
+	default:
+		return nil, fmt.Errorf("ee: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(e *sql.Binary, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	left, err := compileExpr(e.Left, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileExpr(e.Right, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	op := e.Op
+	switch op {
+	case sql.OpAnd:
+		return func(env *evalEnv) (types.Value, error) {
+			l, err := boolOf(left, env)
+			if err != nil {
+				return types.Null, err
+			}
+			if !l {
+				return types.NewBool(false), nil
+			}
+			r, err := boolOf(right, env)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(r), nil
+		}, nil
+	case sql.OpOr:
+		return func(env *evalEnv) (types.Value, error) {
+			l, err := boolOf(left, env)
+			if err != nil {
+				return types.Null, err
+			}
+			if l {
+				return types.NewBool(true), nil
+			}
+			r, err := boolOf(right, env)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(r), nil
+		}, nil
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		return func(env *evalEnv) (types.Value, error) {
+			l, err := left(env)
+			if err != nil {
+				return types.Null, err
+			}
+			r, err := right(env)
+			if err != nil {
+				return types.Null, err
+			}
+			// SQL three-valued logic collapsed to two: comparisons
+			// against NULL are false.
+			if l.IsNull() || r.IsNull() {
+				return types.NewBool(false), nil
+			}
+			c, err := l.Compare(r)
+			if err != nil {
+				return types.Null, fmt.Errorf("ee: %v", err)
+			}
+			var res bool
+			switch op {
+			case sql.OpEq:
+				res = c == 0
+			case sql.OpNe:
+				res = c != 0
+			case sql.OpLt:
+				res = c < 0
+			case sql.OpLe:
+				res = c <= 0
+			case sql.OpGt:
+				res = c > 0
+			case sql.OpGe:
+				res = c >= 0
+			}
+			return types.NewBool(res), nil
+		}, nil
+	case sql.OpConcat:
+		return func(env *evalEnv) (types.Value, error) {
+			l, err := left(env)
+			if err != nil {
+				return types.Null, err
+			}
+			r, err := right(env)
+			if err != nil {
+				return types.Null, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return types.Null, nil
+			}
+			return types.NewText(l.String() + r.String()), nil
+		}, nil
+	default: // arithmetic
+		return func(env *evalEnv) (types.Value, error) {
+			l, err := left(env)
+			if err != nil {
+				return types.Null, err
+			}
+			r, err := right(env)
+			if err != nil {
+				return types.Null, err
+			}
+			return arith(op, l, r)
+		}, nil
+	}
+}
+
+func compileInList(e *sql.InList, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	operand, err := compileExpr(e.Operand, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]compiledExpr, len(e.Items))
+	for i, it := range e.Items {
+		ce, err := compileExpr(it, sc, aggSlots)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = ce
+	}
+	negate := e.Negate
+	return func(env *evalEnv) (types.Value, error) {
+		v, err := operand(env)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.NewBool(false), nil
+		}
+		for _, item := range items {
+			iv, err := item(env)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.Equal(iv) {
+				return types.NewBool(!negate), nil
+			}
+		}
+		return types.NewBool(negate), nil
+	}, nil
+}
+
+func compileBetween(e *sql.Between, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	operand, err := compileExpr(e.Operand, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := compileExpr(e.Lo, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := compileExpr(e.Hi, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	negate := e.Negate
+	return func(env *evalEnv) (types.Value, error) {
+		v, err := operand(env)
+		if err != nil {
+			return types.Null, err
+		}
+		lv, err := lo(env)
+		if err != nil {
+			return types.Null, err
+		}
+		hv, err := hi(env)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() || lv.IsNull() || hv.IsNull() {
+			return types.NewBool(false), nil
+		}
+		cl, err := v.Compare(lv)
+		if err != nil {
+			return types.Null, fmt.Errorf("ee: BETWEEN: %v", err)
+		}
+		ch, err := v.Compare(hv)
+		if err != nil {
+			return types.Null, fmt.Errorf("ee: BETWEEN: %v", err)
+		}
+		return types.NewBool((cl >= 0 && ch <= 0) != negate), nil
+	}, nil
+}
+
+func compileLike(e *sql.Like, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	operand, err := compileExpr(e.Operand, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := compileExpr(e.Pattern, sc, aggSlots)
+	if err != nil {
+		return nil, err
+	}
+	negate := e.Negate
+	return func(env *evalEnv) (types.Value, error) {
+		v, err := operand(env)
+		if err != nil {
+			return types.Null, err
+		}
+		p, err := pattern(env)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return types.NewBool(false), nil
+		}
+		if v.Kind() != types.KindText || p.Kind() != types.KindText {
+			return types.Null, fmt.Errorf("ee: LIKE requires text operands")
+		}
+		return types.NewBool(likeMatch(v.Text(), p.Text()) != negate), nil
+	}, nil
+}
+
+// likeMatch implements SQL LIKE: % matches any run (including empty),
+// _ matches exactly one byte. Matching is case-sensitive and
+// byte-oriented, sufficient for the ASCII identifiers the workloads
+// use.
+func likeMatch(s, pattern string) bool {
+	// Iterative two-pointer matching with backtracking on the last %.
+	si, pi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func boolOf(ce compiledExpr, env *evalEnv) (bool, error) {
+	v, err := ce(env)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != types.KindBool {
+		return false, fmt.Errorf("ee: expected boolean, got %s", v.Kind())
+	}
+	return v.Bool(), nil
+}
+
+// arith evaluates +,-,*,/,% with int/float promotion.
+func arith(op sql.BinaryOp, l, r types.Value) (types.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return types.Null, fmt.Errorf("ee: %s on %s and %s", op, l.Kind(), r.Kind())
+	}
+	if l.Kind() == types.KindFloat || r.Kind() == types.KindFloat {
+		a, b := l.Float(), r.Float()
+		switch op {
+		case sql.OpAdd:
+			return types.NewFloat(a + b), nil
+		case sql.OpSub:
+			return types.NewFloat(a - b), nil
+		case sql.OpMul:
+			return types.NewFloat(a * b), nil
+		case sql.OpDiv:
+			if b == 0 {
+				return types.Null, fmt.Errorf("ee: division by zero")
+			}
+			return types.NewFloat(a / b), nil
+		case sql.OpMod:
+			return types.Null, fmt.Errorf("ee: %% requires integers")
+		}
+	}
+	a, b := l.Int(), r.Int()
+	switch op {
+	case sql.OpAdd:
+		return types.NewInt(a + b), nil
+	case sql.OpSub:
+		return types.NewInt(a - b), nil
+	case sql.OpMul:
+		return types.NewInt(a * b), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return types.Null, fmt.Errorf("ee: division by zero")
+		}
+		return types.NewInt(a / b), nil
+	case sql.OpMod:
+		if b == 0 {
+			return types.Null, fmt.Errorf("ee: modulo by zero")
+		}
+		return types.NewInt(a % b), nil
+	}
+	return types.Null, fmt.Errorf("ee: unknown arithmetic op %s", op)
+}
+
+// compileScalarFunc compiles the supported scalar functions.
+func compileScalarFunc(e *sql.FuncCall, sc *scope, aggSlots map[*sql.FuncCall]int) (compiledExpr, error) {
+	args := make([]compiledExpr, len(e.Args))
+	for i, a := range e.Args {
+		ce, err := compileExpr(a, sc, aggSlots)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ce
+	}
+	argc := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("ee: %s expects %d argument(s), got %d", e.Name, n, len(args))
+		}
+		return nil
+	}
+	switch e.Name {
+	case "abs":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			v, err := args[0](env)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch v.Kind() {
+			case types.KindInt:
+				if v.Int() < 0 {
+					return types.NewInt(-v.Int()), nil
+				}
+				return v, nil
+			case types.KindFloat:
+				if v.Float() < 0 {
+					return types.NewFloat(-v.Float()), nil
+				}
+				return v, nil
+			default:
+				return types.Null, fmt.Errorf("ee: abs of %s", v.Kind())
+			}
+		}, nil
+	case "coalesce":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("ee: coalesce needs at least one argument")
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			for _, a := range args {
+				v, err := a(env)
+				if err != nil {
+					return types.Null, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return types.Null, nil
+		}, nil
+	case "length":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			v, err := args[0](env)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() != types.KindText {
+				return types.Null, fmt.Errorf("ee: length of %s", v.Kind())
+			}
+			return types.NewInt(int64(len(v.Text()))), nil
+		}, nil
+	case "floor":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		return func(env *evalEnv) (types.Value, error) {
+			v, err := args[0](env)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.Kind() == types.KindInt {
+				return v, nil
+			}
+			f := v.Float()
+			i := int64(f)
+			if f < 0 && float64(i) != f {
+				i--
+			}
+			return types.NewInt(i), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("ee: unknown function %s", e.Name)
+	}
+}

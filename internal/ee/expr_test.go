@@ -1,0 +1,141 @@
+package ee
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sstore/internal/types"
+)
+
+func TestInListBetweenLike(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT, name VARCHAR)")
+	mustExec(t, e, `INSERT INTO t VALUES
+		(1, 'alice'), (2, 'bob'), (3, 'carol'), (4, 'alan'), (5, 'bo')`)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"v IN (1, 3, 5)", 3},
+		{"v NOT IN (1, 3, 5)", 2},
+		{"v IN (99)", 0},
+		{"v IN (?, ?)", -1}, // filled below
+		{"v BETWEEN 2 AND 4", 3},
+		{"v NOT BETWEEN 2 AND 4", 2},
+		{"v BETWEEN 5 AND 2", 0},
+		{"name LIKE 'al%'", 2},
+		{"name LIKE '%o%'", 3},
+		{"name LIKE 'b_'", 1},
+		{"name LIKE '_____'", 2}, // alice, carol
+		{"name NOT LIKE 'a%'", 3},
+		{"name LIKE 'alice'", 1},
+		{"name LIKE '%'", 5},
+	}
+	for _, tt := range tests {
+		var params []types.Value
+		want := tt.want
+		if tt.want == -1 {
+			params = []types.Value{types.NewInt(2), types.NewInt(4)}
+			want = 2
+		}
+		res, err := e.Execute("SELECT v FROM t WHERE "+tt.where, params, &ExecCtx{})
+		if err != nil {
+			t.Fatalf("WHERE %s: %v", tt.where, err)
+		}
+		if len(res.Rows) != want {
+			t.Errorf("WHERE %s: rows = %d, want %d", tt.where, len(res.Rows), want)
+		}
+	}
+	// LIKE on a non-text operand errors.
+	if _, err := e.Execute("SELECT v FROM t WHERE v LIKE 'x'", nil, &ExecCtx{}); err == nil {
+		t.Error("LIKE on integer should fail")
+	}
+	// BETWEEN over incomparable kinds errors.
+	if _, err := e.Execute("SELECT v FROM t WHERE name BETWEEN 1 AND 2", nil, &ExecCtx{}); err == nil {
+		t.Error("BETWEEN text/int should fail")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	tests := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "____", false},
+		{"abc", "___", true},
+		{"aXbYc", "a%b%c", true},
+		{"aXbYc", "a%c%b", false},
+		{"aaa", "%a", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ippi%", true},
+		{"abc", "%%%", true},
+	}
+	for _, tt := range tests {
+		if got := likeMatch(tt.s, tt.pattern); got != tt.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tt.s, tt.pattern, got, tt.want)
+		}
+	}
+}
+
+// TestLikeMatchProperties: %s% always matches strings containing s;
+// the exact string always matches itself; _ repeated len times matches.
+func TestLikeMatchProperties(t *testing.T) {
+	sanitize := func(s string) string {
+		out := []byte(s)
+		for i, c := range out {
+			if c == '%' || c == '_' {
+				out[i] = 'x'
+			}
+		}
+		return string(out)
+	}
+	f := func(raw string) bool {
+		s := sanitize(raw)
+		if !likeMatch(s, s) {
+			return false
+		}
+		if !likeMatch(s, "%") {
+			return false
+		}
+		under := make([]byte, len(s))
+		for i := range under {
+			under[i] = '_'
+		}
+		return likeMatch(s, string(under))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInBetweenInsideTriggers(t *testing.T) {
+	// The new predicates work in EE-trigger statements too.
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE STREAM s (v BIGINT)")
+	mustExec(t, e, "CREATE TABLE keep (v BIGINT)")
+	if err := e.AddTrigger(&Trigger{Table: "s", Stmts: []string{
+		"INSERT INTO keep SELECT v FROM s WHERE v BETWEEN 10 AND 20 AND v NOT IN (13)",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &ExecCtx{BatchID: 1}
+	for _, v := range []int64{5, 12, 13, 20, 25} {
+		if _, err := e.Execute("INSERT INTO s VALUES (?)", []types.Value{types.NewInt(v)}, ctx); err != nil {
+			t.Fatal(err)
+		}
+		ctx.BatchID++
+	}
+	res := mustExec(t, e, "SELECT v FROM keep ORDER BY v")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 12 || res.Rows[1][0].Int() != 20 {
+		t.Fatalf("keep = %v", res.Rows)
+	}
+}

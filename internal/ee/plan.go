@@ -1,0 +1,906 @@
+package ee
+
+import (
+	"fmt"
+	"sort"
+
+	"sstore/internal/index"
+	"sstore/internal/sql"
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+// selectPlan is a compiled SELECT: an access path for the base table,
+// optional index nested-loop joins, a residual filter, and either a
+// plain projection or an aggregation, followed by sort and limit.
+type selectPlan struct {
+	baseTable string
+	probe     *indexProbe // nil → full scan
+
+	joins []joinStep
+
+	filter compiledExpr // nil → no residual predicate
+
+	agg *aggPlan // nil → plain projection
+
+	items    []compiledExpr // projection (over input or agg scope)
+	colNames []string
+
+	orderBy    []orderKey
+	limit      int
+	limitParam int // parameter index for LIMIT ?, or -1
+}
+
+// indexProbe is an equality probe of a base-table index whose key is
+// computable before scanning (literals and parameters only).
+type indexProbe struct {
+	indexName string
+	cols      []int
+	keyExprs  []compiledExpr
+}
+
+// joinStep is one inner join executed as a nested loop, with an
+// optional index probe on the inner table keyed by the rows built so
+// far.
+type joinStep struct {
+	table string
+	on    compiledExpr // residual join predicate (may be nil)
+	// Optional index acceleration: probe inner index with keys
+	// computed from the outer row.
+	probe *joinProbe
+	width int // inner schema width
+}
+
+type joinProbe struct {
+	indexName string
+	cols      []int
+	keyExprs  []compiledExpr // evaluated against the outer row env
+}
+
+// aggPlan describes grouping and aggregate accumulation.
+type aggPlan struct {
+	groupBy  []compiledExpr
+	calls    []*sql.FuncCall
+	argExprs []compiledExpr // one per call; nil for COUNT(*)
+	having   compiledExpr   // over the agg output scope; may be nil
+}
+
+type orderKey struct {
+	expr compiledExpr
+	desc bool
+	// preProjection marks keys evaluated against the input scope
+	// (non-agg mode); otherwise the key runs over the agg output row.
+	preProjection bool
+}
+
+// compileSelect builds a selectPlan against the catalog's current
+// schemas.
+func compileSelect(stmt *sql.Select, cat *storage.Catalog) (*selectPlan, error) {
+	base, err := cat.Get(stmt.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	sc := newScope()
+	sc.addTable(stmt.From.Alias, base.Schema())
+
+	p := &selectPlan{baseTable: stmt.From.Name, limit: stmt.Limit, limitParam: stmt.LimitParam}
+
+	// Joins extend the scope left to right.
+	for _, j := range stmt.Joins {
+		inner, err := cat.Get(j.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		outerWidth := sc.width
+		sc.addTable(j.Table.Alias, inner.Schema())
+		step := joinStep{table: j.Table.Name, width: inner.Schema().Len()}
+		probe, residual := extractJoinProbe(j.On, j.Table.Alias, inner, sc, outerWidth)
+		step.probe = probe
+		if residual != nil {
+			on, err := compileExpr(residual, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			step.on = on
+		}
+		p.joins = append(p.joins, step)
+	}
+
+	// WHERE: peel off an index probe on the base table, compile the
+	// rest as a filter.
+	if stmt.Where != nil {
+		probe, residual, err := extractIndexProbe(stmt.Where, stmt.From.Alias, base, sc)
+		if err != nil {
+			return nil, err
+		}
+		p.probe = probe
+		if residual != nil {
+			f, err := compileExpr(residual, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.filter = f
+		}
+	}
+
+	// Expand stars.
+	items := make([]sql.SelectItem, 0, len(stmt.Items))
+	for _, it := range stmt.Items {
+		if !it.Star {
+			items = append(items, it)
+			continue
+		}
+		items = append(items, expandStar(stmt, cat)...)
+	}
+
+	// Aggregate mode?
+	var aggCalls []*sql.FuncCall
+	for _, it := range items {
+		collectAggregates(it.Expr, &aggCalls)
+	}
+	if stmt.Having != nil {
+		collectAggregates(stmt.Having, &aggCalls)
+	}
+	for _, ob := range stmt.OrderBy {
+		collectAggregates(ob.Expr, &aggCalls)
+	}
+	if len(aggCalls) > 0 || len(stmt.GroupBy) > 0 {
+		if err := p.compileAggregate(stmt, items, aggCalls, sc); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	// Plain projection.
+	for _, it := range items {
+		ce, err := compileExpr(it.Expr, sc, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.items = append(p.items, ce)
+		p.colNames = append(p.colNames, itemName(it))
+	}
+	for _, ob := range stmt.OrderBy {
+		ce, err := compileOrderKey(ob.Expr, sc, items, p.items)
+		if err != nil {
+			return nil, err
+		}
+		p.orderBy = append(p.orderBy, orderKey{expr: ce, desc: ob.Desc, preProjection: true})
+	}
+	return p, nil
+}
+
+// expandStar lists all columns of the FROM and JOIN tables as items.
+func expandStar(stmt *sql.Select, cat *storage.Catalog) []sql.SelectItem {
+	var items []sql.SelectItem
+	add := func(alias string, t *storage.Table) {
+		for i := 0; i < t.Schema().Len(); i++ {
+			name := t.Schema().Column(i).Name
+			items = append(items, sql.SelectItem{
+				Expr:  &sql.ColumnRef{Table: alias, Column: name},
+				Alias: name,
+			})
+		}
+	}
+	if t, ok := cat.Lookup(stmt.From.Name); ok {
+		add(stmt.From.Alias, t)
+	}
+	for _, j := range stmt.Joins {
+		if t, ok := cat.Lookup(j.Table.Name); ok {
+			add(j.Table.Alias, t)
+		}
+	}
+	return items
+}
+
+// compileOrderKey compiles an ORDER BY expression; a bare column that
+// matches a select alias refers to that item.
+func compileOrderKey(e sql.Expr, sc *scope, items []sql.SelectItem, compiled []compiledExpr) (compiledExpr, error) {
+	if ref, ok := e.(*sql.ColumnRef); ok && ref.Table == "" {
+		if _, err := sc.resolve(ref); err != nil {
+			for i, it := range items {
+				if it.Alias == ref.Column {
+					return compiled[i], nil
+				}
+			}
+		}
+	}
+	return compileExpr(e, sc, nil)
+}
+
+// compileAggregate sets up aggregation: group-by keys and aggregate
+// accumulators over the input scope, then items/having/order-by over a
+// synthetic output scope of [groupVals..., aggVals...].
+func (p *selectPlan) compileAggregate(stmt *sql.Select, items []sql.SelectItem, calls []*sql.FuncCall, sc *scope) error {
+	agg := &aggPlan{}
+	// Dedup aggregate calls by pointer.
+	seen := make(map[*sql.FuncCall]bool)
+	for _, c := range calls {
+		if !seen[c] {
+			seen[c] = true
+			agg.calls = append(agg.calls, c)
+		}
+	}
+	aggScope := newScope()
+	aggSlots := make(map[*sql.FuncCall]int)
+
+	for i, g := range stmt.GroupBy {
+		ce, err := compileExpr(g, sc, nil)
+		if err != nil {
+			return err
+		}
+		agg.groupBy = append(agg.groupBy, ce)
+		// Register the group-by column's names in the output scope.
+		if ref, ok := g.(*sql.ColumnRef); ok {
+			aggScope.slots[ref.Column] = i
+			if ref.Table != "" {
+				aggScope.slots[ref.Table+"."+ref.Column] = i
+			}
+		}
+	}
+	aggScope.width = len(stmt.GroupBy)
+	for i, c := range agg.calls {
+		aggSlots[c] = len(stmt.GroupBy) + i
+		if c.Star {
+			agg.argExprs = append(agg.argExprs, nil)
+			continue
+		}
+		if len(c.Args) != 1 {
+			return fmt.Errorf("ee: aggregate %s expects one argument", c.Name)
+		}
+		ce, err := compileExpr(c.Args[0], sc, nil)
+		if err != nil {
+			return err
+		}
+		agg.argExprs = append(agg.argExprs, ce)
+	}
+	aggScope.width += len(agg.calls)
+
+	for _, it := range items {
+		ce, err := compileExpr(it.Expr, aggScope, aggSlots)
+		if err != nil {
+			return err
+		}
+		p.items = append(p.items, ce)
+		p.colNames = append(p.colNames, itemName(it))
+	}
+	if stmt.Having != nil {
+		h, err := compileExpr(stmt.Having, aggScope, aggSlots)
+		if err != nil {
+			return err
+		}
+		agg.having = h
+	}
+	for _, ob := range stmt.OrderBy {
+		ce, err := compileOrderKey(ob.Expr, aggScope, items, p.items)
+		if err != nil {
+			// Retry via aggSlots-aware compilation (aggregates in
+			// ORDER BY).
+			ce2, err2 := compileExpr(ob.Expr, aggScope, aggSlots)
+			if err2 != nil {
+				return err
+			}
+			ce = ce2
+		}
+		p.orderBy = append(p.orderBy, orderKey{expr: ce, desc: ob.Desc})
+	}
+	p.agg = agg
+	return nil
+}
+
+func itemName(it sql.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sql.ColumnRef); ok {
+		return ref.Column
+	}
+	if call, ok := it.Expr.(*sql.FuncCall); ok {
+		return call.Name
+	}
+	return "expr"
+}
+
+// --- Index probe extraction ---
+
+// conjuncts flattens an AND tree.
+func conjuncts(e sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.Binary); ok && b.Op == sql.OpAnd {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	return []sql.Expr{e}
+}
+
+func joinConjuncts(parts []sql.Expr) sql.Expr {
+	if len(parts) == 0 {
+		return nil
+	}
+	e := parts[0]
+	for _, p := range parts[1:] {
+		e = &sql.Binary{Op: sql.OpAnd, Left: e, Right: p}
+	}
+	return e
+}
+
+// columnFree reports whether the expression references no columns, so
+// its value is computable before the scan (literals, params,
+// arithmetic over them).
+func columnFree(e sql.Expr) bool {
+	switch e := e.(type) {
+	case *sql.Literal, *sql.Param:
+		return true
+	case *sql.Binary:
+		return columnFree(e.Left) && columnFree(e.Right)
+	case *sql.Unary:
+		return columnFree(e.Operand)
+	case *sql.FuncCall:
+		for _, a := range e.Args {
+			if !columnFree(a) {
+				return false
+			}
+		}
+		return !e.IsAggregate()
+	default:
+		return false
+	}
+}
+
+// extractIndexProbe looks for `col = <column-free expr>` conjuncts that
+// together cover an index of the base table, returning the probe and
+// the residual predicate.
+func extractIndexProbe(where sql.Expr, baseAlias string, t *storage.Table, sc *scope) (*indexProbe, sql.Expr, error) {
+	parts := conjuncts(where)
+	// Map column ordinal → (conjunct index, key expr).
+	type candidate struct {
+		part int
+		expr sql.Expr
+	}
+	cands := make(map[int]candidate)
+	for i, part := range parts {
+		b, ok := part.(*sql.Binary)
+		if !ok || b.Op != sql.OpEq {
+			continue
+		}
+		ref, val := asColEq(b, baseAlias)
+		if ref == nil {
+			continue
+		}
+		ord, ok := t.Schema().Index(ref.Column)
+		if !ok {
+			continue
+		}
+		if _, dup := cands[ord]; !dup {
+			cands[ord] = candidate{part: i, expr: val}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, where, nil
+	}
+	// Find an index fully covered by candidate columns.
+	for _, idx := range t.Indexes() {
+		cols := idx.Columns()
+		covered := true
+		for _, c := range cols {
+			if _, ok := cands[c]; !ok {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		probe := &indexProbe{indexName: idx.Name(), cols: cols}
+		used := make(map[int]bool)
+		for _, c := range cols {
+			cand := cands[c]
+			ce, err := compileExpr(cand.expr, newScope(), nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			probe.keyExprs = append(probe.keyExprs, ce)
+			used[cand.part] = true
+		}
+		var residual []sql.Expr
+		for i, part := range parts {
+			if !used[i] {
+				residual = append(residual, part)
+			}
+		}
+		return probe, joinConjuncts(residual), nil
+	}
+	return nil, where, nil
+}
+
+// asColEq matches `alias.col = expr` (either side) where expr is
+// column-free, returning the column ref and the key expression.
+func asColEq(b *sql.Binary, alias string) (*sql.ColumnRef, sql.Expr) {
+	try := func(l, r sql.Expr) (*sql.ColumnRef, sql.Expr) {
+		ref, ok := l.(*sql.ColumnRef)
+		if !ok || (ref.Table != "" && ref.Table != alias) {
+			return nil, nil
+		}
+		if !columnFree(r) {
+			return nil, nil
+		}
+		return ref, r
+	}
+	if ref, val := try(b.Left, b.Right); ref != nil {
+		return ref, val
+	}
+	return try(b.Right, b.Left)
+}
+
+// extractJoinProbe matches `inner.col = <expr over outer row>` equality
+// conjuncts covering an inner-table index; key expressions are compiled
+// against the combined scope but only read outer slots, so they can run
+// per outer row.
+func extractJoinProbe(on sql.Expr, innerAlias string, inner *storage.Table, sc *scope, outerWidth int) (*joinProbe, sql.Expr) {
+	parts := conjuncts(on)
+	type candidate struct {
+		part int
+		expr sql.Expr
+	}
+	cands := make(map[int]candidate)
+	for i, part := range parts {
+		b, ok := part.(*sql.Binary)
+		if !ok || b.Op != sql.OpEq {
+			continue
+		}
+		for _, ord := range []struct{ l, r sql.Expr }{{b.Left, b.Right}, {b.Right, b.Left}} {
+			ref, ok := ord.l.(*sql.ColumnRef)
+			if !ok || ref.Table != innerAlias {
+				continue
+			}
+			colOrd, ok := inner.Schema().Index(ref.Column)
+			if !ok {
+				continue
+			}
+			if refsOnlyOuter(ord.r, innerAlias) {
+				if _, dup := cands[colOrd]; !dup {
+					cands[colOrd] = candidate{part: i, expr: ord.r}
+				}
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, on
+	}
+	for _, idx := range inner.Indexes() {
+		cols := idx.Columns()
+		covered := true
+		for _, c := range cols {
+			if _, ok := cands[c]; !ok {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		probe := &joinProbe{indexName: idx.Name(), cols: cols}
+		used := make(map[int]bool)
+		ok := true
+		for _, c := range cols {
+			cand := cands[c]
+			ce, err := compileExpr(cand.expr, sc, nil)
+			if err != nil {
+				ok = false
+				break
+			}
+			probe.keyExprs = append(probe.keyExprs, ce)
+			used[cand.part] = true
+		}
+		if !ok {
+			continue
+		}
+		var residual []sql.Expr
+		for i, part := range parts {
+			if !used[i] {
+				residual = append(residual, part)
+			}
+		}
+		return probe, joinConjuncts(residual)
+	}
+	return nil, on
+}
+
+// refsOnlyOuter reports whether the expression references no columns of
+// the inner alias (it may reference outer columns).
+func refsOnlyOuter(e sql.Expr, innerAlias string) bool {
+	switch e := e.(type) {
+	case *sql.Literal, *sql.Param:
+		return true
+	case *sql.ColumnRef:
+		return e.Table != "" && e.Table != innerAlias
+	case *sql.Binary:
+		return refsOnlyOuter(e.Left, innerAlias) && refsOnlyOuter(e.Right, innerAlias)
+	case *sql.Unary:
+		return refsOnlyOuter(e.Operand, innerAlias)
+	case *sql.FuncCall:
+		for _, a := range e.Args {
+			if !refsOnlyOuter(a, innerAlias) {
+				return false
+			}
+		}
+		return !e.IsAggregate()
+	default:
+		return false
+	}
+}
+
+// --- Execution ---
+
+// run executes the plan. Result rows are freshly allocated and safe to
+// retain.
+func (p *selectPlan) run(cat *storage.Catalog, params []types.Value) (*Result, error) {
+	base, err := cat.Get(p.baseTable)
+	if err != nil {
+		return nil, err
+	}
+	env := &evalEnv{params: params}
+
+	var inputErr error
+	process, finish, err := p.newSink(params)
+	if err != nil {
+		return nil, err
+	}
+
+	emit := func(row types.Row) bool {
+		env.row = row
+		ok, err := p.applyJoins(cat, env, 0, row, process)
+		if err != nil {
+			if err != errLimitReached {
+				inputErr = err
+			}
+			return false
+		}
+		return ok
+	}
+
+	if p.probe != nil {
+		key := make(index.Key, len(p.probe.keyExprs))
+		for i, ke := range p.probe.keyExprs {
+			v, err := ke(env)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		idx := findIndex(base, p.probe.indexName)
+		if idx == nil {
+			return nil, fmt.Errorf("ee: plan references missing index %s", p.probe.indexName)
+		}
+		for _, tid := range idx.Lookup(key) {
+			meta, row, ok := base.Get(tid)
+			if !ok || meta.Staged {
+				continue
+			}
+			if !emit(row) {
+				break
+			}
+		}
+	} else {
+		base.Scan(func(_ storage.TupleMeta, row types.Row) bool {
+			return emit(row)
+		})
+	}
+	if inputErr != nil {
+		return nil, inputErr
+	}
+	return finish()
+}
+
+func findIndex(t *storage.Table, name string) index.Index {
+	for _, idx := range t.Indexes() {
+		if idx.Name() == name {
+			return idx
+		}
+	}
+	return nil
+}
+
+// applyJoins recursively extends row through each join step, invoking
+// process on fully joined rows. It returns false to stop the outer
+// scan (limit reached in non-sorted plans is not short-circuited; this
+// path only reports errors).
+func (p *selectPlan) applyJoins(cat *storage.Catalog, env *evalEnv, step int, row types.Row, process func(*evalEnv) error) (bool, error) {
+	if step == len(p.joins) {
+		env.row = row
+		if p.filter != nil {
+			ok, err := boolOf(p.filter, env)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		if err := process(env); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	js := p.joins[step]
+	inner, err := cat.Get(js.table)
+	if err != nil {
+		return false, err
+	}
+	tryRow := func(innerRow types.Row) (bool, error) {
+		combined := make(types.Row, 0, len(row)+len(innerRow))
+		combined = append(combined, row...)
+		combined = append(combined, innerRow...)
+		if js.on != nil {
+			env.row = combined
+			ok, err := boolOf(js.on, env)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		return p.applyJoins(cat, env, step+1, combined, process)
+	}
+	if js.probe != nil {
+		env.row = row
+		key := make(index.Key, len(js.probe.keyExprs))
+		for i, ke := range js.probe.keyExprs {
+			v, err := ke(env)
+			if err != nil {
+				return false, err
+			}
+			key[i] = v
+		}
+		idx := findIndex(inner, js.probe.indexName)
+		if idx == nil {
+			return false, fmt.Errorf("ee: plan references missing index %s", js.probe.indexName)
+		}
+		for _, tid := range idx.Lookup(key) {
+			meta, innerRow, ok := inner.Get(tid)
+			if !ok || meta.Staged {
+				continue
+			}
+			cont, err := tryRow(innerRow)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	var loopErr error
+	cont := true
+	inner.Scan(func(_ storage.TupleMeta, innerRow types.Row) bool {
+		cont, loopErr = tryRow(innerRow)
+		return cont && loopErr == nil
+	})
+	return cont, loopErr
+}
+
+// newSink builds the row consumer (projection or aggregation) and the
+// finisher that applies sort/limit and produces the Result.
+func (p *selectPlan) newSink(params []types.Value) (func(*evalEnv) error, func() (*Result, error), error) {
+	res := &Result{Columns: append([]string(nil), p.colNames...)}
+
+	limit := p.limit
+	if p.limitParam >= 0 {
+		if p.limitParam >= len(params) {
+			return nil, nil, fmt.Errorf("ee: missing parameter %d for LIMIT", p.limitParam+1)
+		}
+		v := params[p.limitParam]
+		if v.Kind() != types.KindInt || v.Int() < 0 {
+			return nil, nil, fmt.Errorf("ee: LIMIT parameter must be a non-negative integer, got %s", v)
+		}
+		limit = int(v.Int())
+	}
+
+	if p.agg == nil {
+		type sortable struct {
+			row  types.Row
+			keys types.Row
+		}
+		var rows []sortable
+		process := func(env *evalEnv) error {
+			out := make(types.Row, len(p.items))
+			for i, item := range p.items {
+				v, err := item(env)
+				if err != nil {
+					return err
+				}
+				out[i] = v
+			}
+			var keys types.Row
+			if len(p.orderBy) > 0 {
+				keys = make(types.Row, len(p.orderBy))
+				for i, ob := range p.orderBy {
+					v, err := ob.expr(env)
+					if err != nil {
+						return err
+					}
+					keys[i] = v
+				}
+			}
+			rows = append(rows, sortable{row: out, keys: keys})
+			// Fast-path limit without ORDER BY: rows arrive in scan
+			// order.
+			if len(p.orderBy) == 0 && limit >= 0 && len(rows) >= limit {
+				return errLimitReached
+			}
+			return nil
+		}
+		finish := func() (*Result, error) {
+			if len(p.orderBy) > 0 {
+				ordErr := sortRows(rows, p.orderBy, func(s *sortable) types.Row { return s.keys })
+				if ordErr != nil {
+					return nil, ordErr
+				}
+			}
+			if limit >= 0 && len(rows) > limit {
+				rows = rows[:limit]
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, r.row)
+			}
+			return res, nil
+		}
+		return process, finish, nil
+	}
+
+	// Aggregation sink.
+	type group struct {
+		key  types.Row
+		accs []aggregator
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	newGroup := func(key types.Row) (*group, error) {
+		g := &group{key: key}
+		for _, c := range p.agg.calls {
+			acc, err := newAggregator(c)
+			if err != nil {
+				return nil, err
+			}
+			g.accs = append(g.accs, acc)
+		}
+		return g, nil
+	}
+	process := func(env *evalEnv) error {
+		key := make(types.Row, len(p.agg.groupBy))
+		for i, ge := range p.agg.groupBy {
+			v, err := ge(env)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		h := index.HashKey(index.Key(key))
+		var g *group
+		for _, cand := range groups[h] {
+			if cand.key.Equal(key) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			var err error
+			g, err = newGroup(key)
+			if err != nil {
+				return err
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		for i, acc := range g.accs {
+			var v types.Value
+			if p.agg.argExprs[i] == nil {
+				v = types.NewInt(1) // COUNT(*): any non-null marker
+			} else {
+				var err error
+				v, err = p.agg.argExprs[i](env)
+				if err != nil {
+					return err
+				}
+			}
+			if err := acc.add(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	finish := func() (*Result, error) {
+		// Global aggregate over zero rows still yields one group.
+		if len(order) == 0 && len(p.agg.groupBy) == 0 {
+			g, err := newGroup(types.Row{})
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, g)
+		}
+		type sortable struct {
+			row  types.Row
+			keys types.Row
+		}
+		var rows []sortable
+		env := &evalEnv{params: params}
+		for _, g := range order {
+			synthetic := make(types.Row, 0, len(g.key)+len(g.accs))
+			synthetic = append(synthetic, g.key...)
+			for _, acc := range g.accs {
+				synthetic = append(synthetic, acc.result())
+			}
+			env.row = synthetic
+			if p.agg.having != nil {
+				ok, err := boolOf(p.agg.having, env)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out := make(types.Row, len(p.items))
+			for i, item := range p.items {
+				v, err := item(env)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			var keys types.Row
+			if len(p.orderBy) > 0 {
+				keys = make(types.Row, len(p.orderBy))
+				for i, ob := range p.orderBy {
+					v, err := ob.expr(env)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+				}
+			}
+			rows = append(rows, sortable{row: out, keys: keys})
+		}
+		if len(p.orderBy) > 0 {
+			if err := sortRows(rows, p.orderBy, func(s *sortable) types.Row { return s.keys }); err != nil {
+				return nil, err
+			}
+		}
+		if limit >= 0 && len(rows) > limit {
+			rows = rows[:limit]
+		}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, r.row)
+		}
+		return res, nil
+	}
+	return process, finish, nil
+}
+
+// errLimitReached is an internal sentinel that stops the scan early; it
+// is not surfaced to callers.
+var errLimitReached = fmt.Errorf("ee: limit reached")
+
+// sortRows sorts by the precomputed keys with the requested directions.
+func sortRows[T any](rows []T, keys []orderKey, keyFn func(*T) types.Row) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ki, kj := keyFn(&rows[i]), keyFn(&rows[j])
+		for k := range keys {
+			c, err := ki[k].Compare(kj[k])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if keys[k].desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}

@@ -1,0 +1,221 @@
+package ee
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+func TestLimitParam(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	res := mustExec(t, e, "SELECT v FROM t ORDER BY v DESC LIMIT ?", types.NewInt(3))
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 9 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// LIMIT ? combined with other params: positions must line up.
+	res = mustExec(t, e, "SELECT v FROM t WHERE v > ? ORDER BY v LIMIT ?", types.NewInt(5), types.NewInt(2))
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 6 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Bad limit values.
+	if _, err := e.Execute("SELECT v FROM t LIMIT ?", []types.Value{types.NewInt(-1)}, &ExecCtx{}); err == nil {
+		t.Error("negative LIMIT param should fail")
+	}
+	if _, err := e.Execute("SELECT v FROM t LIMIT ?", []types.Value{types.NewText("x")}, &ExecCtx{}); err == nil {
+		t.Error("text LIMIT param should fail")
+	}
+	if _, err := e.Execute("SELECT v FROM t LIMIT ?", nil, &ExecCtx{}); err == nil {
+		t.Error("missing LIMIT param should fail")
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT, b BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)")
+	res := mustExec(t, e, "SELECT a, b * 2 AS doubled FROM t ORDER BY doubled")
+	if res.Rows[0][0].Int() != 2 || res.Rows[2][0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByExpressionNotInProjection(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT, b BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 3), (2, 1), (3, 2)")
+	res := mustExec(t, e, "SELECT a FROM t ORDER BY b DESC")
+	if res.Rows[0][0].Int() != 1 || res.Rows[2][0].Int() != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateExpressionOverAggregates(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (g BIGINT, v BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)")
+	res := mustExec(t, e, "SELECT g, SUM(v) / COUNT(*) FROM t GROUP BY g ORDER BY g")
+	if res.Rows[0][1].Int() != 15 || res.Rows[1][1].Int() != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestMultiColumnIndexProbe(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (a BIGINT, b BIGINT, v BIGINT)")
+	mustExec(t, e, "CREATE INDEX t_ab ON t (a, b)")
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, %d, %d)", a, b, a*10+b))
+		}
+	}
+	p, err := e.Prepare("SELECT v FROM t WHERE a = ? AND b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.sel.probe == nil {
+		t.Fatal("composite equality should use the (a,b) index")
+	}
+	res := mustExec(t, e, "SELECT v FROM t WHERE a = ? AND b = ?", types.NewInt(3), types.NewInt(7))
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 37 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Partial match (only b) cannot use the composite index.
+	p, _ = e.Prepare("SELECT v FROM t WHERE b = 1")
+	if p.sel.probe != nil {
+		t.Error("partial composite match must not probe")
+	}
+}
+
+func TestBTreeIndexProbeViaSQL(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (k BIGINT, v BIGINT)")
+	mustExec(t, e, "CREATE INDEX t_k ON t (k) USING BTREE")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 10), (2, 20), (2, 21)")
+	res := mustExec(t, e, "SELECT v FROM t WHERE k = 2 ORDER BY v")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 20 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestSelectVsReferenceModel cross-checks SQL filters and aggregates
+// against a plain-Go evaluation over random data.
+func TestSelectVsReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (g BIGINT, v BIGINT)")
+	type rec struct{ g, v int64 }
+	var data []rec
+	for i := 0; i < 500; i++ {
+		r := rec{g: int64(rng.Intn(7)), v: int64(rng.Intn(1000)) - 500}
+		data = append(data, r)
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", r.g, r.v))
+	}
+	for trial := 0; trial < 20; trial++ {
+		threshold := int64(rng.Intn(1000)) - 500
+		res := mustExec(t, e,
+			"SELECT COUNT(*), COALESCE(SUM(v), 0) FROM t WHERE v > ?", types.NewInt(threshold))
+		var wantN, wantSum int64
+		for _, r := range data {
+			if r.v > threshold {
+				wantN++
+				wantSum += r.v
+			}
+		}
+		if res.Rows[0][0].Int() != wantN || res.Rows[0][1].Int() != wantSum {
+			t.Fatalf("threshold %d: got (%v, %v), want (%d, %d)",
+				threshold, res.Rows[0][0], res.Rows[0][1], wantN, wantSum)
+		}
+	}
+	// Grouped aggregates match too.
+	res := mustExec(t, e, "SELECT g, COUNT(*), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g")
+	byG := make(map[int64][3]int64)
+	for _, r := range data {
+		cur, ok := byG[r.g]
+		if !ok {
+			byG[r.g] = [3]int64{1, r.v, r.v}
+			continue
+		}
+		cur[0]++
+		if r.v < cur[1] {
+			cur[1] = r.v
+		}
+		if r.v > cur[2] {
+			cur[2] = r.v
+		}
+		byG[r.g] = cur
+	}
+	for _, row := range res.Rows {
+		want := byG[row[0].Int()]
+		if row[1].Int() != want[0] || row[2].Int() != want[1] || row[3].Int() != want[2] {
+			t.Fatalf("group %v = %v, want %v", row[0], row, want)
+		}
+	}
+}
+
+func TestJoinThreeTables(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE a (id BIGINT PRIMARY KEY, bid BIGINT)")
+	mustExec(t, e, "CREATE TABLE b (id BIGINT PRIMARY KEY, cid BIGINT)")
+	mustExec(t, e, "CREATE TABLE c (id BIGINT PRIMARY KEY, name VARCHAR)")
+	mustExec(t, e, "INSERT INTO a VALUES (1, 10), (2, 20)")
+	mustExec(t, e, "INSERT INTO b VALUES (10, 100), (20, 200)")
+	mustExec(t, e, "INSERT INTO c VALUES (100, 'x'), (200, 'y')")
+	res := mustExec(t, e, `SELECT a.id, c.name FROM a
+		JOIN b ON b.id = a.bid
+		JOIN c ON c.id = b.cid
+		ORDER BY a.id`)
+	if len(res.Rows) != 2 || res.Rows[0][1].Text() != "x" || res.Rows[1][1].Text() != "y" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestStagedRowsInvisibleToIndexProbes(t *testing.T) {
+	cat := storage.NewCatalog()
+	e := NewExecutor(cat)
+	mustExec(t, e, "CREATE WINDOW w (v BIGINT) SIZE 3 SLIDE 1")
+	mustExec(t, e, "CREATE INDEX w_v ON w (v)")
+	mustExec(t, e, "INSERT INTO w VALUES (1)")
+	// Row 1 is staged; a probe by v = 1 must not see it.
+	res := mustExec(t, e, "SELECT v FROM w WHERE v = 1")
+	if len(res.Rows) != 0 {
+		t.Errorf("staged row visible through index probe: %v", res.Rows)
+	}
+	mustExec(t, e, "INSERT INTO w VALUES (2)")
+	mustExec(t, e, "INSERT INTO w VALUES (3)")
+	res = mustExec(t, e, "SELECT v FROM w WHERE v = 1")
+	if len(res.Rows) != 1 {
+		t.Errorf("active row missing from probe: %v", res.Rows)
+	}
+}
+
+func TestUpdateDeleteViaIndexProbe(t *testing.T) {
+	e := newTestExec(t)
+	mustExec(t, e, "CREATE TABLE t (k BIGINT, v BIGINT)")
+	mustExec(t, e, "CREATE INDEX t_k ON t (k)")
+	for i := int64(0); i < 100; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i%10))
+	}
+	p, _ := e.Prepare("UPDATE t SET v = 1 WHERE k = ?")
+	if p.upd.probe == nil {
+		t.Error("update should compile to an index probe")
+	}
+	res := mustExec(t, e, "UPDATE t SET v = 1 WHERE k = ?", types.NewInt(3))
+	if res.RowsAffected != 10 {
+		t.Errorf("updated %d, want 10", res.RowsAffected)
+	}
+	p, _ = e.Prepare("DELETE FROM t WHERE k = ?")
+	if p.del.probe == nil {
+		t.Error("delete should compile to an index probe")
+	}
+	res = mustExec(t, e, "DELETE FROM t WHERE k = ?", types.NewInt(3))
+	if res.RowsAffected != 10 {
+		t.Errorf("deleted %d, want 10", res.RowsAffected)
+	}
+}

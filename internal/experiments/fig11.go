@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sstore/internal/benchutil"
+	"sstore/internal/linearroad"
+	"sstore/internal/pe"
+	"sstore/internal/stream"
+	"sstore/internal/types"
+)
+
+// fig11Accel compresses simulated time: input is offered at accel×
+// real time, so one core's capacity lands in the paper's ballpark of
+// ~16 supported x-ways (calibrated on the reference host — see
+// EXPERIMENTS.md). DESIGN.md documents this substitution (the paper
+// ran 30 real minutes per configuration; this harness keeps each probe
+// under a couple of seconds).
+const fig11Accel = 1300.0
+
+// fig11LatencyThreshold is the processing-latency bound a
+// configuration must meet (the paper uses 1 second for its abbreviated
+// benchmark).
+const fig11LatencyThreshold = time.Second
+
+// Fig11 reproduces Figure 11: multi-core scalability on the Linear
+// Road subset. For each core count, traffic is partitioned by x-way
+// and the harness searches for the maximum number of x-ways whose
+// position reports are all processed under the latency threshold,
+// expecting roughly linear growth with a 5–10% per-core drop-off
+// (§4.7).
+func Fig11(opts Options) (*benchutil.Table, error) {
+	coreOptions := opts.pick([]int{1, 2}, []int{1, 2, 4, 8})
+	table := benchutil.NewTable("partitions", "max_xways", "xways_per_partition", "note")
+	for _, cores := range coreOptions {
+		note := ""
+		if cores > runtime.NumCPU() {
+			// Partitions beyond the physical core count still run
+			// (demonstrating the partitioned architecture) but share
+			// CPUs, so they cannot add capacity; the row is labeled
+			// rather than omitted.
+			note = fmt.Sprintf("oversubscribed (%d CPUs)", runtime.NumCPU())
+		}
+		maxX, err := fig11Search(opts, cores)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(cores, maxX, float64(maxX)/float64(cores), note)
+	}
+	return table, nil
+}
+
+// fig11Search grows the x-way count in steps of the core count until a
+// probe misses the latency threshold, then refines by single x-ways —
+// capturing the paper's observation that loads divisible by the core
+// count fare best.
+func fig11Search(opts Options, cores int) (int, error) {
+	lastGood := 0
+	x := cores
+	for {
+		ok, err := fig11Probe(opts, cores, x)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lastGood = x
+		x += cores
+		if x > 256 {
+			break
+		}
+	}
+	// Refine between lastGood and the failed point.
+	for x = lastGood + 1; x < lastGood+cores; x++ {
+		ok, err := fig11Probe(opts, cores, x)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lastGood = x
+	}
+	return lastGood, nil
+}
+
+// fig11Probe runs one (cores, xways) configuration: reports are
+// offered open-loop at the accelerated natural rate, and the
+// configuration passes when the p95 completion latency stays under the
+// threshold and completions kept up with the offered load.
+func fig11Probe(opts Options, cores, xways int) (bool, error) {
+	cfg := linearroad.Config{XWays: xways}
+	eng, err := pe.NewEngine(pe.Options{
+		Partitions:  cores,
+		PartitionBy: linearroad.PartitionByXWay(cores),
+	})
+	if err != nil {
+		return false, err
+	}
+	defer eng.Close()
+	seed := func(xway int, stmt string) error {
+		_, err := eng.AdHoc(xway%cores, stmt)
+		return err
+	}
+	if err := linearroad.SetupSchema(eng, cfg, seed); err != nil {
+		return false, err
+	}
+	for _, sp := range linearroad.Procs(cfg) {
+		if err := eng.RegisterProc(sp); err != nil {
+			return false, err
+		}
+	}
+	w, err := linearroad.Workflow()
+	if err != nil {
+		return false, err
+	}
+	if err := eng.DeployWorkflow(w); err != nil {
+		return false, err
+	}
+	gen := linearroad.NewGenerator(17, cfg)
+	rate := gen.ReportsPerSimSecond() * fig11Accel
+	window := time.Duration(opts.n(250, 900)) * time.Millisecond
+	var batchID atomic.Int64
+	res, err := benchutil.OpenLoop(rate, window, func(done func()) error {
+		r := gen.Next()
+		b := &stream.Batch{ID: batchID.Add(1), Rows: []types.Row{r.Row()}}
+		ch, err := eng.IngestAsync(linearroad.StreamReports, b)
+		if err != nil {
+			return err
+		}
+		go func() {
+			<-ch
+			done()
+		}()
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if err := eng.Drain(); err != nil {
+		return false, err
+	}
+	if err := eng.TriggerErr(); err != nil {
+		return false, err
+	}
+	p95 := res.Latency.Percentile(95)
+	keptUp := float64(res.Completed) >= 0.95*rate*window.Seconds()
+	return p95 < fig11LatencyThreshold && keptUp, nil
+}

@@ -1,0 +1,199 @@
+package leaderboard
+
+import (
+	"fmt"
+
+	"sstore/internal/pe"
+	"sstore/internal/types"
+)
+
+// validateProc is SP1 (§1.1): check the contestant exists and is
+// active and the phone has not voted, then record the vote and emit it
+// downstream. An invalid vote commits without emitting (it is consumed
+// and dropped, not an abort — aborting would be wrong: the batch was
+// processed).
+func validateProc(cfg Config) pe.ProcFunc {
+	return func(ctx *pe.ProcCtx) error {
+		in, err := ctx.Query("SELECT phone, contestant_id, ts FROM " + StreamVotesIn)
+		if err != nil {
+			return err
+		}
+		for _, vote := range in.Rows {
+			phone, cand, ts := vote[0], vote[1], vote[2]
+			ok, err := ctx.Query("SELECT active FROM contestants WHERE id = ?", cand)
+			if err != nil {
+				return err
+			}
+			if len(ok.Rows) == 0 || !ok.Rows[0][0].Bool() {
+				continue // unknown or removed contestant
+			}
+			if !cfg.SkipValidation {
+				dup, err := ctx.Query("SELECT phone FROM votes WHERE phone = ?", phone)
+				if err != nil {
+					return err
+				}
+				if len(dup.Rows) > 0 {
+					continue // this viewer already voted
+				}
+			}
+			if _, err := ctx.Query("INSERT INTO votes VALUES (?, ?, ?)", phone, cand, ts); err != nil {
+				return err
+			}
+			if _, err := ctx.Query("INSERT INTO "+StreamValidVotes+" VALUES (?, ?, ?)", phone, cand, ts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// maintainProc is SP2: slide the trending window, bump the contestant
+// total, refresh the three leaderboards, and every DeleteEvery valid
+// votes emit a removal trigger downstream.
+func maintainProc(cfg Config) pe.ProcFunc {
+	topK := types.NewInt(int64(cfg.TopK))
+	return func(ctx *pe.ProcCtx) error {
+		in, err := ctx.Query("SELECT phone, contestant_id, ts FROM " + StreamValidVotes)
+		if err != nil {
+			return err
+		}
+		if len(in.Rows) == 0 {
+			return nil
+		}
+		for _, vote := range in.Rows {
+			cand, ts := vote[1], vote[2]
+			if _, err := ctx.Query("INSERT INTO trending VALUES (?, ?)", cand, ts); err != nil {
+				return err
+			}
+			if _, err := ctx.Query("UPDATE contestants SET total = total + 1 WHERE id = ?", cand); err != nil {
+				return err
+			}
+		}
+		if _, err := ctx.Query("UPDATE vote_counter SET n = n + ?", types.NewInt(int64(len(in.Rows)))); err != nil {
+			return err
+		}
+		if err := refreshLeaderboards(ctx, topK); err != nil {
+			return err
+		}
+		// Removal trigger: fires when the running count crosses a
+		// DeleteEvery boundary.
+		cnt, err := ctx.Query("SELECT n FROM vote_counter")
+		if err != nil {
+			return err
+		}
+		n := cnt.Rows[0][0].Int()
+		prev := n - int64(len(in.Rows))
+		if n/cfg.DeleteEvery > prev/cfg.DeleteEvery {
+			if _, err := ctx.Query("INSERT INTO "+StreamRemovals+" VALUES (?)", types.NewInt(n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// refreshLeaderboards rebuilds the three boards from current state.
+func refreshLeaderboards(ctx *pe.ProcCtx, topK types.Value) error {
+	stmts := []struct{ clear, fill string }{
+		{
+			"DELETE FROM leaderboard_top",
+			"INSERT INTO leaderboard_top SELECT 0, id, total FROM contestants WHERE active = true ORDER BY total DESC, id LIMIT ?",
+		},
+		{
+			"DELETE FROM leaderboard_bottom",
+			"INSERT INTO leaderboard_bottom SELECT 0, id, total FROM contestants WHERE active = true ORDER BY total ASC, id LIMIT ?",
+		},
+		{
+			"DELETE FROM leaderboard_trend",
+			"INSERT INTO leaderboard_trend SELECT 0, contestant_id, COUNT(*) FROM trending GROUP BY contestant_id ORDER BY COUNT(*) DESC, contestant_id LIMIT ?",
+		},
+	}
+	for _, s := range stmts {
+		if _, err := ctx.Query(s.clear); err != nil {
+			return err
+		}
+		if _, err := ctx.Query(s.fill, topK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteProc is SP3: remove the active contestant with the fewest
+// votes, delete their recorded votes (returning those votes to the
+// voters, who may vote again), and refresh the boards. readStream
+// selects whether the removal trigger arrives via the removals stream
+// (S-Store) or a direct client call (H-Store mode).
+func deleteProc(cfg Config, readStream bool) pe.ProcFunc {
+	topK := types.NewInt(int64(cfg.TopK))
+	return func(ctx *pe.ProcCtx) error {
+		if readStream {
+			// Consume the trigger tuples (content is informational).
+			if _, err := ctx.Query("SELECT n FROM " + StreamRemovals); err != nil {
+				return err
+			}
+		}
+		active, err := ctx.Query("SELECT COUNT(*) FROM contestants WHERE active = true")
+		if err != nil {
+			return err
+		}
+		if active.Rows[0][0].Int() <= 1 {
+			return nil // a single winner remains
+		}
+		lowest, err := ctx.Query("SELECT id FROM contestants WHERE active = true ORDER BY total ASC, id LIMIT 1")
+		if err != nil {
+			return err
+		}
+		if len(lowest.Rows) == 0 {
+			return nil
+		}
+		loser := lowest.Rows[0][0]
+		if _, err := ctx.Query("UPDATE contestants SET active = false WHERE id = ?", loser); err != nil {
+			return err
+		}
+		if _, err := ctx.Query("DELETE FROM votes WHERE contestant_id = ?", loser); err != nil {
+			return err
+		}
+		if readStream {
+			return refreshLeaderboards(ctx, topK)
+		}
+		return refreshHLeaderboards(ctx, topK)
+	}
+}
+
+// Winner returns the final winner once a single active contestant
+// remains; ok=false otherwise. Query runs ad-hoc statements (e.g.
+// Engine.Query bound to one partition).
+func Winner(query func(sql string, params ...types.Value) (*QueryRows, error)) (int64, bool, error) {
+	res, err := query("SELECT id FROM contestants WHERE active = true")
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Rows) != 1 {
+		return 0, false, nil
+	}
+	return res.Rows[0][0].Int(), true, nil
+}
+
+// QueryRows is the minimal result shape Winner needs.
+type QueryRows struct {
+	Rows []types.Row
+}
+
+// Validate sanity-checks cross-table invariants after a run: totals
+// match recorded votes per active contestant, and the counter is
+// consistent. Used by integration tests.
+func Validate(query func(sql string, params ...types.Value) (*QueryRows, error)) error {
+	res, err := query(`SELECT c.id, c.total, COUNT(*) FROM votes v
+		JOIN contestants c ON v.contestant_id = c.id
+		WHERE c.active = true GROUP BY c.id, c.total`)
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		if r[1].Int() != r[2].Int() {
+			return fmt.Errorf("leaderboard: contestant %d total %d but %d recorded votes", r[0].Int(), r[1].Int(), r[2].Int())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+// Package linearroad implements the subset of the Linear Road stream
+// benchmark used in the paper's multi-core scalability experiment
+// (§4.7): streaming position reports only (no historical queries),
+// with toll notification, accident detection, per-minute toll
+// computation, and statistics rollup. Traffic is partitioned by
+// expressway ("x-way"), so the workload scales by assigning x-ways to
+// partitions.
+package linearroad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sstore/internal/pe"
+	"sstore/internal/types"
+	"sstore/internal/workflow"
+)
+
+// Stored procedure and stream names.
+const (
+	SPPosition = "UpdatePosition"
+	SPRollup   = "MinuteRollup"
+
+	StreamReports = "position_reports"
+	StreamMinutes = "minute_marks"
+)
+
+// Segments per x-way (Linear Road uses 100).
+const Segments = 100
+
+// Config parameterizes the workload.
+type Config struct {
+	// XWays is the number of expressways.
+	XWays int
+	// VehiclesPerXWay controls traffic density (default 50).
+	VehiclesPerXWay int
+	// CongestionThreshold is the vehicle count per segment-minute
+	// above which tolls apply (Linear Road uses 50; scaled down with
+	// vehicle count).
+	CongestionThreshold int64
+	// SpeedLimit below which a segment is congested (LR: 40 mph).
+	SpeedLimit int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.XWays <= 0 {
+		c.XWays = 1
+	}
+	if c.VehiclesPerXWay <= 0 {
+		c.VehiclesPerXWay = 50
+	}
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 10
+	}
+	if c.SpeedLimit <= 0 {
+		c.SpeedLimit = 40
+	}
+	return c
+}
+
+var ddl = []string{
+	"CREATE STREAM " + StreamReports + " (time BIGINT, vid BIGINT, speed BIGINT, xway BIGINT, lane BIGINT, seg BIGINT)",
+	"CREATE STREAM " + StreamMinutes + " (minute BIGINT, xway BIGINT)",
+	"CREATE TABLE vehicles (vid BIGINT PRIMARY KEY, xway BIGINT, seg BIGINT, lane BIGINT, speed BIGINT, stops BIGINT, last_time BIGINT, balance BIGINT)",
+	"CREATE TABLE seg_stats (xway BIGINT, seg BIGINT, cnt BIGINT, speed_sum BIGINT)",
+	"CREATE INDEX seg_stats_idx ON seg_stats (xway, seg)",
+	"CREATE TABLE seg_tolls (xway BIGINT, seg BIGINT, toll BIGINT)",
+	"CREATE INDEX seg_tolls_idx ON seg_tolls (xway, seg)",
+	"CREATE TABLE accidents (xway BIGINT, seg BIGINT, active BOOLEAN)",
+	"CREATE INDEX accidents_idx ON accidents (xway, seg)",
+	"CREATE TABLE notifications (vid BIGINT, time BIGINT, kind VARCHAR, amount BIGINT)",
+	"CREATE TABLE stats_history (minute BIGINT, xway BIGINT, seg BIGINT, cnt BIGINT, speed_sum BIGINT)",
+	"CREATE TABLE lr_clock (xway BIGINT, minute BIGINT)",
+}
+
+// SetupSchema creates the tables and streams and seeds the per-x-way
+// minute clock. seed runs a statement on the partition owning each
+// x-way.
+func SetupSchema(eng interface {
+	ExecDDL(string) error
+}, cfg Config, seed func(xway int, stmt string) error) error {
+	cfg = cfg.withDefaults()
+	for _, d := range ddl {
+		if err := eng.ExecDDL(d); err != nil {
+			return err
+		}
+	}
+	for x := 0; x < cfg.XWays; x++ {
+		if err := seed(x, fmt.Sprintf("INSERT INTO lr_clock VALUES (%d, 0)", x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workflow is the two-step DAG of §4.7: SP1 handles every position
+// report; at each minute boundary it triggers SP2.
+func Workflow() (*workflow.Workflow, error) {
+	return workflow.New("linearroad", []workflow.Node{
+		{SP: SPPosition, Input: StreamReports, Outputs: []string{StreamMinutes}},
+		{SP: SPRollup, Input: StreamMinutes},
+	})
+}
+
+// Procs returns the two stored procedures.
+func Procs(cfg Config) []*pe.StoredProc {
+	cfg = cfg.withDefaults()
+	return []*pe.StoredProc{
+		{Name: SPPosition, Func: positionProc(cfg)},
+		{Name: SPRollup, Func: rollupProc(cfg)},
+	}
+}
+
+// positionProc is SP1: per position report it updates the vehicle,
+// detects segment crossings (charging the previous segment's toll and
+// notifying tolls/accidents ahead), detects stopped vehicles and
+// accidents, accumulates segment statistics, and emits a minute marker
+// when the report's minute advances the x-way clock.
+func positionProc(cfg Config) pe.ProcFunc {
+	return func(ctx *pe.ProcCtx) error {
+		in, err := ctx.Query("SELECT time, vid, speed, xway, lane, seg FROM " + StreamReports)
+		if err != nil {
+			return err
+		}
+		for _, r := range in.Rows {
+			tm, vid, speed, xway, lane, seg := r[0], r[1], r[2], r[3], r[4], r[5]
+			prev, err := ctx.Query("SELECT seg, speed, stops, balance FROM vehicles WHERE vid = ?", vid)
+			if err != nil {
+				return err
+			}
+			if len(prev.Rows) == 0 {
+				if _, err := ctx.Query("INSERT INTO vehicles VALUES (?, ?, ?, ?, ?, 0, ?, 0)",
+					vid, xway, seg, lane, speed, tm); err != nil {
+					return err
+				}
+			} else {
+				prevSeg := prev.Rows[0][0].Int()
+				stops := prev.Rows[0][2].Int()
+				if speed.Int() == 0 {
+					stops++
+				} else {
+					stops = 0
+				}
+				if _, err := ctx.Query(
+					"UPDATE vehicles SET xway = ?, seg = ?, lane = ?, speed = ?, stops = ?, last_time = ? WHERE vid = ?",
+					xway, seg, lane, speed, types.NewInt(stops), tm, vid); err != nil {
+					return err
+				}
+				// A vehicle stopped for 4+ consecutive reports marks
+				// an accident in its segment.
+				if stops == 4 {
+					if err := recordAccident(ctx, xway, seg); err != nil {
+						return err
+					}
+				}
+				if prevSeg != seg.Int() {
+					if err := onSegmentCrossing(ctx, vid, tm, xway, types.NewInt(prevSeg), seg); err != nil {
+						return err
+					}
+				}
+			}
+			// Segment statistics for the current minute.
+			st, err := ctx.Query("SELECT cnt, speed_sum FROM seg_stats WHERE xway = ? AND seg = ?", xway, seg)
+			if err != nil {
+				return err
+			}
+			if len(st.Rows) == 0 {
+				if _, err := ctx.Query("INSERT INTO seg_stats VALUES (?, ?, 1, ?)", xway, seg, speed); err != nil {
+					return err
+				}
+			} else if _, err := ctx.Query(
+				"UPDATE seg_stats SET cnt = cnt + 1, speed_sum = speed_sum + ? WHERE xway = ? AND seg = ?",
+				speed, xway, seg); err != nil {
+				return err
+			}
+			// Minute boundary? Advance the x-way clock and trigger
+			// the rollup.
+			minute := tm.Int() / 60
+			clock, err := ctx.Query("SELECT minute FROM lr_clock WHERE xway = ?", xway)
+			if err != nil {
+				return err
+			}
+			if len(clock.Rows) > 0 && minute > clock.Rows[0][0].Int() {
+				if _, err := ctx.Query("UPDATE lr_clock SET minute = ? WHERE xway = ?", types.NewInt(minute), xway); err != nil {
+					return err
+				}
+				if _, err := ctx.Query("INSERT INTO "+StreamMinutes+" VALUES (?, ?)", types.NewInt(minute), xway); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func recordAccident(ctx *pe.ProcCtx, xway, seg types.Value) error {
+	existing, err := ctx.Query("SELECT active FROM accidents WHERE xway = ? AND seg = ?", xway, seg)
+	if err != nil {
+		return err
+	}
+	if len(existing.Rows) > 0 {
+		_, err = ctx.Query("UPDATE accidents SET active = true WHERE xway = ? AND seg = ?", xway, seg)
+		return err
+	}
+	_, err = ctx.Query("INSERT INTO accidents VALUES (?, ?, true)", xway, seg)
+	return err
+}
+
+// onSegmentCrossing charges the toll for the segment just left and
+// notifies the vehicle of tolls and accidents in the segment ahead.
+func onSegmentCrossing(ctx *pe.ProcCtx, vid, tm, xway, prevSeg, seg types.Value) error {
+	toll, err := ctx.Query("SELECT toll FROM seg_tolls WHERE xway = ? AND seg = ?", xway, prevSeg)
+	if err != nil {
+		return err
+	}
+	if len(toll.Rows) > 0 && toll.Rows[0][0].Int() > 0 {
+		amount := toll.Rows[0][0]
+		if _, err := ctx.Query("UPDATE vehicles SET balance = balance + ? WHERE vid = ?", amount, vid); err != nil {
+			return err
+		}
+		if _, err := ctx.Query("INSERT INTO notifications VALUES (?, ?, 'toll_charged', ?)", vid, tm, amount); err != nil {
+			return err
+		}
+	}
+	next := types.NewInt((seg.Int() + 1) % Segments)
+	ahead, err := ctx.Query("SELECT toll FROM seg_tolls WHERE xway = ? AND seg = ?", xway, next)
+	if err != nil {
+		return err
+	}
+	if len(ahead.Rows) > 0 && ahead.Rows[0][0].Int() > 0 {
+		if _, err := ctx.Query("INSERT INTO notifications VALUES (?, ?, 'toll_ahead', ?)", vid, tm, ahead.Rows[0][0]); err != nil {
+			return err
+		}
+	}
+	acc, err := ctx.Query("SELECT active FROM accidents WHERE xway = ? AND seg = ?", xway, next)
+	if err != nil {
+		return err
+	}
+	if len(acc.Rows) > 0 && acc.Rows[0][0].Bool() {
+		if _, err := ctx.Query("INSERT INTO notifications VALUES (?, ?, 'accident_ahead', 0)", vid, tm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rollupProc is SP2: at each minute boundary it computes the previous
+// minute's tolls per segment (the Linear Road formula: congested
+// segments charge 2·(cars−threshold)²), archives the statistics, and
+// clears accidents whose vehicles have moved on.
+func rollupProc(cfg Config) pe.ProcFunc {
+	return func(ctx *pe.ProcCtx) error {
+		marks, err := ctx.Query("SELECT minute, xway FROM " + StreamMinutes)
+		if err != nil {
+			return err
+		}
+		for _, mark := range marks.Rows {
+			minute, xway := mark[0], mark[1]
+			stats, err := ctx.Query("SELECT seg, cnt, speed_sum FROM seg_stats WHERE xway = ?", xway)
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.Query("DELETE FROM seg_tolls WHERE xway = ?", xway); err != nil {
+				return err
+			}
+			for _, st := range stats.Rows {
+				seg, cnt, speedSum := st[0], st[1].Int(), st[2].Int()
+				if cnt == 0 {
+					continue
+				}
+				avg := speedSum / cnt
+				toll := int64(0)
+				if avg < cfg.SpeedLimit && cnt > cfg.CongestionThreshold {
+					over := cnt - cfg.CongestionThreshold
+					toll = 2 * over * over
+				}
+				if toll > 0 {
+					if _, err := ctx.Query("INSERT INTO seg_tolls VALUES (?, ?, ?)", xway, seg, types.NewInt(toll)); err != nil {
+						return err
+					}
+				}
+				if _, err := ctx.Query("INSERT INTO stats_history VALUES (?, ?, ?, ?, ?)",
+					minute, xway, seg, st[1], st[2]); err != nil {
+					return err
+				}
+			}
+			if _, err := ctx.Query("DELETE FROM seg_stats WHERE xway = ?", xway); err != nil {
+				return err
+			}
+			// Clear accidents with no stopped vehicle remaining.
+			accs, err := ctx.Query("SELECT seg FROM accidents WHERE xway = ? AND active = true", xway)
+			if err != nil {
+				return err
+			}
+			for _, a := range accs.Rows {
+				stopped, err := ctx.Query(
+					"SELECT COUNT(*) FROM vehicles WHERE xway = ? AND seg = ? AND stops >= 4", xway, a[0])
+				if err != nil {
+					return err
+				}
+				if stopped.Rows[0][0].Int() == 0 {
+					if _, err := ctx.Query("UPDATE accidents SET active = false WHERE xway = ? AND seg = ?", xway, a[0]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Report is one generated position report.
+type Report struct {
+	Time  int64 // simulated seconds
+	VID   int64
+	Speed int64
+	XWay  int64
+	Lane  int64
+	Seg   int64
+}
+
+// Row converts the report to the stream's tuple layout.
+func (r Report) Row() types.Row {
+	return types.Row{
+		types.NewInt(r.Time), types.NewInt(r.VID), types.NewInt(r.Speed),
+		types.NewInt(r.XWay), types.NewInt(r.Lane), types.NewInt(r.Seg),
+	}
+}
+
+// Generator produces deterministic synthetic traffic: each vehicle
+// reports every 30 simulated seconds (as in Linear Road), advancing
+// along its x-way at its speed; a small fraction stop for several
+// reports, creating accidents, then resume.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	vehicles []*vehicle
+	idx      int
+	clock    int64 // simulated seconds
+}
+
+type vehicle struct {
+	vid     int64
+	xway    int64
+	pos     int64 // absolute position in segment-units ×100
+	speed   int64
+	stopFor int
+}
+
+// NewGenerator creates a generator for the configured x-ways.
+func NewGenerator(seed int64, cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	vid := int64(1)
+	for x := 0; x < cfg.XWays; x++ {
+		for v := 0; v < cfg.VehiclesPerXWay; v++ {
+			g.vehicles = append(g.vehicles, &vehicle{
+				vid:   vid,
+				xway:  int64(x),
+				pos:   g.rng.Int63n(Segments * 100),
+				speed: 30 + g.rng.Int63n(70),
+			})
+			vid++
+		}
+	}
+	return g
+}
+
+// ReportsPerSimSecond returns how many reports one simulated second
+// carries (every vehicle reports each 30s).
+func (g *Generator) ReportsPerSimSecond() float64 {
+	return float64(len(g.vehicles)) / 30.0
+}
+
+// Next produces the next position report, advancing simulated time so
+// each vehicle reports every 30 simulated seconds.
+func (g *Generator) Next() Report {
+	v := g.vehicles[g.idx]
+	g.idx++
+	if g.idx == len(g.vehicles) {
+		g.idx = 0
+		g.clock += 30
+	}
+	// Advance and maybe toggle stopping.
+	if v.stopFor > 0 {
+		v.stopFor--
+		v.speed = 0
+	} else {
+		if v.speed == 0 {
+			v.speed = 30 + g.rng.Int63n(40)
+		}
+		if g.rng.Float64() < 0.01 {
+			v.stopFor = 5
+			v.speed = 0
+		}
+	}
+	v.pos = (v.pos + v.speed) % (Segments * 100)
+	return Report{
+		Time:  g.clock + int64(g.idx%30),
+		VID:   v.vid,
+		Speed: v.speed,
+		XWay:  v.xway,
+		Lane:  1 + v.vid%3,
+		Seg:   v.pos / 100,
+	}
+}
+
+// PartitionByXWay maps a report batch to its x-way's partition.
+func PartitionByXWay(partitions int) func(string, []types.Row) int {
+	return func(_ string, batch []types.Row) int {
+		if len(batch) == 0 {
+			return 0
+		}
+		return int(batch[0][3].Int()) % partitions
+	}
+}

@@ -1,0 +1,219 @@
+package linearroad
+
+import (
+	"fmt"
+	"testing"
+
+	"sstore/internal/pe"
+	"sstore/internal/stream"
+	"sstore/internal/types"
+)
+
+func newEngine(t *testing.T, cfg Config, partitions int) *pe.Engine {
+	t.Helper()
+	eng, err := pe.NewEngine(pe.Options{
+		Partitions:  partitions,
+		PartitionBy: PartitionByXWay(partitions),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	seed := func(xway int, stmt string) error {
+		_, err := eng.AdHoc(xway%partitions, stmt)
+		return err
+	}
+	if err := SetupSchema(eng, cfg, seed); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range Procs(cfg) {
+		if err := eng.RegisterProc(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DeployWorkflow(w); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func ingestReports(t *testing.T, eng *pe.Engine, gen *Generator, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r := gen.Next()
+		if err := eng.IngestSync(StreamReports, &stream.Batch{ID: int64(i + 1), Rows: []types.Row{r.Row()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TriggerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionReportsTracked(t *testing.T) {
+	cfg := Config{XWays: 1, VehiclesPerXWay: 10}
+	eng := newEngine(t, cfg, 1)
+	gen := NewGenerator(1, cfg)
+	ingestReports(t, eng, gen, 50)
+	res, _ := eng.AdHoc(0, "SELECT COUNT(*) FROM vehicles")
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("vehicles = %v, want 10", res.Rows[0][0])
+	}
+	res, _ = eng.AdHoc(0, "SELECT COUNT(*) FROM "+StreamReports)
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("reports stream not drained: %v", res.Rows[0][0])
+	}
+}
+
+func TestMinuteRollupRuns(t *testing.T) {
+	cfg := Config{XWays: 1, VehiclesPerXWay: 10}
+	eng := newEngine(t, cfg, 1)
+	gen := NewGenerator(2, cfg)
+	// 10 vehicles × 30s cadence: ~20 reports cross each simulated
+	// minute; 100 reports cross several.
+	ingestReports(t, eng, gen, 100)
+	res, _ := eng.AdHoc(0, "SELECT COUNT(*) FROM stats_history")
+	if res.Rows[0][0].Int() == 0 {
+		t.Error("rollup never archived statistics")
+	}
+	res, _ = eng.AdHoc(0, "SELECT minute FROM lr_clock WHERE xway = 0")
+	if res.Rows[0][0].Int() == 0 {
+		t.Error("x-way clock never advanced")
+	}
+}
+
+func TestAccidentDetectionAndNotification(t *testing.T) {
+	cfg := Config{XWays: 1, VehiclesPerXWay: 5}
+	eng := newEngine(t, cfg, 1)
+	b := int64(0)
+	send := func(r Report) {
+		b++
+		if err := eng.IngestSync(StreamReports, &stream.Batch{ID: b, Rows: []types.Row{r.Row()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Vehicle 1 stops in segment 5: 1 moving report + 4 stopped =
+	// accident.
+	send(Report{Time: 0, VID: 1, Speed: 50, XWay: 0, Lane: 1, Seg: 5})
+	for i := 1; i <= 4; i++ {
+		send(Report{Time: int64(i * 30), VID: 1, Speed: 0, XWay: 0, Lane: 1, Seg: 5})
+	}
+	eng.Drain()
+	res, _ := eng.AdHoc(0, "SELECT active FROM accidents WHERE xway = 0 AND seg = 5")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Bool() {
+		t.Fatalf("accident not recorded: %v", res.Rows)
+	}
+	// Vehicle 2 crosses from segment 3 into 4: segment ahead (5) has
+	// the accident → notification.
+	send(Report{Time: 200, VID: 2, Speed: 60, XWay: 0, Lane: 1, Seg: 3})
+	send(Report{Time: 230, VID: 2, Speed: 60, XWay: 0, Lane: 1, Seg: 4})
+	eng.Drain()
+	res, _ = eng.AdHoc(0, "SELECT kind FROM notifications WHERE vid = 2")
+	found := false
+	for _, r := range res.Rows {
+		if r[0].Text() == "accident_ahead" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no accident notification: %v", res.Rows)
+	}
+	if err := eng.TriggerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTollChargedOnCongestedSegment(t *testing.T) {
+	cfg := Config{XWays: 1, VehiclesPerXWay: 5, CongestionThreshold: 2, SpeedLimit: 40}
+	eng := newEngine(t, cfg, 1)
+	b := int64(0)
+	send := func(r Report) {
+		b++
+		if err := eng.IngestSync(StreamReports, &stream.Batch{ID: b, Rows: []types.Row{r.Row()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Minute 0: 4 slow vehicles in segment 7 → congested (cnt=4 >
+	// 2, avg 20 < 40). Toll = 2*(4-2)^2 = 8.
+	for v := int64(1); v <= 4; v++ {
+		send(Report{Time: v, VID: v, Speed: 20, XWay: 0, Lane: 1, Seg: 7})
+	}
+	// Cross the minute boundary to trigger the rollup.
+	send(Report{Time: 65, VID: 5, Speed: 60, XWay: 0, Lane: 1, Seg: 1})
+	eng.Drain()
+	res, _ := eng.AdHoc(0, "SELECT toll FROM seg_tolls WHERE xway = 0 AND seg = 7")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 8 {
+		t.Fatalf("toll = %v, want 8", res.Rows)
+	}
+	// Vehicle 6 drives through segment 7 and leaves it: charged 8.
+	send(Report{Time: 70, VID: 6, Speed: 60, XWay: 0, Lane: 1, Seg: 7})
+	send(Report{Time: 100, VID: 6, Speed: 60, XWay: 0, Lane: 1, Seg: 8})
+	eng.Drain()
+	res, _ = eng.AdHoc(0, "SELECT balance FROM vehicles WHERE vid = 6")
+	if res.Rows[0][0].Int() != 8 {
+		t.Errorf("balance = %v, want 8", res.Rows[0][0])
+	}
+	res, _ = eng.AdHoc(0, "SELECT COUNT(*) FROM notifications WHERE vid = 6 AND kind = 'toll_charged'")
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("toll notifications = %v", res.Rows[0][0])
+	}
+	if err := eng.TriggerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPartitionXWays(t *testing.T) {
+	cfg := Config{XWays: 4, VehiclesPerXWay: 5}
+	eng := newEngine(t, cfg, 2)
+	gen := NewGenerator(3, cfg)
+	ingestReports(t, eng, gen, 200)
+	// Every partition saw only its own x-ways.
+	for pid := 0; pid < 2; pid++ {
+		res, err := eng.AdHoc(pid, "SELECT COUNT(DISTINCT xway) FROM vehicles")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 2 {
+			t.Errorf("partition %d has %v x-ways, want 2", pid, res.Rows[0][0])
+		}
+		res, _ = eng.AdHoc(pid, "SELECT COUNT(*) FROM vehicles")
+		if res.Rows[0][0].Int() != 10 {
+			t.Errorf("partition %d vehicles = %v", pid, res.Rows[0][0])
+		}
+	}
+}
+
+func TestGeneratorProperties(t *testing.T) {
+	cfg := Config{XWays: 2, VehiclesPerXWay: 10}
+	g1, g2 := NewGenerator(5, cfg), NewGenerator(5, cfg)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		r1, r2 := g1.Next(), g2.Next()
+		if r1 != r2 {
+			t.Fatal("generator not deterministic")
+		}
+		if r1.Seg < 0 || r1.Seg >= Segments {
+			t.Fatalf("segment out of range: %+v", r1)
+		}
+		if r1.XWay < 0 || r1.XWay >= 2 {
+			t.Fatalf("x-way out of range: %+v", r1)
+		}
+		seen[r1.VID] = true
+	}
+	if len(seen) != 20 {
+		t.Errorf("vehicles seen = %d, want 20", len(seen))
+	}
+	if rps := g1.ReportsPerSimSecond(); rps < 0.6 || rps > 0.7 {
+		t.Errorf("reports/simsec = %v, want 20/30", rps)
+	}
+	if fmt.Sprint(PartitionByXWay(2)("x", []types.Row{NewGenerator(1, cfg).Next().Row()})) == "" {
+		t.Error("unreachable")
+	}
+}

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sstore/internal/types"
+)
+
+func TestLinkAccounting(t *testing.T) {
+	l := &Link{RTT: 0}
+	for i := 0; i < 5; i++ {
+		l.RoundTrip()
+	}
+	if l.Trips() != 5 {
+		t.Errorf("trips = %d", l.Trips())
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	l := &Link{RTT: 2 * time.Millisecond}
+	start := time.Now()
+	l.RoundTrip()
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 2ms", elapsed)
+	}
+}
+
+func TestDelayShort(t *testing.T) {
+	start := time.Now()
+	Delay(50 * time.Microsecond)
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Microsecond {
+		t.Errorf("delay = %v, want >= 50µs", elapsed)
+	}
+	if elapsed > 5*time.Millisecond {
+		t.Errorf("spin delay wildly overshot: %v", elapsed)
+	}
+}
+
+func TestDelayZeroAndNegative(t *testing.T) {
+	Delay(0)
+	Delay(-time.Second) // must return immediately
+}
+
+func TestBoundaryRoundTripsParams(t *testing.T) {
+	b := &Boundary{}
+	in := types.Row{types.NewInt(7), types.NewText("x"), types.Null}
+	out := b.Cross(in)
+	if !out.Equal(in) {
+		t.Errorf("params corrupted: %v → %v", in, out)
+	}
+	if b.Crossings() != 1 {
+		t.Errorf("crossings = %d", b.Crossings())
+	}
+}

@@ -1,0 +1,761 @@
+package pe
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sstore/internal/ee"
+	"sstore/internal/netsim"
+	"sstore/internal/recovery"
+	"sstore/internal/storage"
+	"sstore/internal/stream"
+	"sstore/internal/txn"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+	"sstore/internal/workflow"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Partitions is the number of execution sites; one core each
+	// (§3.1). Defaults to 1.
+	Partitions int
+	// ClientRTT is the simulated client↔engine round-trip latency
+	// applied to Call (and to Ingest acknowledgement when used
+	// synchronously). Zero disables the simulation.
+	ClientRTT time.Duration
+	// EEDispatch is the simulated PE→EE crossing cost applied per
+	// ProcCtx.Query. Zero disables the simulation.
+	EEDispatch time.Duration
+	// Recovery selects the logging/recovery scheme (§3.2.5).
+	Recovery recovery.Mode
+	// LogPath is the command-log file; required when Recovery is not
+	// ModeNone.
+	LogPath string
+	// LogPolicy selects commit durability (§3.1; Figure 9a runs
+	// without group commit, i.e. SyncEachCommit).
+	LogPolicy wal.SyncPolicy
+	// GroupWindow is the group-commit window under SyncGroup.
+	GroupWindow time.Duration
+	// SnapshotDir is where checkpoints are written (one file per
+	// partition).
+	SnapshotDir string
+	// PartitionBy routes an ingested batch to a partition; defaults
+	// to partition 0. All experiments partition streams by a key
+	// every tuple of a batch shares (x-way for Linear Road, §4.7).
+	PartitionBy func(streamName string, batch []types.Row) int
+	// RouteCall routes an OLTP call to a partition; defaults to
+	// partition 0.
+	RouteCall func(sp string, params types.Row) int
+}
+
+// Engine is a single-node S-Store instance: partitions, stored
+// procedures, workflows, triggers, logging, and recovery. Setup
+// methods (DDL, registration, deployment) must complete before traffic
+// starts; execution methods are safe for concurrent use.
+type Engine struct {
+	opts  Options
+	parts []*partition
+
+	procs     map[string]*StoredProc
+	workflows map[string]*workflow.Workflow
+	consumers map[string][]string // stream (lower-case) → PE-triggered SPs
+	spInput   map[string]string   // sp → input stream (lower-case)
+	spBorder  map[string]bool
+
+	logger *wal.Logger
+	dedup  *stream.Dedup
+
+	peTriggersOn atomic.Bool
+	loggingOn    atomic.Bool
+
+	link     *netsim.Link
+	boundary *netsim.Boundary
+
+	closed bool
+}
+
+// NewEngine builds and starts an engine.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 1
+	}
+	if opts.Recovery != recovery.ModeNone && opts.LogPath == "" {
+		return nil, fmt.Errorf("pe: recovery mode %v requires LogPath", opts.Recovery)
+	}
+	e := &Engine{
+		opts:      opts,
+		procs:     make(map[string]*StoredProc),
+		workflows: make(map[string]*workflow.Workflow),
+		consumers: make(map[string][]string),
+		spInput:   make(map[string]string),
+		spBorder:  make(map[string]bool),
+		dedup:     stream.NewDedup(),
+	}
+	e.peTriggersOn.Store(true)
+	e.loggingOn.Store(true)
+	if opts.ClientRTT > 0 {
+		e.link = &netsim.Link{RTT: opts.ClientRTT}
+	}
+	if opts.EEDispatch > 0 {
+		e.boundary = &netsim.Boundary{Dispatch: opts.EEDispatch}
+	}
+	if opts.Recovery != recovery.ModeNone {
+		l, err := wal.Open(wal.Options{Path: opts.LogPath, Policy: opts.LogPolicy, GroupWindow: opts.GroupWindow})
+		if err != nil {
+			return nil, err
+		}
+		e.logger = l
+	}
+	for i := 0; i < opts.Partitions; i++ {
+		p := newPartition(i, e)
+		e.parts = append(e.parts, p)
+		go p.run()
+	}
+	return e, nil
+}
+
+// Close drains and stops all partitions and closes the log.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, p := range e.parts {
+		p.sched.Close()
+	}
+	for _, p := range e.parts {
+		<-p.done
+	}
+	if e.logger != nil {
+		return e.logger.Close()
+	}
+	return nil
+}
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return len(e.parts) }
+
+// --- Setup ---
+
+// ExecDDL runs a DDL statement on every partition (each holds the full
+// schema; data is partitioned, schema is replicated).
+func (e *Engine) ExecDDL(ddl string) error { return e.ExecDDLOwned("", ddl) }
+
+// ExecDDLOwned runs DDL attributed to a stored procedure; CREATE WINDOW
+// executed this way makes owner the window's private owner (§3.2.2).
+func (e *Engine) ExecDDLOwned(owner, ddl string) error {
+	for _, p := range e.parts {
+		if err := e.onPartition(p, func(p *partition) error {
+			_, err := p.exec.Execute(ddl, nil, &ee.ExecCtx{SP: owner})
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterProc adds a stored procedure definition.
+func (e *Engine) RegisterProc(sp *StoredProc) error {
+	if sp.Name == "" || sp.Func == nil {
+		return fmt.Errorf("pe: stored procedure needs a name and a body")
+	}
+	if _, dup := e.procs[sp.Name]; dup {
+		return fmt.Errorf("pe: stored procedure %q already registered", sp.Name)
+	}
+	e.procs[sp.Name] = sp
+	return nil
+}
+
+// AddEETrigger attaches an EE trigger on every partition (§3.2.3).
+func (e *Engine) AddEETrigger(table string, stmts ...string) error {
+	tr := &ee.Trigger{Table: table, Stmts: stmts}
+	for _, p := range e.parts {
+		if err := e.onPartition(p, func(p *partition) error {
+			return p.exec.AddTrigger(tr)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeployWorkflow wires a workflow's edges into PE triggers: each
+// (stream → consumer SP) pair becomes a trigger, border SPs are marked
+// for command logging, and consumed streams are protected from EE-level
+// GC. Every SP must already be registered and every stream table must
+// exist.
+func (e *Engine) DeployWorkflow(w *workflow.Workflow) error {
+	if _, dup := e.workflows[w.Name]; dup {
+		return fmt.Errorf("pe: workflow %q already deployed", w.Name)
+	}
+	for _, n := range w.Nodes() {
+		if _, ok := e.procs[n.SP]; !ok {
+			return fmt.Errorf("pe: workflow %s: stored procedure %s not registered", w.Name, n.SP)
+		}
+		input := strings.ToLower(n.Input)
+		if prev, dup := e.spInput[n.SP]; dup && prev != input {
+			return fmt.Errorf("pe: SP %s already consumes %s", n.SP, prev)
+		}
+		e.spInput[n.SP] = input
+	}
+	border := make(map[string]bool)
+	for _, sp := range w.Border() {
+		border[sp] = true
+		e.spBorder[sp] = true
+	}
+	for _, n := range w.Nodes() {
+		input := strings.ToLower(n.Input)
+		if border[n.SP] {
+			// Border streams are fed by Ingest; exactly one consumer
+			// keeps batch GC unambiguous.
+			if cs := w.Consumers(n.Input); len(cs) != 1 {
+				return fmt.Errorf("pe: border stream %s must have exactly one consumer, has %v", n.Input, cs)
+			}
+			continue
+		}
+		// Interior edge: register the PE trigger.
+		already := false
+		for _, c := range e.consumers[input] {
+			if c == n.SP {
+				already = true
+			}
+		}
+		if !already {
+			e.consumers[input] = append(e.consumers[input], n.SP)
+		}
+	}
+	// Protect all consumed streams (border and interior) from EE GC;
+	// the PE garbage-collects after the consuming TE commits.
+	for _, n := range w.Nodes() {
+		input := n.Input
+		for _, p := range e.parts {
+			if err := e.onPartition(p, func(p *partition) error {
+				p.exec.SetPEConsumed(input)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	e.workflows[w.Name] = w
+	return nil
+}
+
+// onPartition runs fn inside the partition goroutine and waits.
+func (e *Engine) onPartition(p *partition, fn func(p *partition) error) error {
+	reply := make(chan callResult, 1)
+	if !p.sched.PushBack(&task{control: fn, reply: reply}) {
+		return fmt.Errorf("pe: engine closed")
+	}
+	return (<-reply).err
+}
+
+// --- Execution ---
+
+func (e *Engine) routeCall(sp string, params types.Row) int {
+	if e.opts.RouteCall != nil {
+		return e.opts.RouteCall(sp, params) % len(e.parts)
+	}
+	return 0
+}
+
+// Call invokes a stored procedure as an OLTP transaction (pull model)
+// and waits for its result. The simulated client RTT is charged once
+// per call — exactly the round trip the paper's H-Store baseline pays
+// per workflow step (§4.2).
+func (e *Engine) Call(sp string, params types.Row) (*Result, error) {
+	res := <-e.CallAsync(sp, params)
+	return res.Res, res.Err
+}
+
+// CallResult is the outcome delivered by CallAsync.
+type CallResult struct {
+	Res *Result
+	Err error
+}
+
+// CallAsync submits an OLTP call without waiting; the channel receives
+// the outcome. The RTT is charged before queueing (request leg) — the
+// reply leg is notification-only, matching an asynchronous client.
+func (e *Engine) CallAsync(sp string, params types.Row) <-chan CallResult {
+	out := make(chan CallResult, 1)
+	if e.link != nil {
+		e.link.RoundTrip()
+	}
+	reply := make(chan callResult, 1)
+	t := &task{sp: sp, params: params, kind: wal.KindOLTP, reply: reply}
+	p := e.parts[e.routeCall(sp, params)]
+	if !p.sched.PushBack(t) {
+		out <- CallResult{Err: fmt.Errorf("pe: engine closed")}
+		return out
+	}
+	go func() {
+		r := <-reply
+		out <- CallResult{Res: r.res, Err: r.err}
+	}()
+	return out
+}
+
+// NestedCall names one child of a nested transaction.
+type NestedCall struct {
+	SP     string
+	Params types.Row
+}
+
+// CallNested executes the children as one nested transaction (§2.3):
+// serial, non-interleavable, all-or-nothing.
+func (e *Engine) CallNested(children []NestedCall) (*Result, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("pe: nested call needs children")
+	}
+	if e.link != nil {
+		e.link.RoundTrip()
+	}
+	nested := make([]nestedChild, len(children))
+	for i, c := range children {
+		nested[i] = nestedChild{sp: c.SP, params: c.Params}
+	}
+	reply := make(chan callResult, 1)
+	t := &task{nested: nested, kind: wal.KindOLTP, reply: reply}
+	p := e.parts[e.routeCall(children[0].SP, children[0].Params)]
+	if !p.sched.PushBack(t) {
+		return nil, fmt.Errorf("pe: engine closed")
+	}
+	r := <-reply
+	return r.res, r.err
+}
+
+// Ingest pushes an atomic batch into a border stream (push model). It
+// enqueues the border TE and returns immediately; the workflow runs
+// asynchronously. Duplicate batch IDs are rejected idempotently
+// (exactly-once ingestion).
+func (e *Engine) Ingest(streamName string, b *stream.Batch) error {
+	ch, err := e.ingest(streamName, b, false)
+	if err != nil {
+		return err
+	}
+	_ = ch
+	return nil
+}
+
+// IngestSync is Ingest but waits for the border TE to commit (not for
+// the whole downstream workflow; use Drain for that).
+func (e *Engine) IngestSync(streamName string, b *stream.Batch) error {
+	ch, err := e.ingest(streamName, b, true)
+	if err != nil {
+		return err
+	}
+	r := <-ch
+	return r.err
+}
+
+// IngestAsync enqueues the batch like Ingest but returns a channel
+// that receives the border TE's commit outcome. Unlike wrapping
+// IngestSync in a goroutine, the enqueue (and the exactly-once batch
+// admission) happens synchronously in submission order.
+func (e *Engine) IngestAsync(streamName string, b *stream.Batch) (<-chan error, error) {
+	ch, err := e.ingest(streamName, b, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan error, 1)
+	go func() {
+		r := <-ch
+		out <- r.err
+	}()
+	return out, nil
+}
+
+func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan callResult, error) {
+	key := strings.ToLower(streamName)
+	sp := e.borderConsumer(key)
+	if sp == "" {
+		return nil, fmt.Errorf("pe: no border stored procedure consumes stream %q", streamName)
+	}
+	if !e.dedup.Admit(key, b.ID) {
+		return nil, fmt.Errorf("pe: duplicate batch %d on stream %s", b.ID, streamName)
+	}
+	pid := 0
+	if e.opts.PartitionBy != nil {
+		pid = e.opts.PartitionBy(key, b.Rows) % len(e.parts)
+	}
+	var reply chan callResult
+	if sync {
+		reply = make(chan callResult, 1)
+	}
+	t := &task{
+		sp:          sp,
+		params:      types.Row{types.NewInt(b.ID)},
+		batchID:     b.ID,
+		batch:       b.Rows,
+		kind:        wal.KindBorder,
+		inputStream: key,
+		reply:       reply,
+	}
+	if !e.parts[pid].sched.PushBack(t) {
+		return nil, fmt.Errorf("pe: engine closed")
+	}
+	return reply, nil
+}
+
+// borderConsumer finds the border SP consuming a stream.
+func (e *Engine) borderConsumer(streamKey string) string {
+	for _, w := range e.workflows {
+		for _, sp := range w.Border() {
+			if n, ok := w.Node(sp); ok && strings.ToLower(n.Input) == streamKey {
+				return sp
+			}
+		}
+	}
+	return ""
+}
+
+// Drain waits until every partition's queue is empty and the last task
+// has finished — including TEs spawned by PE triggers.
+func (e *Engine) Drain() error {
+	for {
+		settled := true
+		for _, p := range e.parts {
+			if err := e.onPartition(p, func(*partition) error { return nil }); err != nil {
+				return err
+			}
+			if p.sched.Len() > 0 {
+				settled = false
+			}
+		}
+		if settled {
+			return nil
+		}
+	}
+}
+
+// AdHoc runs a single SQL statement as its own transaction on the
+// given partition; intended for tests, examples, and inspection.
+func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Result, error) {
+	if pid < 0 || pid >= len(e.parts) {
+		return nil, fmt.Errorf("pe: no partition %d", pid)
+	}
+	var out *ee.Result
+	err := e.onPartition(e.parts[pid], func(p *partition) error {
+		p.nextTxn++
+		tx := txn.New(p.nextTxn)
+		ectx := &ee.ExecCtx{Txn: tx}
+		res, err := p.exec.Execute(stmtText, params, ectx)
+		if err != nil {
+			_ = tx.Rollback()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	return out, err
+}
+
+// QueueDepth returns the number of queued tasks on a partition.
+func (e *Engine) QueueDepth(partition int) int {
+	return e.parts[partition].sched.Len()
+}
+
+// TableInfo describes one catalog entry for introspection.
+type TableInfo struct {
+	Name   string
+	Kind   string // TABLE, STREAM, or WINDOW
+	Rows   int    // visible rows (staged window rows excluded)
+	Schema string
+}
+
+// Tables lists a partition's catalog in name order.
+func (e *Engine) Tables(pid int) ([]TableInfo, error) {
+	if pid < 0 || pid >= len(e.parts) {
+		return nil, fmt.Errorf("pe: no partition %d", pid)
+	}
+	var out []TableInfo
+	err := e.onPartition(e.parts[pid], func(p *partition) error {
+		for _, t := range p.cat.Tables() {
+			out = append(out, TableInfo{
+				Name:   t.Name(),
+				Kind:   t.Kind().String(),
+				Rows:   t.ActiveLen(),
+				Schema: t.Schema().String(),
+			})
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SPExecutions returns the number of committed TEs of one stored
+// procedure across all partitions. Like Stats, it reads the counters
+// without synchronization; values are exact after Drain and
+// monitoring-grade while traffic runs (the benchmark drivers sample
+// deltas over a window).
+func (e *Engine) SPExecutions(sp string) uint64 {
+	var n uint64
+	for _, p := range e.parts {
+		n += p.execBySP[sp]
+	}
+	return n
+}
+
+// TriggerErr returns (and clears) the most recent error from a
+// PE-triggered TE, which has no caller to report to. Nil when every
+// triggered TE succeeded. Call after Drain.
+func (e *Engine) TriggerErr() error {
+	for _, p := range e.parts {
+		var err error
+		_ = e.onPartition(p, func(p *partition) error {
+			err = p.lastTriggerErr
+			p.lastTriggerErr = nil
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Executed    uint64
+	Aborted     uint64
+	LogAppends  uint64
+	LogSyncs    uint64
+	ClientTrips uint64
+	EECrossings uint64
+}
+
+// Stats returns a snapshot of engine counters. Executed/Aborted are
+// read without synchronization while traffic may be running; treat
+// them as monitoring approximations (exact after Drain).
+func (e *Engine) Stats() Stats {
+	var s Stats
+	for _, p := range e.parts {
+		s.Executed += p.executed
+		s.Aborted += p.aborted
+	}
+	if e.logger != nil {
+		s.LogAppends, s.LogSyncs = e.logger.Stats()
+	}
+	if e.link != nil {
+		s.ClientTrips = e.link.Trips()
+	}
+	if e.boundary != nil {
+		s.EECrossings = e.boundary.Crossings()
+	}
+	return s
+}
+
+// --- Checkpoint & recovery ---
+
+func (e *Engine) snapshotPath(pid int) string {
+	return filepath.Join(e.opts.SnapshotDir, fmt.Sprintf("snapshot.p%d", pid))
+}
+
+// Checkpoint quiesces all partitions and writes a transaction-
+// consistent snapshot (one file per partition), recording the current
+// log position (§3.1).
+func (e *Engine) Checkpoint() error {
+	if e.opts.SnapshotDir == "" {
+		return fmt.Errorf("pe: Checkpoint requires SnapshotDir")
+	}
+	release := make(chan struct{})
+	type readyPart struct {
+		p   *partition
+		err chan error
+	}
+	ready := make(chan readyPart, len(e.parts))
+	// Park every partition at a barrier so no transaction is
+	// in flight while we read catalogs.
+	for _, p := range e.parts {
+		p := p
+		errCh := make(chan error, 1)
+		ok := p.sched.PushBack(&task{control: func(p *partition) error {
+			ready <- readyPart{p: p, err: errCh}
+			<-release
+			return <-errCh
+		}})
+		if !ok {
+			close(release)
+			return fmt.Errorf("pe: engine closed")
+		}
+	}
+	parked := make([]readyPart, 0, len(e.parts))
+	for len(parked) < len(e.parts) {
+		parked = append(parked, <-ready)
+	}
+	var lastLSN uint64
+	if e.logger != nil {
+		lastLSN = e.logger.LastLSN()
+	}
+	var firstErr error
+	for _, rp := range parked {
+		err := wal.WriteSnapshot(e.snapshotPath(rp.p.id), lastLSN, rp.p.cat.Tables())
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		rp.err <- err
+	}
+	// With every partition's snapshot durable, records at or below
+	// lastLSN can never replay; drop them while the engine is still
+	// quiesced.
+	if firstErr == nil && e.logger != nil {
+		firstErr = e.logger.CompactBefore(lastLSN)
+	}
+	close(release)
+	return firstErr
+}
+
+// LoadSnapshot implements recovery.Engine: it restores the latest
+// checkpoint into every partition, returning the checkpoint's log
+// position.
+func (e *Engine) LoadSnapshot() (uint64, error) {
+	var lastLSN uint64
+	for _, p := range e.parts {
+		var lsn uint64
+		err := e.onPartition(p, func(p *partition) error {
+			var err error
+			lsn, err = wal.LoadSnapshot(e.snapshotPath(p.id), p.cat.Lookup)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+	}
+	return lastLSN, nil
+}
+
+// SetPETriggersEnabled implements recovery.Engine.
+func (e *Engine) SetPETriggersEnabled(enabled bool) { e.peTriggersOn.Store(enabled) }
+
+// ReplayRecord implements recovery.Engine: it re-executes one logged
+// TE synchronously without re-logging it. Replay is client-driven, as
+// in H-Store: "the log is read by the client and transactions are
+// submitted sequentially ... each transaction must be confirmed as
+// committed before the next can be sent" (§4.4) — so each replayed
+// record pays one client round trip. TEs re-derived inside the engine
+// by PE triggers (weak recovery's interior work) pay none, which is
+// why weak recovery also *recovers* faster (Figure 9b).
+func (e *Engine) ReplayRecord(rec *wal.Record) error {
+	if e.link != nil {
+		e.link.RoundTrip()
+	}
+	pid := rec.Partition
+	if pid >= len(e.parts) {
+		return fmt.Errorf("pe: log record for partition %d, engine has %d", pid, len(e.parts))
+	}
+	t := &task{
+		sp:      rec.SP,
+		params:  rec.Params,
+		batchID: rec.BatchID,
+		kind:    rec.Kind,
+		noLog:   true,
+		reply:   make(chan callResult, 1),
+	}
+	switch rec.Kind {
+	case wal.KindBorder:
+		t.batch = rec.Batch
+		t.inputStream = e.spInput[rec.SP]
+		e.dedup.Admit(t.inputStream, rec.BatchID)
+	case wal.KindInterior:
+		t.inputStream = e.spInput[rec.SP]
+	}
+	if !e.parts[pid].sched.PushBack(t) {
+		return fmt.Errorf("pe: engine closed")
+	}
+	r := <-t.reply
+	return r.err
+}
+
+// FirePendingStreamTriggers implements recovery.Engine: for every
+// stream table holding tuples, it re-fires the PE triggers batch by
+// batch (and re-ingest bookkeeping), running the consumers to
+// completion.
+func (e *Engine) FirePendingStreamTriggers() error {
+	for _, p := range e.parts {
+		err := e.onPartition(p, func(p *partition) error {
+			for _, tbl := range p.cat.StreamsWithData() {
+				key := strings.ToLower(tbl.Name())
+				batches := storage.PendingBatches(tbl)
+				// Keep the exactly-once ledger ahead of recovered
+				// batches.
+				if n := len(batches); n > 0 {
+					if hi := batches[n-1]; hi > e.dedup.High(key) {
+						e.dedup.Reset(key)
+						e.dedup.Admit(key, hi)
+					}
+				}
+				consumers := e.consumers[key]
+				if len(consumers) == 0 {
+					// Border stream: its own (border) SP re-consumes
+					// the recovered batches.
+					if sp := e.borderConsumer(key); sp != "" {
+						consumers = []string{sp}
+					}
+				}
+				if len(consumers) == 0 {
+					continue
+				}
+				var ts []*task
+				for _, b := range batches {
+					gk := gcKey{stream: key, batchID: b}
+					p.pendingGC[gk] = len(consumers)
+					for _, c := range consumers {
+						ts = append(ts, &task{
+							sp:          c,
+							params:      types.Row{types.NewInt(b)},
+							batchID:     b,
+							kind:        wal.KindInterior,
+							inputStream: key,
+						})
+					}
+				}
+				p.sched.PushFrontBatch(ts)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return e.Drain()
+}
+
+// Recover runs crash recovery per the configured mode, then re-arms
+// logging with the LSN counter past everything already in the log.
+// Call before admitting traffic.
+func (e *Engine) Recover() error {
+	e.loggingOn.Store(false)
+	defer e.loggingOn.Store(true)
+	if err := recovery.Recover(e.opts.Recovery, e.opts.LogPath, e); err != nil {
+		return err
+	}
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	if e.logger != nil {
+		recs, err := wal.ReadAll(e.opts.LogPath)
+		if err != nil {
+			return err
+		}
+		var max uint64
+		for _, r := range recs {
+			if r.LSN > max {
+				max = r.LSN
+			}
+		}
+		e.logger.SetNextLSN(max + 1)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package pe
+
+import (
+	"fmt"
+	"strings"
+
+	"sstore/internal/ee"
+	"sstore/internal/storage"
+	"sstore/internal/txn"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+)
+
+// partition is one execution site: a catalog slice, an execution
+// engine, and a scheduler drained by a single goroutine, so every
+// transaction on the partition runs serially with no latching (§3.1).
+type partition struct {
+	id    int
+	eng   *Engine
+	cat   *storage.Catalog
+	exec  *ee.Executor
+	sched *scheduler
+
+	nextTxn  uint64
+	executed uint64
+	aborted  uint64
+	// lastTriggerErr remembers the most recent error of a TE that had
+	// no reply channel (PE-triggered interior TEs); surfaced through
+	// Engine.TriggerErr so workflow failures are not silent.
+	lastTriggerErr error
+	execBySP       map[string]uint64
+	pendingGC      map[gcKey]int // (stream, batch) → consumers yet to commit
+
+	insertSQL map[string]string // cached INSERT statement per stream
+
+	done chan struct{}
+}
+
+type gcKey struct {
+	stream  string
+	batchID int64
+}
+
+func newPartition(id int, eng *Engine) *partition {
+	cat := storage.NewCatalog()
+	return &partition{
+		id:        id,
+		eng:       eng,
+		cat:       cat,
+		exec:      ee.NewExecutor(cat),
+		sched:     newScheduler(),
+		execBySP:  make(map[string]uint64),
+		pendingGC: make(map[gcKey]int),
+		insertSQL: make(map[string]string),
+		done:      make(chan struct{}),
+	}
+}
+
+// run is the partition goroutine: pop, execute, repeat.
+func (p *partition) run() {
+	defer close(p.done)
+	for {
+		t, ok := p.sched.Pop()
+		if !ok {
+			return
+		}
+		p.execute(t)
+	}
+}
+
+func (p *partition) execute(t *task) {
+	switch {
+	case t.control != nil:
+		err := t.control(p)
+		p.replyTo(t, nil, err)
+	case len(t.nested) > 0:
+		p.executeNested(t)
+	default:
+		p.executeSP(t)
+	}
+}
+
+func (p *partition) replyTo(t *task, res *Result, err error) {
+	if t.reply != nil {
+		t.reply <- callResult{res: res, err: err}
+		return
+	}
+	if err != nil {
+		p.lastTriggerErr = err
+	}
+}
+
+// executeSP runs one transaction execution end to end: body, command
+// log, commit, PE-trigger dispatch, stream GC.
+func (p *partition) executeSP(t *task) {
+	sp, ok := p.eng.procs[t.sp]
+	if !ok {
+		p.replyTo(t, nil, fmt.Errorf("pe: unknown stored procedure %q", t.sp))
+		return
+	}
+	p.nextTxn++
+	tx := txn.New(p.nextTxn)
+	ectx := &ee.ExecCtx{SP: t.sp, BatchID: t.batchID, Txn: tx}
+	pc := &ProcCtx{part: p, ectx: ectx, params: t.params, batch: t.batch, batchID: t.batchID}
+
+	err := func() error {
+		// Border TEs ingest their batch: the tuples are appended to
+		// the input stream inside the TE, so batch arrival and its
+		// processing commit atomically (§2.1).
+		if len(t.batch) > 0 && t.inputStream != "" {
+			if err := p.insertBatch(t.inputStream, t.batch, ectx); err != nil {
+				return err
+			}
+		}
+		return sp.Func(pc)
+	}()
+	if err != nil {
+		p.aborted++
+		if rbErr := tx.Rollback(); rbErr != nil {
+			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
+		}
+		p.replyTo(t, nil, err)
+		return
+	}
+	if err := p.logCommit(t); err != nil {
+		p.aborted++
+		if rbErr := tx.Rollback(); rbErr != nil {
+			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
+		}
+		p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
+		return
+	}
+	if err := tx.Commit(); err != nil {
+		p.replyTo(t, nil, err)
+		return
+	}
+	p.executed++
+	p.execBySP[t.sp]++
+	p.afterCommit(t, ectx.Appends)
+	res := pc.result
+	if res == nil {
+		res = &Result{}
+	}
+	res.LastInsertBatch = t.batchID
+	p.replyTo(t, res, nil)
+}
+
+// insertBatch appends a batch's tuples to a stream table through the
+// executor so EE triggers fire exactly as they would for any insert.
+func (p *partition) insertBatch(streamName string, rows []types.Row, ectx *ee.ExecCtx) error {
+	stmt, ok := p.insertSQL[streamName]
+	if !ok {
+		tbl, err := p.cat.Get(streamName)
+		if err != nil {
+			return err
+		}
+		ph := make([]string, tbl.Schema().Len())
+		for i := range ph {
+			ph[i] = "?"
+		}
+		stmt = "INSERT INTO " + streamName + " VALUES (" + strings.Join(ph, ", ") + ")"
+		p.insertSQL[streamName] = stmt
+	}
+	for _, row := range rows {
+		if _, err := p.exec.Execute(stmt, row, ectx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// logCommit appends the TE's command-log record per the recovery mode,
+// blocking until durable. It runs before Commit so a logged transaction
+// is always recoverable (write-ahead).
+func (p *partition) logCommit(t *task) error {
+	e := p.eng
+	if t.noLog || e.logger == nil || !e.loggingOn.Load() || !e.opts.Recovery.ShouldLog(t.kind) {
+		return nil
+	}
+	rec := &wal.Record{
+		Kind:      t.kind,
+		Partition: p.id,
+		SP:        t.sp,
+		BatchID:   t.batchID,
+		Params:    t.params,
+		Batch:     t.batch,
+	}
+	_, err := e.logger.Append(rec)
+	return err
+}
+
+// afterCommit dispatches PE triggers for the TE's stream appends and
+// garbage-collects the consumed input batch.
+func (p *partition) afterCommit(t *task, appends []ee.StreamAppend) {
+	if p.eng.peTriggersOn.Load() {
+		p.dispatchTriggers(t, appends)
+	}
+	if t.inputStream == "" {
+		return
+	}
+	if len(t.batch) > 0 {
+		// Border TE: sole consumer of the batch it ingested.
+		p.gcBatch(t.inputStream, t.batchID)
+		return
+	}
+	key := gcKey{stream: t.inputStream, batchID: t.batchID}
+	if n, ok := p.pendingGC[key]; ok {
+		if n <= 1 {
+			delete(p.pendingGC, key)
+			p.gcBatch(t.inputStream, t.batchID)
+		} else {
+			p.pendingGC[key] = n - 1
+		}
+	} else {
+		// Recovery-fired TE with no registered refcount: single
+		// consumer.
+		p.gcBatch(t.inputStream, t.batchID)
+	}
+}
+
+func (p *partition) gcBatch(streamName string, batchID int64) {
+	if tbl, ok := p.cat.Lookup(streamName); ok {
+		storage.DeleteBatch(tbl, batchID, nil)
+	}
+}
+
+// dispatchTriggers turns the TE's stream appends into front-of-queue
+// TEs for each downstream consumer, preserving append order (which is
+// consistent with the workflow's topological order because appends
+// happen in SP execution order).
+func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
+	var children []*task
+	seen := make(map[gcKey]bool)
+	for _, ap := range appends {
+		if ap.Table == strings.ToLower(t.inputStream) {
+			// The TE's own input: being consumed, not produced.
+			continue
+		}
+		key := gcKey{stream: ap.Table, batchID: ap.BatchID}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		consumers := p.eng.consumers[ap.Table]
+		if len(consumers) == 0 {
+			continue
+		}
+		p.pendingGC[key] = len(consumers)
+		for _, c := range consumers {
+			children = append(children, &task{
+				sp:          c,
+				params:      types.Row{types.NewInt(ap.BatchID)},
+				batchID:     ap.BatchID,
+				kind:        wal.KindInterior,
+				inputStream: ap.Table,
+			})
+		}
+	}
+	p.sched.PushFrontBatch(children)
+}
+
+// executeNested runs a nested transaction (§2.3): children execute in
+// order as one isolation unit; all commit or all roll back. Because the
+// whole group occupies one scheduler slot, nothing can interleave.
+func (p *partition) executeNested(t *task) {
+	type childRun struct {
+		tx   *txn.Txn
+		ectx *ee.ExecCtx
+	}
+	var runs []childRun
+	var lastResult *Result
+	rollbackAll := func() {
+		for i := len(runs) - 1; i >= 0; i-- {
+			_ = runs[i].tx.Rollback()
+		}
+	}
+	for _, child := range t.nested {
+		sp, ok := p.eng.procs[child.sp]
+		if !ok {
+			rollbackAll()
+			p.replyTo(t, nil, fmt.Errorf("pe: unknown stored procedure %q", child.sp))
+			return
+		}
+		p.nextTxn++
+		tx := txn.New(p.nextTxn)
+		ectx := &ee.ExecCtx{SP: child.sp, BatchID: t.batchID, Txn: tx}
+		pc := &ProcCtx{part: p, ectx: ectx, params: child.params, batchID: t.batchID}
+		if err := sp.Func(pc); err != nil {
+			_ = tx.Rollback()
+			rollbackAll()
+			p.aborted++
+			p.replyTo(t, nil, fmt.Errorf("pe: nested child %s: %w", child.sp, err))
+			return
+		}
+		runs = append(runs, childRun{tx: tx, ectx: ectx})
+		if pc.result != nil {
+			lastResult = pc.result
+		}
+	}
+	// All children succeeded: log then commit each in order.
+	if !t.noLog && p.eng.logger != nil && p.eng.loggingOn.Load() && p.eng.opts.Recovery.ShouldLog(t.kind) {
+		for _, child := range t.nested {
+			rec := &wal.Record{Kind: t.kind, Partition: p.id, SP: child.sp, Params: child.params}
+			if _, err := p.eng.logger.Append(rec); err != nil {
+				rollbackAll()
+				p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
+				return
+			}
+		}
+	}
+	var appends []ee.StreamAppend
+	for _, r := range runs {
+		_ = r.tx.Commit()
+		p.executed++
+		p.execBySP[r.ectx.SP]++
+		appends = append(appends, r.ectx.Appends...)
+	}
+	p.afterCommit(t, appends)
+	if lastResult == nil {
+		lastResult = &Result{}
+	}
+	p.replyTo(t, lastResult, nil)
+}

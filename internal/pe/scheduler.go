@@ -1,0 +1,146 @@
+// Package pe is the partition engine: it owns partitions (one serial
+// execution goroutine each, §3.1), the stored-procedure registry, the
+// streaming scheduler with its PE-trigger fast path (§3.2.3–3.2.4),
+// command logging per recovery mode, checkpointing, and crash recovery.
+package pe
+
+import (
+	"sync"
+
+	"sstore/internal/types"
+	"sstore/internal/wal"
+)
+
+// task is one unit of work queued on a partition.
+type task struct {
+	// sp is the stored procedure to execute; empty for control
+	// tasks.
+	sp      string
+	params  types.Row
+	batchID int64
+	// batch carries the atomic batch's tuples for border TEs (the
+	// ingest path inserts them into the input stream inside the TE).
+	batch []types.Row
+	// kind classifies the TE for command logging.
+	kind wal.RecordKind
+	// inputStream is the stream table this TE consumes; after commit
+	// the engine garbage-collects the batch once every consumer ran
+	// (§3.2.3).
+	inputStream string
+	// nested, when non-nil, makes this task a nested transaction:
+	// the children run as one isolation unit (§2.3).
+	nested []nestedChild
+	// control, when non-nil, runs inside the partition goroutine
+	// with exclusive access to its catalog (checkpoints, recovery
+	// helpers, barriers).
+	control func(p *partition) error
+	// reply, when non-nil, receives the outcome.
+	reply chan callResult
+	// noLog suppresses command logging for this TE (recovery
+	// replay).
+	noLog bool
+}
+
+type nestedChild struct {
+	sp     string
+	params types.Row
+}
+
+type callResult struct {
+	res *Result
+	err error
+}
+
+// Result is the client-visible outcome of a transaction execution.
+type Result struct {
+	// Rows and Columns carry the result set the procedure chose to
+	// return (see ProcCtx.SetResult).
+	Columns []string
+	Rows    []types.Row
+	// LastInsertBatch reports the batch ID processed, for streaming
+	// TEs.
+	LastInsertBatch int64
+}
+
+// scheduler is a partition's transaction request queue: FIFO for
+// client-submitted work, with a front-of-queue fast path for
+// PE-triggered TEs so a workflow's TEs for one batch execute without
+// interleaving (§3.2.4). It is the only concurrency boundary between
+// clients and the partition goroutine.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	front  []*task // triggered TEs, consumed before back
+	back   []*task // FIFO client requests
+	closed bool
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// PushBack appends a client request (FIFO order).
+func (s *scheduler) PushBack(t *task) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.back = append(s.back, t)
+	s.cond.Signal()
+	return true
+}
+
+// PushFrontBatch prepends triggered TEs, preserving the given order
+// ahead of everything already queued. The partition goroutine calls
+// this when a committing TE fires PE triggers, so the downstream TEs
+// run immediately — the "short-circuit of H-Store's FIFO scheduler"
+// (§3.2.4).
+func (s *scheduler) PushFrontBatch(ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.front = append(append(make([]*task, 0, len(ts)+len(s.front)), ts...), s.front...)
+	s.cond.Signal()
+}
+
+// Pop blocks for the next task, front queue first. ok=false means the
+// scheduler is closed and drained.
+func (s *scheduler) Pop() (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.front) == 0 && len(s.back) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.front) > 0 {
+		t := s.front[0]
+		s.front = s.front[1:]
+		return t, true
+	}
+	if len(s.back) > 0 {
+		t := s.back[0]
+		s.back = s.back[1:]
+		return t, true
+	}
+	return nil, false
+}
+
+// Len returns the number of queued tasks.
+func (s *scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.front) + len(s.back)
+}
+
+// Close wakes the partition loop for shutdown; queued tasks still
+// drain.
+func (s *scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}

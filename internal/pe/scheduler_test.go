@@ -1,0 +1,112 @@
+package pe
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSchedulerFIFOOrder(t *testing.T) {
+	s := newScheduler()
+	for i := 0; i < 5; i++ {
+		if !s.PushBack(&task{batchID: int64(i)}) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		tk, ok := s.Pop()
+		if !ok || tk.batchID != int64(i) {
+			t.Fatalf("pop %d = %+v, %v", i, tk, ok)
+		}
+	}
+}
+
+func TestSchedulerFrontPreemptsBack(t *testing.T) {
+	s := newScheduler()
+	s.PushBack(&task{sp: "oltp1"})
+	s.PushBack(&task{sp: "oltp2"})
+	// A committing TE front-pushes its triggered children; they must
+	// run before the queued OLTP work, in the given order.
+	s.PushFrontBatch([]*task{{sp: "child1"}, {sp: "child2"}})
+	want := []string{"child1", "child2", "oltp1", "oltp2"}
+	for _, w := range want {
+		tk, ok := s.Pop()
+		if !ok || tk.sp != w {
+			t.Fatalf("pop = %v (%v), want %s", tk.sp, ok, w)
+		}
+	}
+}
+
+func TestSchedulerNestedFrontBatches(t *testing.T) {
+	s := newScheduler()
+	s.PushFrontBatch([]*task{{sp: "a"}, {sp: "b"}})
+	// A second front batch (deeper trigger cascade) goes ahead of the
+	// first's remainder.
+	s.PushFrontBatch([]*task{{sp: "x"}})
+	want := []string{"x", "a", "b"}
+	for _, w := range want {
+		tk, _ := s.Pop()
+		if tk.sp != w {
+			t.Fatalf("pop = %s, want %s", tk.sp, w)
+		}
+	}
+}
+
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := newScheduler()
+	s.PushBack(&task{sp: "pending"})
+	s.Close()
+	if s.PushBack(&task{sp: "late"}) {
+		t.Error("push after close should fail")
+	}
+	tk, ok := s.Pop()
+	if !ok || tk.sp != "pending" {
+		t.Fatalf("queued task lost on close: %+v, %v", tk, ok)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("pop after drain should report closed")
+	}
+}
+
+func TestSchedulerConcurrentProducers(t *testing.T) {
+	s := newScheduler()
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.PushBack(&task{})
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := s.Pop(); !ok {
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	s.Close()
+	<-done
+	if got != producers*each {
+		t.Errorf("consumed %d, want %d", got, producers*each)
+	}
+}
+
+func TestSchedulerLen(t *testing.T) {
+	s := newScheduler()
+	if s.Len() != 0 {
+		t.Error("fresh scheduler not empty")
+	}
+	s.PushBack(&task{})
+	s.PushFrontBatch([]*task{{}, {}})
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+}

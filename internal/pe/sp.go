@@ -1,0 +1,79 @@
+package pe
+
+import (
+	"fmt"
+
+	"sstore/internal/ee"
+	"sstore/internal/types"
+)
+
+// ProcFunc is the body of a stored procedure: the host-language half of
+// H-Store's "SQL + Java" procedures (§3.1). It issues SQL through the
+// context; returning an error aborts and rolls back the TE.
+type ProcFunc func(ctx *ProcCtx) error
+
+// StoredProc is a registered transaction definition (§2): procedures
+// are defined once and instantiated many times, by client pull (OLTP)
+// or data push (streaming).
+type StoredProc struct {
+	// Name identifies the procedure; case-sensitive.
+	Name string
+	// Func is the procedure body.
+	Func ProcFunc
+}
+
+// ProcCtx is a transaction execution's view of the engine: parameter
+// access, SQL execution against the local partition, and result
+// reporting. It is valid only for the duration of the ProcFunc call.
+type ProcCtx struct {
+	part    *partition
+	ectx    *ee.ExecCtx
+	params  types.Row
+	batch   []types.Row
+	batchID int64
+	result  *Result
+}
+
+// Params returns the invocation parameters (client-supplied for OLTP,
+// engine-supplied for streaming TEs).
+func (c *ProcCtx) Params() types.Row { return c.params }
+
+// BatchID returns the atomic batch being processed; 0 for OLTP.
+func (c *ProcCtx) BatchID() int64 { return c.batchID }
+
+// BatchRows returns the raw tuples of the input batch for border TEs
+// (interior TEs read their input stream table instead).
+func (c *ProcCtx) BatchRows() []types.Row { return c.batch }
+
+// Partition returns the executing partition's index.
+func (c *ProcCtx) Partition() int { return c.part.id }
+
+// SP returns the executing stored procedure's name.
+func (c *ProcCtx) SP() string { return c.ectx.SP }
+
+// Query executes one SQL statement inside the current transaction.
+// Each call crosses the PE→EE boundary once when boundary simulation
+// is enabled — the cost EE triggers exist to avoid (§3.2.3): statements
+// run by EE triggers execute inside the EE without re-crossing.
+func (c *ProcCtx) Query(stmt string, params ...types.Value) (*ee.Result, error) {
+	p := types.Row(params)
+	if b := c.part.eng.boundary; b != nil {
+		p = b.Cross(p)
+	}
+	return c.part.exec.Execute(stmt, p, c.ectx)
+}
+
+// SetResult records the result set returned to the caller of
+// Engine.Call.
+func (c *ProcCtx) SetResult(res *ee.Result) {
+	if res == nil {
+		return
+	}
+	c.result = &Result{Columns: res.Columns, Rows: res.Rows}
+}
+
+// Abort returns an error that aborts the TE with a descriptive reason;
+// sugar for fmt.Errorf with a stable prefix the tests can match.
+func (c *ProcCtx) Abort(format string, args ...any) error {
+	return fmt.Errorf("abort: "+format, args...)
+}

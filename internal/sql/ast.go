@@ -1,0 +1,281 @@
+package sql
+
+import (
+	"strings"
+
+	"sstore/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct {
+	Value types.Value
+}
+
+// ColumnRef names a column, optionally qualified by a table or alias.
+type ColumnRef struct {
+	Table  string // optional qualifier, lower-cased
+	Column string // lower-cased
+}
+
+// Param is a positional '?' placeholder; Index is zero-based in
+// statement order.
+type Param struct {
+	Index int
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+// Binary operators, in no particular precedence order (precedence is
+// resolved by the parser).
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpConcat:
+		return "||"
+	default:
+		return "?op"
+	}
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// Unary is negation (-x) or logical NOT.
+type Unary struct {
+	Neg     bool // true: arithmetic negation, false: NOT
+	Operand Expr
+}
+
+// IsNull tests an expression against NULL.
+type IsNull struct {
+	Operand Expr
+	Negate  bool // IS NOT NULL
+}
+
+// FuncCall is a function or aggregate invocation. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// InList is `expr [NOT] IN (e1, e2, ...)`.
+type InList struct {
+	Operand Expr
+	Items   []Expr
+	Negate  bool
+}
+
+// Between is `expr [NOT] BETWEEN lo AND hi` (inclusive).
+type Between struct {
+	Operand Expr
+	Lo, Hi  Expr
+	Negate  bool
+}
+
+// Like is `expr [NOT] LIKE pattern` with % (any run) and _ (one
+// character) wildcards.
+type Like struct {
+	Operand Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// AggregateFuncs lists the recognized aggregate function names.
+var AggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncCall) IsAggregate() bool { return AggregateFuncs[f.Name] }
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Param) expr()     {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*IsNull) expr()    {}
+func (*FuncCall) expr()  {}
+func (*InList) expr()    {}
+func (*Between) expr()   {}
+func (*Like) expr()      {}
+
+// --- SELECT ---
+
+// SelectItem is one projection: an expression with an optional alias,
+// or a bare star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// Join is an inner equi-join clause.
+type Join struct {
+	Table TableRef
+	On    Expr
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []Join
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent or parameterized
+	// LimitParam is the parameter index of a `LIMIT ?`, or -1.
+	LimitParam int
+}
+
+// --- DML ---
+
+// Insert is INSERT INTO ... VALUES (...)... or INSERT INTO ... SELECT.
+type Insert struct {
+	Table   string
+	Columns []string // optional explicit column list
+	Rows    [][]Expr // literal rows, nil when Query is set
+	Query   *Select
+}
+
+// Update is UPDATE ... SET ... WHERE.
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM ... WHERE.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// --- DDL ---
+
+// ColumnDef is one column definition in CREATE TABLE/STREAM/WINDOW.
+type ColumnDef struct {
+	Name       string
+	Kind       types.Kind
+	PrimaryKey bool
+}
+
+// CreateTable covers CREATE TABLE and CREATE STREAM (same shape,
+// different Kind).
+type CreateTable struct {
+	Name    string
+	Stream  bool
+	Columns []ColumnDef
+}
+
+// CreateWindow is the streaming DDL extension:
+//
+//	CREATE WINDOW w (cols...) SIZE n SLIDE m [ON col]
+//
+// Without ON the window is tuple-based; with ON col it is time-based
+// over that column.
+type CreateWindow struct {
+	Name       string
+	Columns    []ColumnDef
+	Size       int64
+	Slide      int64
+	TimeColumn string // empty for tuple-based
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols) [USING
+// HASH|BTREE]. The default access method is HASH.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	BTree   bool
+}
+
+func (*Select) stmt()       {}
+func (*Insert) stmt()       {}
+func (*Update) stmt()       {}
+func (*Delete) stmt()       {}
+func (*CreateTable) stmt()  {}
+func (*CreateWindow) stmt() {}
+func (*CreateIndex) stmt()  {}
+
+// lower is strings.ToLower shared by parser and planner for identifier
+// normalization.
+func lower(s string) string { return strings.ToLower(s) }

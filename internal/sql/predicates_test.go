@@ -1,0 +1,92 @@
+package sql
+
+import "testing"
+
+func TestParseInList(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, ?)").(*Select)
+	in, ok := sel.Where.(*InList)
+	if !ok || in.Negate || len(in.Items) != 3 {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if p, ok := in.Items[2].(*Param); !ok || p.Index != 0 {
+		t.Errorf("third item = %+v", in.Items[2])
+	}
+
+	sel = mustParse(t, "SELECT a FROM t WHERE a NOT IN (1)").(*Select)
+	in, ok = sel.Where.(*InList)
+	if !ok || !in.Negate {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 10").(*Select)
+	bw, ok := sel.Where.(*Between)
+	if !ok || bw.Negate {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	// BETWEEN binds its own AND; an outer AND still parses.
+	sel = mustParse(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b = 2").(*Select)
+	outer, ok := sel.Where.(*Binary)
+	if !ok || outer.Op != OpAnd {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if _, ok := outer.Left.(*Between); !ok {
+		t.Errorf("left = %+v", outer.Left)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE a NOT BETWEEN ? AND ?").(*Select)
+	bw, ok = sel.Where.(*Between)
+	if !ok || !bw.Negate {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE name LIKE 'al%'").(*Select)
+	lk, ok := sel.Where.(*Like)
+	if !ok || lk.Negate {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if lit, ok := lk.Pattern.(*Literal); !ok || lit.Value.Text() != "al%" {
+		t.Errorf("pattern = %+v", lk.Pattern)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE name NOT LIKE ?").(*Select)
+	lk, ok = sel.Where.(*Like)
+	if !ok || !lk.Negate {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+}
+
+func TestPrefixNotStillWorks(t *testing.T) {
+	// Prefix NOT (boolean negation) must not be confused with the
+	// postfix NOT IN/BETWEEN/LIKE forms.
+	sel := mustParse(t, "SELECT a FROM t WHERE NOT (a = 1)").(*Select)
+	if u, ok := sel.Where.(*Unary); !ok || u.Neg {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	// NOT applied to an IN expression.
+	sel = mustParse(t, "SELECT a FROM t WHERE NOT a IN (1)").(*Select)
+	u, ok := sel.Where.(*Unary)
+	if !ok {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if _, ok := u.Operand.(*InList); !ok {
+		t.Errorf("operand = %+v", u.Operand)
+	}
+}
+
+func TestPredicateParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a BETWEEN 1, 2",
+		"SELECT a FROM t WHERE a NOT = 1",
+		"SELECT a FROM t WHERE a LIKE",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package sql implements the lexer, parser, and AST for the engine's
+// SQL dialect: the subset of SQL that stored procedures issue, plus the
+// streaming DDL extensions (CREATE STREAM, CREATE WINDOW ... SIZE ...
+// SLIDE ...) described in the paper (§3.2.1–3.2.2).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are recognized
+	// by the parser, case-insensitively).
+	TokIdent
+	// TokNumber is an integer or float literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokParam is a positional parameter placeholder '?'.
+	TokParam
+	// TokSymbol is punctuation or an operator.
+	TokSymbol
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the token's raw text (for TokString, the unquoted
+	// value).
+	Text string
+	// Pos is the byte offset in the input, for error messages.
+	Pos int
+	// IsFloat marks numeric literals containing '.' or an exponent.
+	IsFloat bool
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of statement"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	case TokParam:
+		return "?"
+	default:
+		return t.Text
+	}
+}

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sstore/internal/types"
+)
+
+// Catalog owns every table of one partition. Names are
+// case-insensitive. Like Table, it is confined to its partition's
+// executor goroutine and takes no locks.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a table. It fails if the name is taken.
+func (c *Catalog) Create(t *Table) error {
+	key := strings.ToLower(t.Name())
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("storage: table %q already exists", t.Name())
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Get returns the named table, or an error mentioning the name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Lookup returns the named table and whether it exists.
+func (c *Catalog) Lookup(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("storage: no such table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names returns all table names in sorted order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tables returns all tables, ordered by name.
+func (c *Catalog) Tables() []*Table {
+	names := c.Names()
+	out := make([]*Table, len(names))
+	for i, n := range names {
+		out[i], _ = c.Lookup(n)
+	}
+	return out
+}
+
+// StreamsWithData returns every stream table that currently holds
+// tuples, in name order. Recovery uses this to decide which PE triggers
+// to fire after a snapshot load (§3.2.5).
+func (c *Catalog) StreamsWithData() []*Table {
+	var out []*Table
+	for _, t := range c.Tables() {
+		if t.Kind() == KindStream && t.Len() > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BatchRows returns the rows of the given atomic batch in arrival
+// order.
+func BatchRows(t *Table, batchID int64) []types.Row {
+	var rows []types.Row
+	t.Scan(func(meta TupleMeta, row types.Row) bool {
+		if meta.BatchID == batchID {
+			rows = append(rows, row)
+		}
+		return true
+	})
+	return rows
+}
+
+// PendingBatches returns the distinct batch IDs present in a stream
+// table, ascending. Streams are consumed in batch order, so recovery
+// re-fires triggers batch by batch.
+func PendingBatches(t *Table) []int64 {
+	seen := make(map[int64]bool)
+	var ids []int64
+	t.Scan(func(meta TupleMeta, _ types.Row) bool {
+		if !seen[meta.BatchID] {
+			seen[meta.BatchID] = true
+			ids = append(ids, meta.BatchID)
+		}
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// DeleteBatch removes every tuple of an atomic batch from a stream
+// table; this is the automatic garbage collection that runs once the
+// batch has been consumed downstream (§3.2.3).
+func DeleteBatch(t *Table, batchID int64, undo Undo) int {
+	var victims []uint64
+	t.Scan(func(meta TupleMeta, _ types.Row) bool {
+		if meta.BatchID == batchID {
+			victims = append(victims, meta.TID)
+		}
+		return true
+	})
+	for _, tid := range victims {
+		_, _ = t.Delete(tid, undo)
+	}
+	return len(victims)
+}

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sstore/internal/types"
+)
+
+// Snapshot encoding for tables. A snapshot captures data only — rows
+// with their tuple metadata, plus window scalar bookkeeping — not
+// schema or triggers: those are re-created by the application's DDL at
+// boot, exactly as in H-Store's checkpoint scheme (§3.1), and recovery
+// then loads the snapshot into the empty tables.
+//
+//	table   := uvarint-len name-bytes
+//	           nextTID:uvarint
+//	           window?:u8 [filled:u8 started:u8 start:varint slides:uvarint]
+//	           uvarint-rowcount row*
+//	row     := tid:uvarint batch:varint staged:u8 types.Row
+
+// EncodeTable appends the table's snapshot image to buf.
+func EncodeTable(buf []byte, t *Table) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t.name)))
+	buf = append(buf, t.name...)
+	buf = binary.AppendUvarint(buf, t.nextTID)
+	if t.window != nil {
+		buf = append(buf, 1)
+		buf = append(buf, b2u8(t.window.filled), b2u8(t.window.started))
+		buf = binary.AppendVarint(buf, t.window.start)
+		buf = binary.AppendUvarint(buf, t.window.slides)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.Len()))
+	t.ScanAll(func(meta TupleMeta, row types.Row) bool {
+		buf = binary.AppendUvarint(buf, meta.TID)
+		buf = binary.AppendVarint(buf, meta.BatchID)
+		buf = append(buf, b2u8(meta.Staged))
+		buf = types.EncodeRow(buf, row)
+		return true
+	})
+	return buf
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DecodeTableName peeks the table name of the snapshot image at b
+// without consuming it; used to route images to catalog tables.
+func DecodeTableName(b []byte) (string, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", fmt.Errorf("storage: truncated snapshot table name")
+	}
+	return string(b[n : n+int(l)]), nil
+}
+
+// RestoreTable replaces the table's contents from a snapshot image,
+// returning the number of bytes consumed. The table must already exist
+// with its schema and indexes; its current contents are discarded.
+func RestoreTable(t *Table, b []byte) (int, error) {
+	name, err := DecodeTableName(b)
+	if err != nil {
+		return 0, err
+	}
+	l, n := binary.Uvarint(b)
+	n += int(l)
+	if name != t.name {
+		return 0, fmt.Errorf("storage: snapshot for table %q applied to %q", name, t.name)
+	}
+	t.Truncate()
+	nextTID, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return 0, fmt.Errorf("storage: truncated snapshot of %s", name)
+	}
+	n += m
+	if len(b) <= n {
+		return 0, fmt.Errorf("storage: truncated snapshot of %s", name)
+	}
+	hasWindow := b[n] == 1
+	n++
+	if hasWindow {
+		if t.window == nil {
+			return 0, fmt.Errorf("storage: snapshot has window state but %s is not a window", name)
+		}
+		if len(b) < n+2 {
+			return 0, fmt.Errorf("storage: truncated window state of %s", name)
+		}
+		t.window.filled = b[n] == 1
+		t.window.started = b[n+1] == 1
+		n += 2
+		start, m := binary.Varint(b[n:])
+		if m <= 0 {
+			return 0, fmt.Errorf("storage: truncated window start of %s", name)
+		}
+		n += m
+		slides, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return 0, fmt.Errorf("storage: truncated window slides of %s", name)
+		}
+		n += m
+		t.window.start = start
+		t.window.slides = slides
+	} else if t.window != nil {
+		return 0, fmt.Errorf("storage: snapshot lacks window state for window table %s", name)
+	}
+	count, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return 0, fmt.Errorf("storage: truncated row count of %s", name)
+	}
+	n += m
+	for i := uint64(0); i < count; i++ {
+		tid, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return 0, fmt.Errorf("storage: truncated row %d of %s", i, name)
+		}
+		n += m
+		batch, m := binary.Varint(b[n:])
+		if m <= 0 {
+			return 0, fmt.Errorf("storage: truncated batch of row %d of %s", i, name)
+		}
+		n += m
+		if len(b) <= n {
+			return 0, fmt.Errorf("storage: truncated staged flag of row %d of %s", i, name)
+		}
+		staged := b[n] == 1
+		n++
+		row, m, err := types.DecodeRow(b[n:])
+		if err != nil {
+			return 0, fmt.Errorf("storage: row %d of %s: %w", i, name, err)
+		}
+		n += m
+		if err := t.RestoreRow(TupleMeta{TID: tid, BatchID: batch, Staged: staged}, row); err != nil {
+			return 0, err
+		}
+	}
+	// RestoreRow bumps nextTID to the max restored TID; honor the
+	// snapshot's counter if it is further along.
+	if nextTID > t.nextTID {
+		t.nextTID = nextTID
+	}
+	return n, nil
+}

@@ -1,0 +1,435 @@
+// Package storage implements the in-memory table heap shared by the
+// OLTP and streaming halves of the engine. Following the paper (§3.2.1,
+// §3.2.2), streams and windows are ordinary tables whose rows carry
+// extra metadata: a monotonically increasing tuple ID capturing arrival
+// order, a batch ID grouping tuples into atomic batches, and a staging
+// flag used by native sliding windows.
+package storage
+
+import (
+	"fmt"
+
+	"sstore/internal/index"
+	"sstore/internal/types"
+)
+
+// Kind distinguishes the three state categories of the paper's model
+// (§2): public shared tables, streams, and windows.
+type Kind uint8
+
+const (
+	// KindTable is ordinary, publicly shared OLTP state.
+	KindTable Kind = iota
+	// KindStream is a time-varying table holding in-flight atomic
+	// batches of a stream.
+	KindStream
+	// KindWindow is a sliding-window table with staging semantics,
+	// scoped to its owning stored procedure.
+	KindWindow
+)
+
+// String returns the DDL name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "TABLE"
+	case KindStream:
+		return "STREAM"
+	case KindWindow:
+		return "WINDOW"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// TupleMeta is the per-row metadata tracked alongside user data.
+type TupleMeta struct {
+	// TID is the table-local tuple ID; assignment order is arrival
+	// order, which is how an unordered table represents a stream.
+	TID uint64
+	// BatchID is the atomic batch the tuple belongs to (streams), or
+	// zero for plain tables.
+	BatchID int64
+	// Staged marks window tuples that have arrived but are not yet
+	// visible to queries (§3.2.2).
+	Staged bool
+}
+
+// Undo receives physical undo records for every mutation so the
+// transaction layer can roll back aborted work. A nil Undo disables
+// recording.
+type Undo interface {
+	// RecordInsert is called after a row is inserted.
+	RecordInsert(t *Table, tid uint64)
+	// RecordDelete is called after a row is deleted, with its former
+	// contents.
+	RecordDelete(t *Table, meta TupleMeta, row types.Row)
+	// RecordStage is called after a tuple's staging flag changes.
+	RecordStage(t *Table, tid uint64, prev bool)
+}
+
+type storedRow struct {
+	meta TupleMeta
+	data types.Row
+}
+
+// Table is an in-memory heap of rows plus secondary indexes. All access
+// is single-threaded by construction: a table belongs to exactly one
+// partition and partitions execute transactions serially (§3.1), so
+// Table itself takes no locks.
+type Table struct {
+	name    string
+	kind    Kind
+	schema  *types.Schema
+	rows    map[uint64]storedRow
+	order   []uint64 // insertion order; may contain tombstoned TIDs
+	holes   int      // tombstones in order, triggers compaction
+	indexes []index.Index
+	nextTID uint64
+
+	window *WindowState // non-nil iff kind == KindWindow
+
+	// OwnerSP restricts access to window tables: only transaction
+	// executions of this stored procedure may touch the table
+	// (§3.2.2). Empty means unrestricted.
+	OwnerSP string
+}
+
+// NewTable creates an empty table of the given kind.
+func NewTable(name string, kind Kind, schema *types.Schema) *Table {
+	return &Table{
+		name:   name,
+		kind:   kind,
+		schema: schema,
+		rows:   make(map[uint64]storedRow),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Kind returns the table kind.
+func (t *Table) Kind() Kind { return t.kind }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Window returns the sliding-window state for window tables, or nil.
+func (t *Table) Window() *WindowState { return t.window }
+
+// Len returns the number of live rows, including staged window rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ActiveLen returns the number of rows visible to queries (live rows
+// minus staged window rows).
+func (t *Table) ActiveLen() int {
+	if t.window == nil {
+		return len(t.rows)
+	}
+	return len(t.rows) - t.window.stagedCount
+}
+
+// AddIndex attaches an index and backfills it from existing rows.
+func (t *Table) AddIndex(idx index.Index) error {
+	for _, name := range t.indexNames() {
+		if name == idx.Name() {
+			return fmt.Errorf("storage: table %s already has index %s", t.name, name)
+		}
+	}
+	for tid, r := range t.rows {
+		if err := idx.Insert(t.extractKey(idx, r.data), tid); err != nil {
+			return fmt.Errorf("storage: backfilling index %s: %w", idx.Name(), err)
+		}
+	}
+	t.indexes = append(t.indexes, idx)
+	return nil
+}
+
+func (t *Table) indexNames() []string {
+	names := make([]string, len(t.indexes))
+	for i, idx := range t.indexes {
+		names[i] = idx.Name()
+	}
+	return names
+}
+
+// IndexOn returns an index whose leading columns exactly match cols, or
+// nil.
+func (t *Table) IndexOn(cols []int) index.Index {
+	for _, idx := range t.indexes {
+		ic := idx.Columns()
+		if len(ic) != len(cols) {
+			continue
+		}
+		match := true
+		for i := range ic {
+			if ic[i] != cols[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Indexes returns the attached indexes.
+func (t *Table) Indexes() []index.Index { return t.indexes }
+
+func (t *Table) extractKey(idx index.Index, row types.Row) index.Key {
+	cols := idx.Columns()
+	key := make(index.Key, len(cols))
+	for i, c := range cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+// Insert validates row against the schema and appends it. For window
+// tables the row enters staged and the window may slide; the returned
+// InsertResult reports what happened so the caller can fire triggers.
+func (t *Table) Insert(row types.Row, batchID int64, undo Undo) (InsertResult, error) {
+	row, err := t.schema.Validate(row)
+	if err != nil {
+		return InsertResult{}, fmt.Errorf("storage: insert into %s: %w", t.name, err)
+	}
+	staged := t.window != nil
+	tid, err := t.insertRaw(TupleMeta{BatchID: batchID, Staged: staged}, row, undo)
+	if err != nil {
+		return InsertResult{}, err
+	}
+	res := InsertResult{TID: tid}
+	if t.window != nil {
+		t.window.stagedCount++
+		res.Slid = t.maybeSlide(row, undo)
+	}
+	return res, nil
+}
+
+// InsertResult reports the outcome of an insert for trigger dispatch.
+type InsertResult struct {
+	// TID is the new tuple's ID.
+	TID uint64
+	// Slid reports whether the insert caused a window slide, which is
+	// the firing condition for EE triggers on windows.
+	Slid bool
+}
+
+// insertRaw appends a row with explicit metadata, assigning a TID.
+func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, error) {
+	t.nextTID++
+	meta.TID = t.nextTID
+	for _, idx := range t.indexes {
+		if err := idx.Insert(t.extractKey(idx, row), meta.TID); err != nil {
+			// Unwind partial index inserts.
+			for _, done := range t.indexes {
+				if done == idx {
+					break
+				}
+				done.Delete(t.extractKey(done, row), meta.TID)
+			}
+			t.nextTID--
+			return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
+		}
+	}
+	t.rows[meta.TID] = storedRow{meta: meta, data: row}
+	t.order = append(t.order, meta.TID)
+	if undo != nil {
+		undo.RecordInsert(t, meta.TID)
+	}
+	return meta.TID, nil
+}
+
+// RestoreRow re-inserts a previously deleted row with its original
+// metadata; used by transaction rollback and snapshot load. The TID
+// counter is bumped past the restored TID.
+func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
+	if _, exists := t.rows[meta.TID]; exists {
+		return fmt.Errorf("storage: restore of live tid %d in %s", meta.TID, t.name)
+	}
+	for _, idx := range t.indexes {
+		if err := idx.Insert(t.extractKey(idx, row), meta.TID); err != nil {
+			return fmt.Errorf("storage: restore into %s: %w", t.name, err)
+		}
+	}
+	t.rows[meta.TID] = storedRow{meta: meta, data: row}
+	// The TID may still be listed in order as a tombstone from the
+	// earlier delete (rollback paths delete and restore the same
+	// tuple); appending again would make scans visit the row twice.
+	present := false
+	for _, tid := range t.order {
+		if tid == meta.TID {
+			present = true
+			break
+		}
+	}
+	if present {
+		t.holes--
+	} else {
+		t.order = append(t.order, meta.TID)
+	}
+	if meta.TID > t.nextTID {
+		t.nextTID = meta.TID
+	}
+	if t.window != nil && meta.Staged {
+		t.window.stagedCount++
+	}
+	return nil
+}
+
+// Delete removes the row with the given TID, returning its former
+// contents.
+func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
+	r, ok := t.rows[tid]
+	if !ok {
+		return nil, fmt.Errorf("storage: delete of missing tid %d in %s", tid, t.name)
+	}
+	for _, idx := range t.indexes {
+		idx.Delete(t.extractKey(idx, r.data), tid)
+	}
+	delete(t.rows, tid)
+	t.holes++
+	t.maybeCompact()
+	if t.window != nil && r.meta.Staged {
+		t.window.stagedCount--
+	}
+	if undo != nil {
+		undo.RecordDelete(t, r.meta, r.data)
+	}
+	return r.data, nil
+}
+
+// Update replaces the row with the given TID, preserving its metadata.
+// It is implemented as delete+insert on the indexes but keeps the TID
+// stable.
+func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
+	r, ok := t.rows[tid]
+	if !ok {
+		return fmt.Errorf("storage: update of missing tid %d in %s", tid, t.name)
+	}
+	newRow, err := t.schema.Validate(newRow)
+	if err != nil {
+		return fmt.Errorf("storage: update %s: %w", t.name, err)
+	}
+	for _, idx := range t.indexes {
+		idx.Delete(t.extractKey(idx, r.data), tid)
+	}
+	for _, idx := range t.indexes {
+		if err := idx.Insert(t.extractKey(idx, newRow), tid); err != nil {
+			// Roll the index changes back to the old row.
+			for _, done := range t.indexes {
+				if done == idx {
+					break
+				}
+				done.Delete(t.extractKey(done, newRow), tid)
+			}
+			for _, redo := range t.indexes {
+				_ = redo.Insert(t.extractKey(redo, r.data), tid)
+			}
+			return fmt.Errorf("storage: update %s: %w", t.name, err)
+		}
+	}
+	if undo != nil {
+		undo.RecordDelete(t, r.meta, r.data)
+		undo.RecordInsert(t, tid)
+	}
+	t.rows[tid] = storedRow{meta: r.meta, data: newRow}
+	return nil
+}
+
+// Get returns the row and metadata for a TID.
+func (t *Table) Get(tid uint64) (TupleMeta, types.Row, bool) {
+	r, ok := t.rows[tid]
+	if !ok {
+		return TupleMeta{}, nil, false
+	}
+	return r.meta, r.data, true
+}
+
+// Scan calls fn for every visible (non-staged) row in arrival order.
+// fn returning false stops the scan. The row must not be mutated.
+func (t *Table) Scan(fn func(meta TupleMeta, row types.Row) bool) {
+	for _, tid := range t.order {
+		r, ok := t.rows[tid]
+		if !ok || r.meta.Staged {
+			continue
+		}
+		if !fn(r.meta, r.data) {
+			return
+		}
+	}
+}
+
+// ScanAll is Scan including staged rows; used by window management and
+// snapshotting.
+func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
+	for _, tid := range t.order {
+		r, ok := t.rows[tid]
+		if !ok {
+			continue
+		}
+		if !fn(r.meta, r.data) {
+			return
+		}
+	}
+}
+
+// setStaged flips a tuple's staging flag.
+func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
+	r, ok := t.rows[tid]
+	if !ok || r.meta.Staged == staged {
+		return
+	}
+	if undo != nil {
+		undo.RecordStage(t, tid, r.meta.Staged)
+	}
+	r.meta.Staged = staged
+	t.rows[tid] = r
+	if t.window != nil {
+		if staged {
+			t.window.stagedCount++
+		} else {
+			t.window.stagedCount--
+		}
+	}
+}
+
+// RestoreStaged is the rollback counterpart of setStaged.
+func (t *Table) RestoreStaged(tid uint64, staged bool) {
+	t.setStaged(tid, staged, nil)
+}
+
+func (t *Table) maybeCompact() {
+	if t.holes*2 < len(t.order) || len(t.order) < 64 {
+		return
+	}
+	live := t.order[:0]
+	for _, tid := range t.order {
+		if _, ok := t.rows[tid]; ok {
+			live = append(live, tid)
+		}
+	}
+	t.order = live
+	t.holes = 0
+}
+
+// Truncate removes all rows without recording undo; used by snapshot
+// load.
+func (t *Table) Truncate() {
+	t.rows = make(map[uint64]storedRow)
+	t.order = t.order[:0]
+	t.holes = 0
+	if t.window != nil {
+		t.window.stagedCount = 0
+	}
+	for i, idx := range t.indexes {
+		switch ix := idx.(type) {
+		case *index.HashIndex:
+			t.indexes[i] = index.NewHashIndex(ix.Name(), ix.Columns(), ix.Unique())
+		case *index.BTree:
+			t.indexes[i] = index.NewBTree(ix.Name(), ix.Columns(), ix.Unique())
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"fmt"
+
+	"sstore/internal/types"
+)
+
+// WindowSpec configures a sliding window table (§3.2.2). Exactly one of
+// tuple-based or time-based semantics applies:
+//
+//   - Tuple-based: Size and Slide count tuples. The first full window
+//     becomes visible once Size tuples have arrived; thereafter every
+//     Slide new tuples expire the oldest Slide active tuples and
+//     activate the staged ones. Slide == Size is a tumbling window.
+//   - Time-based: Size and Slide are microseconds over the values of
+//     TimeColumn, which must be monotonically non-decreasing at
+//     insertion (stream order). The window covers [start, start+Size);
+//     a tuple at or past start+Size advances start by whole Slides.
+type WindowSpec struct {
+	TimeBased  bool
+	Size       int64
+	Slide      int64
+	TimeColumn int // column ordinal for time-based windows
+}
+
+// Validate checks the spec's internal consistency.
+func (s WindowSpec) Validate() error {
+	if s.Size <= 0 {
+		return fmt.Errorf("storage: window size must be positive, got %d", s.Size)
+	}
+	if s.Slide <= 0 || s.Slide > s.Size {
+		return fmt.Errorf("storage: window slide must be in (0, size], got %d", s.Slide)
+	}
+	if s.TimeBased && s.TimeColumn < 0 {
+		return fmt.Errorf("storage: time-based window needs a time column")
+	}
+	return nil
+}
+
+// WindowState is the live bookkeeping for a window table. The paper
+// notes that keeping these statistics in table metadata — rather than
+// recomputing them with queries, as the H-Store baseline must — is the
+// main source of the native-windowing speedup (§4.3).
+type WindowState struct {
+	Spec        WindowSpec
+	stagedCount int
+	filled      bool  // tuple-based: first full window has formed
+	start       int64 // time-based: inclusive lower bound of the window
+	started     bool  // time-based: start has been initialized
+	slides      uint64
+}
+
+// StagedCount returns the number of staged (invisible) tuples.
+func (w *WindowState) StagedCount() int { return w.stagedCount }
+
+// Slides returns the total number of slides since creation.
+func (w *WindowState) Slides() uint64 { return w.slides }
+
+// Mark captures the scalar window bookkeeping (everything except the
+// rows themselves, which physical undo restores) so a transaction abort
+// can reset it.
+type WindowMark struct {
+	filled  bool
+	start   int64
+	started bool
+	slides  uint64
+}
+
+// Mark returns the current scalar state.
+func (w *WindowState) Mark() WindowMark {
+	return WindowMark{filled: w.filled, start: w.start, started: w.started, slides: w.slides}
+}
+
+// Reset restores scalar state captured by Mark.
+func (w *WindowState) Reset(m WindowMark) {
+	w.filled, w.start, w.started, w.slides = m.filled, m.start, m.started, m.slides
+}
+
+// NewWindowTable creates a window table with the given spec.
+func NewWindowTable(name string, schema *types.Schema, spec WindowSpec) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.TimeBased {
+		if spec.TimeColumn >= schema.Len() {
+			return nil, fmt.Errorf("storage: window %s time column %d out of range", name, spec.TimeColumn)
+		}
+		k := schema.Column(spec.TimeColumn).Kind
+		if k != types.KindTimestamp && k != types.KindInt {
+			return nil, fmt.Errorf("storage: window %s time column must be TIMESTAMP or BIGINT, got %s", name, k)
+		}
+	}
+	t := NewTable(name, KindWindow, schema)
+	t.window = &WindowState{Spec: spec}
+	return t, nil
+}
+
+// maybeSlide checks the slide condition after an insert of row (already
+// staged) and performs at most the required slides. It reports whether
+// at least one slide happened. Expired tuples are deleted and staged
+// tuples activated, all through the undo recorder so aborts restore the
+// exact pre-TE window state (§2.4).
+func (t *Table) maybeSlide(row types.Row, undo Undo) bool {
+	w := t.window
+	if w.Spec.TimeBased {
+		return t.slideTime(row, undo)
+	}
+	return t.slideTuples(undo)
+}
+
+// slideTuples implements tuple-based slide semantics.
+func (t *Table) slideTuples(undo Undo) bool {
+	w := t.window
+	slid := false
+	if !w.filled {
+		// The first window forms when Size tuples have been staged.
+		if int64(w.stagedCount) >= w.Spec.Size {
+			t.activateOldestStaged(int(w.Spec.Size), undo)
+			w.filled = true
+			w.slides++
+			slid = true
+		}
+		return slid
+	}
+	for int64(w.stagedCount) >= w.Spec.Slide {
+		t.expireOldestActive(int(w.Spec.Slide), undo)
+		t.activateOldestStaged(int(w.Spec.Slide), undo)
+		w.slides++
+		slid = true
+	}
+	return slid
+}
+
+// slideTime implements time-based slide semantics.
+func (t *Table) slideTime(row types.Row, undo Undo) bool {
+	w := t.window
+	ts := timeValue(row[w.Spec.TimeColumn])
+	if !w.started {
+		w.start = ts
+		w.started = true
+	}
+	slid := false
+	for ts >= w.start+w.Spec.Size {
+		w.start += w.Spec.Slide
+		w.slides++
+		slid = true
+	}
+	if !slid {
+		// Tuples inside the current window activate immediately: a
+		// time-based window's visible content is everything in
+		// [start, start+Size).
+		t.activateStagedBefore(w.start+w.Spec.Size, undo)
+		return false
+	}
+	// Expire actives now below start, activate staged now inside the
+	// window.
+	t.expireActiveBefore(w.start, undo)
+	t.activateStagedBefore(w.start+w.Spec.Size, undo)
+	return true
+}
+
+func timeValue(v types.Value) int64 {
+	if v.Kind() == types.KindTimestamp {
+		return v.Timestamp()
+	}
+	return v.Int()
+}
+
+// activateOldestStaged clears the staging flag on the n oldest staged
+// tuples.
+func (t *Table) activateOldestStaged(n int, undo Undo) {
+	for _, tid := range t.order {
+		if n == 0 {
+			return
+		}
+		r, ok := t.rows[tid]
+		if !ok || !r.meta.Staged {
+			continue
+		}
+		t.setStaged(tid, false, undo)
+		n--
+	}
+}
+
+// expireOldestActive deletes the n oldest active tuples.
+func (t *Table) expireOldestActive(n int, undo Undo) {
+	var victims []uint64
+	for _, tid := range t.order {
+		if len(victims) == n {
+			break
+		}
+		r, ok := t.rows[tid]
+		if !ok || r.meta.Staged {
+			continue
+		}
+		victims = append(victims, tid)
+	}
+	for _, tid := range victims {
+		_, _ = t.Delete(tid, undo)
+	}
+}
+
+// activateStagedBefore activates staged tuples with time < bound.
+func (t *Table) activateStagedBefore(bound int64, undo Undo) {
+	col := t.window.Spec.TimeColumn
+	var flips []uint64
+	for _, tid := range t.order {
+		r, ok := t.rows[tid]
+		if !ok || !r.meta.Staged {
+			continue
+		}
+		if timeValue(r.data[col]) < bound {
+			flips = append(flips, tid)
+		}
+	}
+	for _, tid := range flips {
+		t.setStaged(tid, false, undo)
+	}
+}
+
+// expireActiveBefore deletes active tuples with time < bound.
+func (t *Table) expireActiveBefore(bound int64, undo Undo) {
+	col := t.window.Spec.TimeColumn
+	var victims []uint64
+	for _, tid := range t.order {
+		r, ok := t.rows[tid]
+		if !ok || r.meta.Staged {
+			continue
+		}
+		if timeValue(r.data[col]) < bound {
+			victims = append(victims, tid)
+		}
+	}
+	for _, tid := range victims {
+		_, _ = t.Delete(tid, undo)
+	}
+}

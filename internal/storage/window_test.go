@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sstore/internal/types"
+)
+
+func winSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "ts", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+	)
+}
+
+func winRow(ts, v int64) types.Row {
+	return types.Row{types.NewInt(ts), types.NewInt(v)}
+}
+
+// activeValues returns the visible window content (column v) in arrival
+// order.
+func activeValues(t *Table) []int64 {
+	var out []int64
+	t.Scan(func(_ TupleMeta, r types.Row) bool {
+		out = append(out, r[1].Int())
+		return true
+	})
+	return out
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	bad := []WindowSpec{
+		{Size: 0, Slide: 1},
+		{Size: 5, Slide: 0},
+		{Size: 5, Slide: 6},
+		{Size: -1, Slide: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid: %+v", i, s)
+		}
+	}
+	if err := (WindowSpec{Size: 5, Slide: 5}).Validate(); err != nil {
+		t.Errorf("tumbling spec should be valid: %v", err)
+	}
+}
+
+func TestTupleWindowFirstFill(t *testing.T) {
+	w, err := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Until 3 tuples arrive nothing is visible.
+	for i := int64(1); i <= 2; i++ {
+		res, err := w.Insert(winRow(i, i), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slid {
+			t.Errorf("insert %d should not slide", i)
+		}
+		if w.ActiveLen() != 0 {
+			t.Errorf("window visible before fill: %d active", w.ActiveLen())
+		}
+	}
+	res, _ := w.Insert(winRow(3, 3), 0, nil)
+	if !res.Slid {
+		t.Error("third insert should complete the first window")
+	}
+	if got := activeValues(w); len(got) != 3 {
+		t.Fatalf("active = %v", got)
+	}
+}
+
+func TestTupleWindowSlide(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 2})
+	var slides int
+	for i := int64(1); i <= 9; i++ {
+		res, err := w.Insert(winRow(i, i), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slid {
+			slides++
+		}
+	}
+	// Fill at 3 (window {1,2,3}), slides at 5 ({3,4,5}), 7 ({5,6,7}),
+	// 9 ({7,8,9}).
+	if slides != 4 {
+		t.Errorf("slides = %d, want 4", slides)
+	}
+	got := activeValues(w)
+	want := []int64{7, 8, 9}
+	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Errorf("window content = %v, want %v", got, want)
+	}
+	if w.Window().Slides() != 4 {
+		t.Errorf("Slides() = %d", w.Window().Slides())
+	}
+}
+
+func TestTumblingWindow(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 4, Slide: 4})
+	for i := int64(1); i <= 8; i++ {
+		res, _ := w.Insert(winRow(i, i), 0, nil)
+		wantSlide := i == 4 || i == 8
+		if res.Slid != wantSlide {
+			t.Errorf("insert %d: slid = %v, want %v", i, res.Slid, wantSlide)
+		}
+	}
+	got := activeValues(w)
+	if len(got) != 4 || got[0] != 5 {
+		t.Errorf("tumbled content = %v, want [5 6 7 8]", got)
+	}
+}
+
+// TestTupleWindowInvariant property-checks the core window invariant
+// for random size/slide combinations: after the first fill, the active
+// count is always exactly Size and the staged count is below Slide
+// after each insert completes.
+func TestTupleWindowInvariant(t *testing.T) {
+	f := func(sizeRaw, slideRaw uint8, nRaw uint16) bool {
+		size := int64(sizeRaw%20) + 1
+		slide := int64(slideRaw)%size + 1
+		n := int(nRaw%500) + int(size)
+		w, err := NewWindowTable("w", winSchema(), WindowSpec{Size: size, Slide: slide})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if _, err := w.Insert(winRow(int64(i), int64(i)), 0, nil); err != nil {
+				return false
+			}
+			if int64(w.Window().StagedCount()) >= slide && w.ActiveLen() > 0 {
+				return false // slide condition unsatisfied
+			}
+			if w.ActiveLen() != 0 && int64(w.ActiveLen()) != size {
+				return false // partially-slid window visible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWindowSlide(t *testing.T) {
+	// Window of 10 time units sliding by 5 over column ts.
+	w, err := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{0, 3, 7, 9} {
+		res, _ := w.Insert(winRow(ts, ts), 0, nil)
+		if res.Slid {
+			t.Errorf("ts %d inside the first window should not slide", ts)
+		}
+	}
+	if w.ActiveLen() != 4 {
+		t.Fatalf("in-window tuples should be active, got %d", w.ActiveLen())
+	}
+	// ts=12 pushes the window to [5,15): expires 0 and 3.
+	res, _ := w.Insert(winRow(12, 12), 0, nil)
+	if !res.Slid {
+		t.Error("ts 12 should slide the window")
+	}
+	got := activeValues(w)
+	if len(got) != 3 || got[0] != 7 {
+		t.Errorf("window content after slide = %v, want [7 9 12]", got)
+	}
+	// A big jump slides multiple times: ts=100 → start advances to 95.
+	res, _ = w.Insert(winRow(100, 100), 0, nil)
+	if !res.Slid {
+		t.Error("ts 100 should slide")
+	}
+	got = activeValues(w)
+	if len(got) != 1 || got[0] != 100 {
+		t.Errorf("window content after jump = %v, want [100]", got)
+	}
+}
+
+func TestTimeWindowRequiresTimeColumn(t *testing.T) {
+	schema := types.MustSchema(types.Column{Name: "s", Kind: types.KindText})
+	if _, err := NewWindowTable("w", schema, WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0}); err == nil {
+		t.Error("text time column should be rejected")
+	}
+	if _, err := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 9}); err == nil {
+		t.Error("out-of-range time column should be rejected")
+	}
+}
+
+func TestWindowMarkReset(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 2, Slide: 1})
+	w.Insert(winRow(1, 1), 0, nil)
+	mark := w.Window().Mark()
+	w.Insert(winRow(2, 2), 0, nil) // fills the window
+	if w.Window().Slides() != 1 {
+		t.Fatalf("Slides = %d, want 1", w.Window().Slides())
+	}
+	w.Window().Reset(mark)
+	if w.Window().Slides() != 0 {
+		t.Errorf("Reset did not restore slide count: %d", w.Window().Slides())
+	}
+}
+
+func TestWindowStagedCountTracksRestores(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 5, Slide: 5})
+	res, _ := w.Insert(winRow(1, 1), 0, nil)
+	if w.Window().StagedCount() != 1 {
+		t.Fatalf("StagedCount = %d", w.Window().StagedCount())
+	}
+	meta, data, _ := w.Get(res.TID)
+	w.Delete(res.TID, nil)
+	if w.Window().StagedCount() != 0 {
+		t.Fatalf("StagedCount after delete = %d", w.Window().StagedCount())
+	}
+	if err := w.RestoreRow(meta, data); err != nil {
+		t.Fatal(err)
+	}
+	if w.Window().StagedCount() != 1 {
+		t.Errorf("StagedCount after restore = %d", w.Window().StagedCount())
+	}
+}

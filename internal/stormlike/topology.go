@@ -1,0 +1,169 @@
+// Package stormlike is a miniature of Storm and its Trident layer
+// (§4.6.2, §5), built as a comparison baseline: topologies of spouts
+// and bolts over channels, Storm's XOR-ledger acker giving
+// at-least-once delivery with replay on timeout, and a Trident-style
+// transactional layer giving exactly-once batch processing against an
+// external key/value state store (the Memcached stand-in) reached
+// through a simulated network hop.
+package stormlike
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sstore/internal/types"
+)
+
+// Tuple is one message flowing through a topology. Every tuple carries
+// the ID of its root (spout) tuple so the acker can track the tree.
+type Tuple struct {
+	// ID is this tuple's unique message ID.
+	ID uint64
+	// Root is the spout tuple this one descends from.
+	Root uint64
+	// Values is the payload.
+	Values types.Row
+}
+
+// BoltFunc processes one tuple, emitting zero or more downstream rows
+// via emit. Returning an error fails the tuple's tree (the root will
+// be replayed).
+type BoltFunc func(t *Tuple, emit func(types.Row)) error
+
+// acker implements Storm's XOR ledger: for each root tuple it keeps
+// the XOR of every (emitted ⊕ acked) tuple ID in the tree; when the
+// ledger hits zero the tree is fully processed.
+type acker struct {
+	mu     sync.Mutex
+	ledger map[uint64]uint64
+	done   map[uint64]bool
+}
+
+func newAcker() *acker {
+	return &acker{ledger: make(map[uint64]uint64), done: make(map[uint64]bool)}
+}
+
+// emit registers a tuple in its root's tree.
+func (a *acker) emit(root, id uint64) {
+	a.mu.Lock()
+	a.ledger[root] ^= id
+	a.mu.Unlock()
+}
+
+// ack marks a tuple processed; it returns true when the root's whole
+// tree has completed.
+func (a *acker) ack(root, id uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ledger[root] ^= id
+	if a.ledger[root] == 0 {
+		delete(a.ledger, root)
+		a.done[root] = true
+		return true
+	}
+	return false
+}
+
+// completed reports and clears a root's completion flag.
+func (a *acker) completed(root uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.done[root] {
+		delete(a.done, root)
+		return true
+	}
+	return false
+}
+
+// Topology is a linear chain of bolts (the shape of every §4
+// benchmark): spout → bolt1 → ... → boltN. Tuples are processed with
+// at-least-once semantics: the spout holds each root tuple until its
+// tree is fully acked, replaying it on timeout.
+type Topology struct {
+	bolts    []BoltFunc
+	acker    *acker
+	nextID   uint64
+	idMu     sync.Mutex
+	replayTO time.Duration
+
+	pending   map[uint64]types.Row // in-flight root tuples for replay
+	pendMu    sync.Mutex
+	replays   uint64
+	processed uint64
+}
+
+// NewTopology builds a chain topology over the bolt functions.
+func NewTopology(bolts ...BoltFunc) *Topology {
+	return &Topology{
+		bolts:    bolts,
+		acker:    newAcker(),
+		replayTO: 100 * time.Millisecond,
+		pending:  make(map[uint64]types.Row),
+	}
+}
+
+func (t *Topology) newID() uint64 {
+	t.idMu.Lock()
+	defer t.idMu.Unlock()
+	t.nextID++
+	// Storm uses random 64-bit IDs; mix in randomness so XORs of
+	// sequential IDs don't accidentally cancel.
+	return t.nextID<<20 ^ rand.Uint64()>>44 | t.nextID
+}
+
+// Replays returns how many root tuples were replayed after failures.
+func (t *Topology) Replays() uint64 { return t.replays }
+
+// Processed returns how many root tuples completed.
+func (t *Topology) Processed() uint64 { return t.processed }
+
+// EmitAndWait pushes one root tuple through the whole chain
+// synchronously, replaying from the spout on failure until the tree
+// acks (at-least-once). It returns the rows emitted by the final bolt.
+func (t *Topology) EmitAndWait(row types.Row) ([]types.Row, error) {
+	const maxAttempts = 10
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		root := t.newID()
+		t.pendMu.Lock()
+		t.pending[root] = row
+		t.pendMu.Unlock()
+		t.acker.emit(root, root)
+
+		out, err := t.runTree(root, row)
+		t.acker.ack(root, root)
+		if err == nil && t.acker.completed(root) {
+			t.pendMu.Lock()
+			delete(t.pending, root)
+			t.pendMu.Unlock()
+			t.processed++
+			return out, nil
+		}
+		// Failure: replay the root (at-least-once).
+		t.replays++
+	}
+	return nil, fmt.Errorf("stormlike: tuple failed after %d replays", maxAttempts)
+}
+
+// runTree walks the tuple tree depth-first through the bolt chain,
+// doing the emit/ack bookkeeping the acker needs.
+func (t *Topology) runTree(root uint64, row types.Row) ([]types.Row, error) {
+	level := []types.Row{row}
+	for _, bolt := range t.bolts {
+		var next []types.Row
+		for _, r := range level {
+			tup := &Tuple{ID: t.newID(), Root: root, Values: r}
+			t.acker.emit(root, tup.ID)
+			err := bolt(tup, func(out types.Row) {
+				next = append(next, out)
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.acker.ack(root, tup.ID)
+		}
+		level = next
+	}
+	return level, nil
+}

@@ -1,0 +1,246 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"sstore/internal/ee"
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindText},
+	)
+}
+
+func row(id int64, v string) types.Row {
+	return types.Row{types.NewInt(id), types.NewText(v)}
+}
+
+func tableValues(t *storage.Table) []int64 {
+	var out []int64
+	t.Scan(func(_ storage.TupleMeta, r types.Row) bool {
+		out = append(out, r[0].Int())
+		return true
+	})
+	return out
+}
+
+func TestRollbackInsert(t *testing.T) {
+	tbl := storage.NewTable("t", storage.KindTable, schema())
+	tx := New(1)
+	if _, err := tbl.Insert(row(1, "a"), 0, tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("rows after rollback = %d", tbl.Len())
+	}
+	if tx.Status() != StatusAborted {
+		t.Errorf("status = %v", tx.Status())
+	}
+}
+
+func TestRollbackDelete(t *testing.T) {
+	tbl := storage.NewTable("t", storage.KindTable, schema())
+	res, _ := tbl.Insert(row(1, "a"), 0, nil)
+	tx := New(1)
+	if _, err := tbl.Delete(res.TID, tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	_, r, ok := tbl.Get(res.TID)
+	if !ok || r[1].Text() != "a" {
+		t.Errorf("row not restored: %v %v", r, ok)
+	}
+}
+
+func TestRollbackUpdate(t *testing.T) {
+	tbl := storage.NewTable("t", storage.KindTable, schema())
+	res, _ := tbl.Insert(row(1, "old"), 0, nil)
+	tx := New(1)
+	if err := tbl.Update(res.TID, row(1, "new"), tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	_, r, _ := tbl.Get(res.TID)
+	if r[1].Text() != "old" {
+		t.Errorf("update not rolled back: %v", r)
+	}
+}
+
+func TestRollbackMixedSequence(t *testing.T) {
+	tbl := storage.NewTable("t", storage.KindTable, schema())
+	for i := int64(1); i <= 3; i++ {
+		tbl.Insert(row(i, "x"), 0, nil)
+	}
+	before := fmt.Sprint(tableValues(tbl))
+
+	tx := New(1)
+	res, _ := tbl.Insert(row(10, "new"), 0, tx) // insert
+	var firstTID uint64
+	tbl.Scan(func(meta storage.TupleMeta, r types.Row) bool {
+		firstTID = meta.TID
+		return false
+	})
+	tbl.Delete(firstTID, tx)              // delete an old row
+	tbl.Update(res.TID, row(11, "u"), tx) // update the new row
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	after := fmt.Sprint(tableValues(tbl))
+	if before != after {
+		t.Errorf("table after rollback = %v, want %v", after, before)
+	}
+}
+
+func TestCommitClearsUndo(t *testing.T) {
+	tbl := storage.NewTable("t", storage.KindTable, schema())
+	tx := New(1)
+	tbl.Insert(row(1, "a"), 0, tx)
+	if tx.Mutations() != 1 {
+		t.Errorf("mutations = %d", tx.Mutations())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status() != StatusCommitted {
+		t.Errorf("status = %v", tx.Status())
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit should fail")
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("rollback after commit should fail")
+	}
+}
+
+func TestWindowRollbackRestoresExactState(t *testing.T) {
+	// The §2.4 requirement: if TE(i,j+1) aborts, the shared window
+	// must return to its state before TE(i,j+1) began.
+	w, err := storage.NewWindowTable("w", schema(), storage.WindowSpec{Size: 3, Slide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TE 1: fill the window (commits).
+	tx1 := New(1)
+	tx1.MarkWindow(w)
+	for i := int64(1); i <= 3; i++ {
+		if _, err := w.Insert(row(i, "x"), 0, tx1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx1.Commit()
+	contentBefore := fmt.Sprint(tableValues(w))
+	slidesBefore := w.Window().Slides()
+	stagedBefore := w.Window().StagedCount()
+
+	// TE 2: slides the window, then aborts.
+	tx2 := New(2)
+	tx2.MarkWindow(w)
+	if _, err := w.Insert(row(4, "x"), 0, tx2); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(tableValues(w)) == contentBefore {
+		t.Fatal("insert should have slid the window")
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(tableValues(w)); got != contentBefore {
+		t.Errorf("window content = %v, want %v", got, contentBefore)
+	}
+	if w.Window().Slides() != slidesBefore {
+		t.Errorf("slides = %d, want %d", w.Window().Slides(), slidesBefore)
+	}
+	if w.Window().StagedCount() != stagedBefore {
+		t.Errorf("staged = %d, want %d", w.Window().StagedCount(), stagedBefore)
+	}
+	// The window keeps working after the rollback.
+	tx3 := New(3)
+	tx3.MarkWindow(w)
+	if _, err := w.Insert(row(5, "x"), 0, tx3); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	if got := fmt.Sprint(tableValues(w)); got != "[2 3 5]" {
+		t.Errorf("window after redo = %v", got)
+	}
+}
+
+func TestRollbackThroughExecutor(t *testing.T) {
+	// End-to-end: SQL mutations through the EE roll back atomically.
+	cat := storage.NewCatalog()
+	exec := ee.NewExecutor(cat)
+	ctx := &ee.ExecCtx{}
+	for _, ddl := range []string{
+		"CREATE TABLE accounts (id BIGINT PRIMARY KEY, balance BIGINT)",
+		"INSERT INTO accounts VALUES (1, 100), (2, 50)",
+	} {
+		if _, err := exec.Execute(ddl, nil, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := New(1)
+	txCtx := &ee.ExecCtx{Txn: tx}
+	for _, stmt := range []string{
+		"UPDATE accounts SET balance = balance - 30 WHERE id = 1",
+		"UPDATE accounts SET balance = balance + 30 WHERE id = 2",
+		"INSERT INTO accounts VALUES (3, 999)",
+		"DELETE FROM accounts WHERE id = 2",
+	} {
+		if _, err := exec.Execute(stmt, nil, txCtx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute("SELECT id, balance FROM accounts ORDER BY id", nil, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Int() != 100 || res.Rows[1][1].Int() != 50 {
+		t.Errorf("balances = %v", res.Rows)
+	}
+}
+
+func TestRollbackUniqueIndexConsistency(t *testing.T) {
+	cat := storage.NewCatalog()
+	exec := ee.NewExecutor(cat)
+	ctx := &ee.ExecCtx{}
+	exec.Execute("CREATE TABLE t (id BIGINT PRIMARY KEY)", nil, ctx)
+	exec.Execute("INSERT INTO t VALUES (1)", nil, ctx)
+
+	tx := New(1)
+	txCtx := &ee.ExecCtx{Txn: tx}
+	if _, err := exec.Execute("DELETE FROM t WHERE id = 1", nil, txCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Execute("INSERT INTO t VALUES (1)", nil, txCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Index must allow exactly one row with id 1 and reject another.
+	if _, err := exec.Execute("INSERT INTO t VALUES (1)", nil, ctx); err == nil {
+		t.Error("unique index inconsistent after rollback")
+	}
+	res, _ := exec.Execute("SELECT COUNT(*) FROM t", nil, ctx)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCompactBefore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmd.log")
+	l, err := Open(Options{Path: path, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if _, err := l.Append(testRecord(KindBorder, "SP", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A checkpoint reflected LSNs ≤ 6.
+	if err := l.CompactBefore(6); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].LSN != 7 || recs[3].LSN != 10 {
+		t.Fatalf("after compaction: %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+	// Appends keep working on the compacted log with continuous LSNs.
+	lsn, err := l.Append(testRecord(KindBorder, "SP", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 11 {
+		t.Errorf("post-compaction LSN = %d, want 11", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = ReadAll(path)
+	if len(recs) != 5 || recs[4].LSN != 11 {
+		t.Fatalf("final log: %d records, last LSN %d", len(recs), recs[len(recs)-1].LSN)
+	}
+}
+
+func TestCompactBeforeAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmd.log")
+	l, _ := Open(Options{Path: path, Policy: SyncEachCommit})
+	for i := int64(1); i <= 3; i++ {
+		l.Append(testRecord(KindOLTP, "SP", i))
+	}
+	if err := l.CompactBefore(100); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := ReadAll(path)
+	if len(recs) != 0 {
+		t.Errorf("full compaction left %d records", len(recs))
+	}
+	l.Close()
+}

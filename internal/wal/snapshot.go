@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"sstore/internal/storage"
+)
+
+// Snapshot files persist a transaction-consistent checkpoint of every
+// table (§3.1). Because partitions run transactions serially and the
+// snapshot is taken between transactions, the image never contains
+// uncommitted changes, so recovery needs no undo log — matching the
+// paper's description of H-Store checkpoints.
+//
+// Layout: magic "SSSN" | u64 lastLSN | uvarint tableCount | per-table
+// [uvarint len | image] ... | u32 crc32c(everything after magic).
+
+const snapshotMagic = "SSSN"
+
+// WriteSnapshot atomically writes a checkpoint of the given tables,
+// recording the LSN of the last command-log record already reflected
+// in it. It writes to a temp file and renames, so a crash mid-snapshot
+// leaves the previous checkpoint intact.
+func WriteSnapshot(path string, lastLSN uint64, tables []*storage.Table) error {
+	buf := []byte(snapshotMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, lastLSN)
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, t := range tables {
+		img := storage.EncodeTable(nil, t)
+		buf = binary.AppendUvarint(buf, uint64(len(img)))
+		buf = append(buf, img...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapshotMagic):], crcTable))
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores a checkpoint into the catalog's existing
+// tables (matched by name) and returns the checkpoint's lastLSN.
+// A missing file is not an error: it returns lastLSN 0, meaning
+// "replay the whole log".
+func LoadSnapshot(path string, lookup func(name string) (*storage.Table, bool)) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: snapshot read: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+8+4 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, fmt.Errorf("wal: %s is not a snapshot file", path)
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return 0, fmt.Errorf("wal: snapshot %s is corrupt", path)
+	}
+	lastLSN := binary.LittleEndian.Uint64(body)
+	b := body[8:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: snapshot %s: bad table count", path)
+	}
+	b = b[n:]
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return 0, fmt.Errorf("wal: snapshot %s: truncated table %d", path, i)
+		}
+		img := b[n : n+int(l)]
+		b = b[n+int(l):]
+		name, err := storage.DecodeTableName(img)
+		if err != nil {
+			return 0, err
+		}
+		t, ok := lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("wal: snapshot table %q does not exist in catalog", name)
+		}
+		if _, err := storage.RestoreTable(t, img); err != nil {
+			return 0, err
+		}
+	}
+	return lastLSN, nil
+}

@@ -1,0 +1,274 @@
+// Package sstore is a single-node implementation of S-Store ("S-Store:
+// Streaming Meets Transaction Processing", Meehan et al., VLDB 2015): a
+// hybrid engine that runs streaming workflows and OLTP transactions in
+// one in-memory, partitioned database with full ACID guarantees and
+// streaming-aware ordering, triggers, windows, and recovery.
+//
+// # Model
+//
+// State comes in three kinds (§2): public shared tables, streams
+// (time-varying tables of atomic batches), and windows (sliding-window
+// tables private to their owning stored procedure). Transactions are
+// predefined stored procedures — Go functions that issue SQL — invoked
+// either by clients (OLTP, pull) or by arriving atomic batches
+// (streaming, push). Workflows are DAGs of streaming procedures; the
+// engine guarantees the paper's two ordering constraints: workflow
+// order within each batch round and stream (batch) order per
+// procedure.
+//
+// # Quick start
+//
+//	eng, _ := sstore.Open(sstore.Config{})
+//	defer eng.Close()
+//	eng.ExecDDL(`CREATE STREAM events (v BIGINT)`)
+//	eng.ExecDDL(`CREATE TABLE totals (total BIGINT)`)
+//	eng.ExecDDL(`INSERT INTO totals VALUES (0)`)
+//	eng.RegisterProc("Count", func(ctx *sstore.ProcCtx) error {
+//		_, err := ctx.Query(`UPDATE totals SET total = total + (SELECT ...)`)
+//		return err
+//	})
+//	wf, _ := sstore.NewWorkflow("wf", []sstore.Node{{SP: "Count", Input: "events"}})
+//	eng.DeployWorkflow(wf)
+//	eng.Ingest("events", &sstore.Batch{ID: 1, Rows: []sstore.Row{{sstore.Int(1)}}})
+//
+// See examples/ for complete programs and DESIGN.md for the
+// architecture.
+package sstore
+
+import (
+	"time"
+
+	"sstore/internal/ee"
+	"sstore/internal/pe"
+	"sstore/internal/recovery"
+	"sstore/internal/stream"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+	"sstore/internal/workflow"
+)
+
+// Value is a typed SQL value.
+type Value = types.Value
+
+// Row is a tuple of values.
+type Row = types.Row
+
+// Int returns an integer value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float returns a float value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// Text returns a text value.
+func Text(v string) Value { return types.NewText(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return types.NewBool(v) }
+
+// Timestamp returns a timestamp value (microseconds since the epoch).
+func Timestamp(micros int64) Value { return types.NewTimestamp(micros) }
+
+// Null is the SQL NULL value.
+var Null = types.Null
+
+// ProcCtx is a stored procedure's execution context: parameters, batch
+// identity, and transactional SQL execution.
+type ProcCtx = pe.ProcCtx
+
+// ProcFunc is a stored procedure body.
+type ProcFunc = pe.ProcFunc
+
+// Result is a transaction's client-visible outcome.
+type Result = pe.Result
+
+// QueryResult is the result set of one SQL statement.
+type QueryResult = ee.Result
+
+// Batch is an atomic batch of stream tuples.
+type Batch = stream.Batch
+
+// Assembler groups raw tuples into atomic batches.
+type Assembler = stream.Assembler
+
+// NewAssembler creates a batch assembler of the given batch size.
+func NewAssembler(size int) (*Assembler, error) { return stream.NewAssembler(size) }
+
+// Node is one stored procedure in a workflow DAG.
+type Node = workflow.Node
+
+// Workflow is a DAG of streaming stored procedures.
+type Workflow = workflow.Workflow
+
+// NewWorkflow validates nodes and builds a workflow.
+func NewWorkflow(name string, nodes []Node) (*Workflow, error) { return workflow.New(name, nodes) }
+
+// NestedCall names one child of a nested transaction.
+type NestedCall = pe.NestedCall
+
+// RecoveryMode selects the logging/recovery scheme.
+type RecoveryMode = recovery.Mode
+
+// Recovery modes (§2.4, §3.2.5).
+const (
+	// RecoveryNone disables command logging.
+	RecoveryNone = recovery.ModeNone
+	// RecoveryStrong logs every transaction execution; replay
+	// reproduces the exact pre-crash state.
+	RecoveryStrong = recovery.ModeStrong
+	// RecoveryWeak logs only border (and OLTP) transactions and
+	// re-derives interior work via upstream backup; replay produces
+	// a legal state.
+	RecoveryWeak = recovery.ModeWeak
+)
+
+// SyncPolicy selects commit durability for the command log.
+type SyncPolicy = wal.SyncPolicy
+
+// Command-log sync policies.
+const (
+	// SyncEachCommit makes every commit individually durable (no
+	// group commit).
+	SyncEachCommit = wal.SyncEachCommit
+	// SyncGroup batches commits into group-commit windows.
+	SyncGroup = wal.SyncGroup
+	// SyncNone buffers log writes without fsync.
+	SyncNone = wal.SyncNone
+)
+
+// Config configures an engine. The zero value is a single-partition,
+// no-logging, no-network-simulation engine suitable for tests and
+// embedded use.
+type Config struct {
+	// Partitions is the number of execution sites (default 1). Each
+	// runs transactions serially on its slice of the data.
+	Partitions int
+	// ClientRTT simulates client↔engine network latency per Call.
+	ClientRTT time.Duration
+	// EEDispatch simulates the PE→EE boundary cost per SQL statement
+	// issued from a stored procedure.
+	EEDispatch time.Duration
+	// Recovery selects the logging/recovery scheme; non-None
+	// requires LogPath.
+	Recovery RecoveryMode
+	// LogPath is the command-log file.
+	LogPath string
+	// LogPolicy selects commit durability (default SyncEachCommit).
+	LogPolicy SyncPolicy
+	// GroupWindow is the group-commit window under SyncGroup.
+	GroupWindow time.Duration
+	// SnapshotDir is where checkpoints live.
+	SnapshotDir string
+	// PartitionBy routes ingested batches to partitions.
+	PartitionBy func(streamName string, batch []Row) int
+	// RouteCall routes OLTP calls to partitions.
+	RouteCall func(sp string, params Row) int
+}
+
+// Engine is a running S-Store instance.
+type Engine struct {
+	pe *pe.Engine
+}
+
+// Stats aggregates engine counters.
+type Stats = pe.Stats
+
+// Open builds and starts an engine.
+func Open(cfg Config) (*Engine, error) {
+	inner, err := pe.NewEngine(pe.Options{
+		Partitions:  cfg.Partitions,
+		ClientRTT:   cfg.ClientRTT,
+		EEDispatch:  cfg.EEDispatch,
+		Recovery:    cfg.Recovery,
+		LogPath:     cfg.LogPath,
+		LogPolicy:   cfg.LogPolicy,
+		GroupWindow: cfg.GroupWindow,
+		SnapshotDir: cfg.SnapshotDir,
+		PartitionBy: cfg.PartitionBy,
+		RouteCall:   cfg.RouteCall,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{pe: inner}, nil
+}
+
+// Close drains and stops the engine.
+func (e *Engine) Close() error { return e.pe.Close() }
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return e.pe.Partitions() }
+
+// ExecDDL runs a DDL statement (CREATE TABLE/STREAM/WINDOW/INDEX) on
+// every partition.
+func (e *Engine) ExecDDL(ddl string) error { return e.pe.ExecDDL(ddl) }
+
+// ExecDDLOwned runs DDL attributed to a stored procedure; a CREATE
+// WINDOW executed this way is private to that procedure (§3.2.2).
+func (e *Engine) ExecDDLOwned(owner, ddl string) error { return e.pe.ExecDDLOwned(owner, ddl) }
+
+// RegisterProc registers a stored procedure.
+func (e *Engine) RegisterProc(name string, fn ProcFunc) error {
+	return e.pe.RegisterProc(&pe.StoredProc{Name: name, Func: fn})
+}
+
+// AddEETrigger attaches an execution-engine trigger: SQL statements
+// that run, inside the firing transaction, whenever an atomic batch is
+// inserted into the stream (or a window slides). Statements receive the
+// batch ID as parameter ?1 (§3.2.3).
+func (e *Engine) AddEETrigger(table string, stmts ...string) error {
+	return e.pe.AddEETrigger(table, stmts...)
+}
+
+// DeployWorkflow wires a workflow's edges into partition-engine
+// triggers and marks its border procedures for logging.
+func (e *Engine) DeployWorkflow(w *Workflow) error { return e.pe.DeployWorkflow(w) }
+
+// Call invokes a stored procedure as an OLTP transaction and waits.
+func (e *Engine) Call(sp string, params ...Value) (*Result, error) {
+	return e.pe.Call(sp, Row(params))
+}
+
+// CallNested executes children as one nested transaction (§2.3).
+func (e *Engine) CallNested(children []NestedCall) (*Result, error) {
+	return e.pe.CallNested(children)
+}
+
+// Ingest pushes an atomic batch into a border stream asynchronously.
+func (e *Engine) Ingest(streamName string, b *Batch) error { return e.pe.Ingest(streamName, b) }
+
+// IngestSync pushes a batch and waits for the border transaction to
+// commit.
+func (e *Engine) IngestSync(streamName string, b *Batch) error {
+	return e.pe.IngestSync(streamName, b)
+}
+
+// Drain waits for all queued work, including trigger cascades, to
+// finish.
+func (e *Engine) Drain() error { return e.pe.Drain() }
+
+// Query runs one ad-hoc SQL statement as its own transaction on a
+// partition.
+func (e *Engine) Query(partition int, sql string, params ...Value) (*QueryResult, error) {
+	return e.pe.AdHoc(partition, sql, params...)
+}
+
+// Checkpoint writes a transaction-consistent snapshot of all
+// partitions.
+func (e *Engine) Checkpoint() error { return e.pe.Checkpoint() }
+
+// Recover runs crash recovery per the configured mode; call before
+// admitting traffic on a restarted engine.
+func (e *Engine) Recover() error { return e.pe.Recover() }
+
+// Stats returns engine counters.
+func (e *Engine) Stats() Stats { return e.pe.Stats() }
+
+// QueueDepth reports a partition's queued task count.
+func (e *Engine) QueueDepth(partition int) int { return e.pe.QueueDepth(partition) }
+
+// TableInfo describes one catalog entry.
+type TableInfo = pe.TableInfo
+
+// Tables lists a partition's catalog (tables, streams, windows) in
+// name order.
+func (e *Engine) Tables(partition int) ([]TableInfo, error) { return e.pe.Tables(partition) }

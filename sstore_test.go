@@ -1,0 +1,207 @@
+package sstore_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sstore"
+)
+
+// TestPublicAPIEndToEnd drives a hybrid workload purely through the
+// public API: a two-step streaming workflow with a window, plus an
+// OLTP procedure sharing a table with the workflow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	eng, err := sstore.Open(sstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ddl := []string{
+		"CREATE STREAM readings (sensor BIGINT, v BIGINT)",
+		"CREATE STREAM alerts (sensor BIGINT, v BIGINT)",
+		"CREATE TABLE alert_log (sensor BIGINT, v BIGINT)",
+		"CREATE TABLE thresholds (sensor BIGINT PRIMARY KEY, max BIGINT)",
+	}
+	for _, d := range ddl {
+		if err := eng.ExecDDL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Query(0, "INSERT INTO thresholds VALUES (1, 50), (2, 90)"); err != nil {
+		t.Fatal(err)
+	}
+
+	err = eng.RegisterProc("Detect", func(ctx *sstore.ProcCtx) error {
+		_, err := ctx.Query(`INSERT INTO alerts
+			SELECT r.sensor, r.v FROM readings r JOIN thresholds t ON r.sensor = t.sensor
+			WHERE r.v > t.max`)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.RegisterProc("Record", func(ctx *sstore.ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO alert_log SELECT sensor, v FROM alerts")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := sstore.NewWorkflow("alerting", []sstore.Node{
+		{SP: "Detect", Input: "readings", Outputs: []string{"alerts"}},
+		{SP: "Record", Input: "alerts"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DeployWorkflow(wf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sensor 1 exceeds its threshold twice; sensor 2 never does.
+	batches := [][2]int64{{1, 60}, {2, 80}, {1, 40}, {1, 99}}
+	for i, b := range batches {
+		err := eng.IngestSync("readings", &sstore.Batch{
+			ID:   int64(i + 1),
+			Rows: []sstore.Row{{sstore.Int(b[0]), sstore.Int(b[1])}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(0, "SELECT sensor, v FROM alert_log ORDER BY v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].Int() != 60 || res.Rows[1][1].Int() != 99 {
+		t.Fatalf("alert_log = %v", res.Rows)
+	}
+	if got := eng.Stats().Executed; got < 6 {
+		t.Errorf("executed = %d, want >= 6 TEs", got)
+	}
+}
+
+// TestPublicAPIRecovery exercises checkpoint + weak recovery through
+// the facade.
+func TestPublicAPIRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := sstore.Config{
+		Recovery:    sstore.RecoveryWeak,
+		LogPath:     filepath.Join(dir, "cmd.log"),
+		LogPolicy:   sstore.SyncEachCommit,
+		SnapshotDir: dir,
+	}
+	build := func() *sstore.Engine {
+		eng, err := sstore.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.ExecDDL("CREATE STREAM in_s (v BIGINT)"); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.ExecDDL("CREATE TABLE total (n BIGINT)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Query(0, "INSERT INTO total VALUES (0)"); err != nil {
+			t.Fatal(err)
+		}
+		err = eng.RegisterProc("Sum", func(ctx *sstore.ProcCtx) error {
+			sum, err := ctx.Query("SELECT COALESCE(SUM(v), 0) FROM in_s")
+			if err != nil {
+				return err
+			}
+			_, err = ctx.Query("UPDATE total SET n = n + ?", sum.Rows[0][0])
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, _ := sstore.NewWorkflow("sum", []sstore.Node{{SP: "Sum", Input: "in_s"}})
+		if err := eng.DeployWorkflow(wf); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	e1 := build()
+	for b := int64(1); b <= 5; b++ {
+		if err := e1.IngestSync("in_s", &sstore.Batch{ID: b, Rows: []sstore.Row{{sstore.Int(b)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1.Drain()
+	want, _ := e1.Query(0, "SELECT n FROM total")
+	if want.Rows[0][0].Int() != 15 {
+		t.Fatalf("total = %v", want.Rows[0][0])
+	}
+	e1.Close()
+
+	e2 := build()
+	defer e2.Close()
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e2.Query(0, "SELECT n FROM total")
+	if got.Rows[0][0].Int() != 15 {
+		t.Errorf("recovered total = %v, want 15", got.Rows[0][0])
+	}
+}
+
+// TestPublicAPITables checks catalog introspection via the facade.
+func TestPublicAPITables(t *testing.T) {
+	eng, err := sstore.Open(sstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.ExecDDL("CREATE TABLE zz (id BIGINT)")
+	eng.ExecDDL("CREATE STREAM aa (v BIGINT)")
+	eng.ExecDDLOwned("Own", "CREATE WINDOW mm (v BIGINT) SIZE 3 SLIDE 1")
+	infos, err := eng.Tables(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("tables = %+v", infos)
+	}
+	// Name order: aa, mm, zz.
+	if infos[0].Name != "aa" || infos[0].Kind != "STREAM" {
+		t.Errorf("first = %+v", infos[0])
+	}
+	if infos[1].Kind != "WINDOW" || infos[2].Kind != "TABLE" {
+		t.Errorf("kinds = %+v", infos)
+	}
+	if _, err := eng.Tables(9); err == nil {
+		t.Error("bad partition should error")
+	}
+}
+
+// TestPublicAPINested checks nested transactions via the facade.
+func TestPublicAPINested(t *testing.T) {
+	eng, err := sstore.Open(sstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.ExecDDL("CREATE TABLE t (v BIGINT)")
+	eng.RegisterProc("Ins", func(ctx *sstore.ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO t VALUES (?)", ctx.Params()[0])
+		return err
+	})
+	eng.RegisterProc("Boom", func(ctx *sstore.ProcCtx) error {
+		return ctx.Abort("always")
+	})
+	if _, err := eng.CallNested([]sstore.NestedCall{
+		{SP: "Ins", Params: sstore.Row{sstore.Int(1)}},
+		{SP: "Boom"},
+	}); err == nil {
+		t.Fatal("nested should abort")
+	}
+	res, _ := eng.Query(0, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("count = %v, want 0", res.Rows[0][0])
+	}
+}
