@@ -60,3 +60,9 @@ func BenchmarkFig11LinearRoad(b *testing.B) { runFigure(b, experiments.Fig11) }
 // BenchmarkAblations runs the design-choice ablations (index-vs-scan
 // validation, atomic-batch size, trigger mechanism cost).
 func BenchmarkAblations(b *testing.B) { runFigure(b, experiments.Ablations) }
+
+// BenchmarkScalePartitions runs the partition-scaling experiment:
+// whole-workflow throughput at 1 vs N partitions with interior batches
+// spread across partitions by PartitionBy, on a synthetic routed
+// pipeline and an x-way-partitioned Linear Road run.
+func BenchmarkScalePartitions(b *testing.B) { runFigure(b, experiments.Scale) }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|all [-quick]
+//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|all [-quick]
 package main
 
 import (
@@ -32,6 +32,7 @@ var figures = []struct {
 	{"fig10", "Figure 10: Voter w/ Leaderboard on Modern SDMSs (votes/sec)", experiments.Fig10},
 	{"fig11", "Figure 11: Multi-core Scalability, Linear Road subset (max x-ways)", experiments.Fig11},
 	{"ablation", "Ablations: index-vs-scan, batch size, trigger mechanism", experiments.Ablations},
+	{"scale", "Partition scaling: workflow throughput with interior batches routed across partitions", experiments.Scale},
 }
 
 func main() {
@@ -64,7 +65,7 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", f.name, time.Since(start).Seconds())
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "sstore-bench: unknown experiment %q (want fig5..fig11 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "sstore-bench: unknown experiment %q (want fig5..fig11, ablation, scale, or all)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,3 @@
+module sstore
+
+go 1.24

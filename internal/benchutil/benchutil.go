@@ -146,6 +146,29 @@ func MeasureRate(window time.Duration, fn func() error) (float64, error) {
 	return float64(n) / time.Since(start).Seconds(), nil
 }
 
+// MeasureThroughput times n sequential submissions plus the settle
+// step (typically the engine drain, so every asynchronous workflow the
+// submissions started is counted) and returns operations per second
+// over the whole run — the closed-workload throughput probe used by the
+// partition-scaling benchmark.
+func MeasureThroughput(n int, submit func(i int) error, settle func() error) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("benchutil: n must be positive")
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := submit(i); err != nil {
+			return 0, err
+		}
+	}
+	if settle != nil {
+		if err := settle(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
 // Table accumulates aligned rows for printing paper-style result
 // tables.
 type Table struct {

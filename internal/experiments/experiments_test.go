@@ -155,3 +155,26 @@ func TestAllFiguresQuick(t *testing.T) {
 		})
 	}
 }
+
+func TestScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// The point of interior routing: with 4 partitions and a
+	// PartitionBy that spreads interior batches, whole-workflow
+	// throughput must beat the single-partition run of the identical
+	// workload. The probe is boundary-wait dominated, so the speedup
+	// holds even on a single-CPU host.
+	opts := quickOpts(t)
+	one, err := scaleRoutedProbe(opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := scaleRoutedProbe(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four <= one {
+		t.Errorf("4 partitions should out-run 1: %.0f vs %.0f workflows/sec", four, one)
+	}
+}

@@ -405,12 +405,20 @@ func (g *Generator) Next() Report {
 	}
 }
 
-// PartitionByXWay maps a report batch to its x-way's partition.
+// PartitionByXWay maps a batch to its x-way's partition. It routes
+// both of the workflow's streams — position reports at the border and
+// minute marks between SP1 and SP2 — so every TE for one x-way runs on
+// the same partition, where that x-way's vehicles, segment statistics,
+// and tolls live (§4.7).
 func PartitionByXWay(partitions int) func(string, []types.Row) int {
-	return func(_ string, batch []types.Row) int {
+	return func(streamName string, batch []types.Row) int {
 		if len(batch) == 0 {
 			return 0
 		}
-		return int(batch[0][3].Int()) % partitions
+		col := 3 // position_reports: (time, vid, speed, xway, ...)
+		if streamName == StreamMinutes {
+			col = 1 // minute_marks: (minute, xway)
+		}
+		return int(batch[0][col].Int()) % partitions
 	}
 }

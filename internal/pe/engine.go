@@ -43,9 +43,16 @@ type Options struct {
 	// SnapshotDir is where checkpoints are written (one file per
 	// partition).
 	SnapshotDir string
-	// PartitionBy routes an ingested batch to a partition; defaults
-	// to partition 0. All experiments partition streams by a key
-	// every tuple of a batch shares (x-way for Linear Road, §4.7).
+	// PartitionBy routes a batch to a partition; defaults to
+	// partition 0. It is consulted both for ingested (border) batches
+	// and for interior batches produced by committing TEs: an interior
+	// batch bound to another partition is relocated there — rows, GC
+	// refcount, and ledger entry travel with it — so a workflow fans
+	// out across partitions instead of staying pinned to the partition
+	// that ingested its border batch. All experiments partition
+	// streams by a key every tuple of a batch shares (x-way for Linear
+	// Road, §4.7); the function must be pure, since the same batch may
+	// be routed more than once (ingest retry, recovery).
 	PartitionBy func(streamName string, batch []types.Row) int
 	// RouteCall routes an OLTP call to a partition; defaults to
 	// partition 0.
@@ -67,7 +74,14 @@ type Engine struct {
 	spBorder  map[string]bool
 
 	logger *wal.Logger
-	dedup  *stream.Dedup
+	// dedup is the exactly-once ingestion ledger, sharded one per
+	// partition: a batch's admission lives on the partition the batch
+	// routes to, so ingestion to different partitions never contends
+	// and the ledger moves with the data.
+	dedup *stream.ShardedDedup
+	// idle counts queued plus in-flight tasks engine-wide; Drain
+	// blocks on it reaching zero.
+	idle *quiesce
 
 	peTriggersOn atomic.Bool
 	loggingOn    atomic.Bool
@@ -93,7 +107,8 @@ func NewEngine(opts Options) (*Engine, error) {
 		consumers: make(map[string][]string),
 		spInput:   make(map[string]string),
 		spBorder:  make(map[string]bool),
-		dedup:     stream.NewDedup(),
+		dedup:     stream.NewShardedDedup(opts.Partitions),
+		idle:      newQuiesce(),
 	}
 	e.peTriggersOn.Store(true)
 	e.loggingOn.Store(true)
@@ -112,6 +127,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	for i := 0; i < opts.Partitions; i++ {
 		p := newPartition(i, e)
+		p.sched.track = e.idle
 		e.parts = append(e.parts, p)
 		go p.run()
 	}
@@ -246,6 +262,10 @@ func (e *Engine) DeployWorkflow(w *workflow.Workflow) error {
 	return nil
 }
 
+// wrapPartition maps an arbitrary routing result into [0, n), wrapping
+// negatives, so a PartitionBy function never routes out of range.
+func wrapPartition(i, n int) int { return ((i % n) + n) % n }
+
 // onPartition runs fn inside the partition goroutine and waits.
 func (e *Engine) onPartition(p *partition, fn func(p *partition) error) error {
 	reply := make(chan callResult, 1)
@@ -259,7 +279,7 @@ func (e *Engine) onPartition(p *partition, fn func(p *partition) error) error {
 
 func (e *Engine) routeCall(sp string, params types.Row) int {
 	if e.opts.RouteCall != nil {
-		return e.opts.RouteCall(sp, params) % len(e.parts)
+		return wrapPartition(e.opts.RouteCall(sp, params), len(e.parts))
 	}
 	return 0
 }
@@ -377,12 +397,12 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 	if sp == "" {
 		return nil, fmt.Errorf("pe: no border stored procedure consumes stream %q", streamName)
 	}
-	if !e.dedup.Admit(key, b.ID) {
-		return nil, fmt.Errorf("pe: duplicate batch %d on stream %s", b.ID, streamName)
-	}
 	pid := 0
 	if e.opts.PartitionBy != nil {
-		pid = e.opts.PartitionBy(key, b.Rows) % len(e.parts)
+		pid = wrapPartition(e.opts.PartitionBy(key, b.Rows), len(e.parts))
+	}
+	if !e.dedup.Admit(pid, key, b.ID) {
+		return nil, fmt.Errorf("pe: duplicate batch %d on stream %s", b.ID, streamName)
 	}
 	var reply chan callResult
 	if sync {
@@ -398,6 +418,9 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 		reply:       reply,
 	}
 	if !e.parts[pid].sched.PushBack(t) {
+		// The batch never entered the engine: release the admission so
+		// a retry is not rejected as a duplicate.
+		e.dedup.Release(pid, key, b.ID)
 		return nil, fmt.Errorf("pe: engine closed")
 	}
 	return reply, nil
@@ -416,22 +439,15 @@ func (e *Engine) borderConsumer(streamKey string) string {
 }
 
 // Drain waits until every partition's queue is empty and the last task
-// has finished — including TEs spawned by PE triggers.
+// has finished — including TEs spawned by PE triggers and batches
+// handed off across partitions. The wait is event-driven: it blocks on
+// the engine-wide outstanding-work counter reaching zero (a committing
+// TE enqueues its children before releasing its own slot, so the
+// counter cannot dip to zero mid-workflow) and burns no CPU, unlike a
+// queue-polling barrier loop.
 func (e *Engine) Drain() error {
-	for {
-		settled := true
-		for _, p := range e.parts {
-			if err := e.onPartition(p, func(*partition) error { return nil }); err != nil {
-				return err
-			}
-			if p.sched.Len() > 0 {
-				settled = false
-			}
-		}
-		if settled {
-			return nil
-		}
-	}
+	e.idle.wait()
+	return nil
 }
 
 // AdHoc runs a single SQL statement as its own transaction on the
@@ -667,15 +683,63 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 	case wal.KindBorder:
 		t.batch = rec.Batch
 		t.inputStream = e.spInput[rec.SP]
-		e.dedup.Admit(t.inputStream, rec.BatchID)
+		e.dedup.Admit(pid, t.inputStream, rec.BatchID)
 	case wal.KindInterior:
 		t.inputStream = e.spInput[rec.SP]
+		// Under strong recovery the upstream TE replays with PE
+		// triggers disabled, so a batch that was relocated across
+		// partitions before the crash sits in the producing
+		// partition's stream table rather than here. Move it to the
+		// logged execution site before re-executing the consumer.
+		if t.inputStream != "" {
+			if rows := e.relocateBatchTo(pid, t.inputStream, rec.BatchID); len(rows) > 0 {
+				t.batch = rows
+			}
+		}
 	}
 	if !e.parts[pid].sched.PushBack(t) {
 		return fmt.Errorf("pe: engine closed")
 	}
 	r := <-t.reply
 	return r.err
+}
+
+// relocateBatchTo finds an interior batch's rows across partitions
+// and, when they live somewhere other than the target partition,
+// extracts them so the caller can hand them to the replayed TE (they
+// re-enter the target's stream table inside that TE). It returns nil
+// when the batch already sits on the target — the local-dispatch case —
+// or cannot be found anywhere (already consumed and GC'd).
+func (e *Engine) relocateBatchTo(pid int, streamKey string, batchID int64) []types.Row {
+	onTarget := false
+	_ = e.onPartition(e.parts[pid], func(p *partition) error {
+		if tbl, ok := p.cat.Lookup(streamKey); ok {
+			onTarget = len(storage.BatchRows(tbl, batchID)) > 0
+		}
+		return nil
+	})
+	if onTarget {
+		return nil
+	}
+	var rows []types.Row
+	for _, p := range e.parts {
+		if p.id == pid {
+			continue
+		}
+		_ = e.onPartition(p, func(p *partition) error {
+			if tbl, ok := p.cat.Lookup(streamKey); ok {
+				if got := storage.BatchRows(tbl, batchID); len(got) > 0 {
+					storage.DeleteBatch(tbl, batchID, nil)
+					rows = got
+				}
+			}
+			return nil
+		})
+		if len(rows) > 0 {
+			break
+		}
+	}
+	return rows
 }
 
 // FirePendingStreamTriggers implements recovery.Engine: for every
@@ -688,12 +752,12 @@ func (e *Engine) FirePendingStreamTriggers() error {
 			for _, tbl := range p.cat.StreamsWithData() {
 				key := strings.ToLower(tbl.Name())
 				batches := storage.PendingBatches(tbl)
-				// Keep the exactly-once ledger ahead of recovered
-				// batches.
+				// Keep this partition's exactly-once ledger ahead of
+				// the batches recovered onto it.
 				if n := len(batches); n > 0 {
-					if hi := batches[n-1]; hi > e.dedup.High(key) {
-						e.dedup.Reset(key)
-						e.dedup.Admit(key, hi)
+					if hi := batches[n-1]; hi > e.dedup.High(p.id, key) {
+						e.dedup.Reset(p.id, key)
+						e.dedup.Admit(p.id, key, hi)
 					}
 				}
 				consumers := e.consumers[key]

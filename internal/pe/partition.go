@@ -56,7 +56,11 @@ func newPartition(id int, eng *Engine) *partition {
 	}
 }
 
-// run is the partition goroutine: pop, execute, repeat.
+// run is the partition goroutine: pop, execute, repeat. Each task's
+// slot in the engine-wide quiesce counter is released only after
+// execute returns, i.e. after the TE committed (or aborted) and its
+// triggered children were enqueued — so Drain cannot observe a
+// momentarily-empty queue while a workflow is still unfolding.
 func (p *partition) run() {
 	defer close(p.done)
 	for {
@@ -65,6 +69,9 @@ func (p *partition) run() {
 			return
 		}
 		p.execute(t)
+		if p.sched.track != nil {
+			p.sched.track.done()
+		}
 	}
 }
 
@@ -106,9 +113,17 @@ func (p *partition) executeSP(t *task) {
 	err := func() error {
 		// Border TEs ingest their batch: the tuples are appended to
 		// the input stream inside the TE, so batch arrival and its
-		// processing commit atomically (§2.1).
+		// processing commit atomically (§2.1). Interior TEs whose
+		// batch was relocated here by cross-partition dispatch place
+		// the moved rows the same way, but without re-firing EE
+		// triggers — the rows already entered the system once, at the
+		// producing partition.
 		if len(t.batch) > 0 && t.inputStream != "" {
-			if err := p.insertBatch(t.inputStream, t.batch, ectx); err != nil {
+			if t.kind == wal.KindInterior {
+				if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, tx); err != nil {
+					return err
+				}
+			} else if err := p.insertBatch(t.inputStream, t.batch, ectx); err != nil {
 				return err
 			}
 		}
@@ -119,6 +134,7 @@ func (p *partition) executeSP(t *task) {
 		if rbErr := tx.Rollback(); rbErr != nil {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
+		p.retainRelocatedBatch(t)
 		p.replyTo(t, nil, err)
 		return
 	}
@@ -127,6 +143,7 @@ func (p *partition) executeSP(t *task) {
 		if rbErr := tx.Rollback(); rbErr != nil {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
+		p.retainRelocatedBatch(t)
 		p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
 		return
 	}
@@ -169,6 +186,47 @@ func (p *partition) insertBatch(streamName string, rows []types.Row, ectx *ee.Ex
 	return nil
 }
 
+// placeMovedBatch restores a relocated batch's tuples into this
+// partition's copy of the stream table, transactionally when undo is
+// given (the insert rolls back with the consuming TE). Unlike
+// insertBatch it bypasses the executor: EE triggers fired when the
+// producing TE appended the rows, and the move is pure relocation, not
+// a second arrival.
+func (p *partition) placeMovedBatch(streamName string, rows []types.Row, batchID int64, undo storage.Undo) error {
+	tbl, err := p.cat.Get(streamName)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := tbl.Insert(row, batchID, undo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retainRelocatedBatch runs after an aborted TE rolled back: if the
+// task carried a relocated batch, the rollback removed the rows from
+// the stream table, which would lose the batch — they exist nowhere
+// else. Re-placing them outside any transaction mirrors the
+// local-dispatch abort semantics: the failed batch stays in the stream
+// table (inspectable, never silently dropped) and later consumers of a
+// multi-consumer batch still see it; the aborted consumer never
+// releases its refcount share, so the batch is retained rather than
+// GC'd.
+func (p *partition) retainRelocatedBatch(t *task) {
+	if t.kind != wal.KindInterior || len(t.batch) == 0 || t.inputStream == "" {
+		return
+	}
+	if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, nil); err != nil {
+		p.lastTriggerErr = fmt.Errorf("pe: retain relocated batch %d on %s: %w", t.batchID, t.inputStream, err)
+		return
+	}
+	if t.gcRefs > 1 {
+		p.pendingGC[gcKey{stream: t.inputStream, batchID: t.batchID}] = t.gcRefs
+	}
+}
+
 // logCommit appends the TE's command-log record per the recovery mode,
 // blocking until durable. It runs before Commit so a logged transaction
 // is always recoverable (write-ahead).
@@ -183,7 +241,14 @@ func (p *partition) logCommit(t *task) error {
 		SP:        t.sp,
 		BatchID:   t.batchID,
 		Params:    t.params,
-		Batch:     t.batch,
+	}
+	// Only border records carry tuples (upstream backup, §3.2.5). An
+	// interior task may also hold rows when its batch was relocated
+	// across partitions, but logging them would be pure log volume:
+	// strong-recovery replay re-derives the rows from the upstream
+	// record and moves them with relocateBatchTo.
+	if t.kind == wal.KindBorder {
+		rec.Batch = t.batch
 	}
 	_, err := e.logger.Append(rec)
 	return err
@@ -199,7 +264,14 @@ func (p *partition) afterCommit(t *task, appends []ee.StreamAppend) {
 		return
 	}
 	if len(t.batch) > 0 {
-		// Border TE: sole consumer of the batch it ingested.
+		if t.gcRefs > 1 {
+			// First consumer of a relocated multi-consumer batch: the
+			// refcount follows the batch to this partition; the
+			// remaining consumers decrement it below.
+			p.pendingGC[gcKey{stream: t.inputStream, batchID: t.batchID}] = t.gcRefs - 1
+			return
+		}
+		// Border TE or sole consumer of a relocated batch: GC now.
 		p.gcBatch(t.inputStream, t.batchID)
 		return
 	}
@@ -224,13 +296,29 @@ func (p *partition) gcBatch(streamName string, batchID int64) {
 	}
 }
 
-// dispatchTriggers turns the TE's stream appends into front-of-queue
-// TEs for each downstream consumer, preserving append order (which is
-// consistent with the workflow's topological order because appends
-// happen in SP execution order).
+// dispatchTriggers turns the TE's stream appends into TEs for each
+// downstream consumer, preserving append order (which is consistent
+// with the workflow's topological order because appends happen in SP
+// execution order).
+//
+// When the engine has a PartitionBy routing function and more than one
+// partition, each appended batch is routed like an ingested one: a
+// batch bound to this partition short-circuits to the front of the
+// local queue (§3.2.4); a batch bound elsewhere is relocated — its rows
+// are extracted from the local stream table and travel with the
+// consumer tasks to the destination partition's FIFO, together with the
+// GC refcount. Because this partition dispatches serially in commit
+// order and the hand-off appends each batch's tasks atomically, batches
+// of one stream arrive at any given partition in increasing-ID order —
+// the per-(stream, partition) ordering guarantee the paper's §2.2
+// constraints reduce to under data partitioning (§4.7).
 func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
-	var children []*task
+	var local []*task
+	var remote [][]*task // batches bound elsewhere, in append order
+	var remoteTo []int
 	seen := make(map[gcKey]bool)
+	route := p.eng.opts.PartitionBy
+	nparts := len(p.eng.parts)
 	for _, ap := range appends {
 		if ap.Table == strings.ToLower(t.inputStream) {
 			// The TE's own input: being consumed, not produced.
@@ -245,18 +333,67 @@ func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 		if len(consumers) == 0 {
 			continue
 		}
-		p.pendingGC[key] = len(consumers)
-		for _, c := range consumers {
-			children = append(children, &task{
+		target := p.id
+		var rows []types.Row
+		if route != nil && nparts > 1 {
+			if tbl, ok := p.cat.Lookup(ap.Table); ok {
+				rows = storage.BatchRows(tbl, ap.BatchID)
+			}
+			if len(rows) > 0 {
+				target = wrapPartition(route(ap.Table, rows), nparts)
+			}
+		}
+		if target == p.id {
+			p.pendingGC[key] = len(consumers)
+			for _, c := range consumers {
+				local = append(local, &task{
+					sp:          c,
+					params:      types.Row{types.NewInt(ap.BatchID)},
+					batchID:     ap.BatchID,
+					kind:        wal.KindInterior,
+					inputStream: ap.Table,
+				})
+			}
+			continue
+		}
+		// Relocate: the batch's rows leave this partition with the
+		// first consumer task; the dedup ledger and GC refcount follow
+		// the batch to its destination. The local copy is deleted only
+		// after the hand-off is accepted, below.
+		group := make([]*task, 0, len(consumers))
+		for i, c := range consumers {
+			ct := &task{
 				sp:          c,
 				params:      types.Row{types.NewInt(ap.BatchID)},
 				batchID:     ap.BatchID,
 				kind:        wal.KindInterior,
 				inputStream: ap.Table,
-			})
+			}
+			if i == 0 {
+				ct.batch = rows
+				ct.gcRefs = len(consumers)
+			}
+			group = append(group, ct)
 		}
+		remote = append(remote, group)
+		remoteTo = append(remoteTo, target)
 	}
-	p.sched.PushFrontBatch(children)
+	p.sched.PushFrontBatch(local)
+	for i, group := range remote {
+		if p.eng.parts[remoteTo[i]].sched.PushBackBatch(group) {
+			// Hand-off accepted: the batch now lives in the carrying
+			// task; drop the local copy.
+			if tbl, ok := p.cat.Lookup(group[0].inputStream); ok {
+				storage.DeleteBatch(tbl, group[0].batchID, nil)
+			}
+			continue
+		}
+		// Destination closed mid-shutdown: keep the committed batch in
+		// the local stream table rather than dropping it, and surface
+		// the miss like any other trigger failure.
+		p.lastTriggerErr = fmt.Errorf("pe: partition %d closed; batch %d on %s not dispatched",
+			remoteTo[i], group[0].batchID, group[0].inputStream)
+	}
 }
 
 // executeNested runs a nested transaction (§2.3): children execute in
@@ -309,13 +446,28 @@ func (p *partition) executeNested(t *task) {
 		}
 	}
 	var appends []ee.StreamAppend
+	var commitErr error
 	for _, r := range runs {
-		_ = r.tx.Commit()
+		if err := r.tx.Commit(); err != nil {
+			// A child that fails to commit is not executed; the first
+			// failure is reported to the caller. Children that already
+			// committed stay committed (their effects are durable), so
+			// their stream appends still dispatch below.
+			if commitErr == nil {
+				commitErr = fmt.Errorf("pe: nested child %s commit: %w", r.ectx.SP, err)
+			}
+			p.aborted++
+			continue
+		}
 		p.executed++
 		p.execBySP[r.ectx.SP]++
 		appends = append(appends, r.ectx.Appends...)
 	}
 	p.afterCommit(t, appends)
+	if commitErr != nil {
+		p.replyTo(t, nil, commitErr)
+		return
+	}
 	if lastResult == nil {
 		lastResult = &Result{}
 	}

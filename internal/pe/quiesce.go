@@ -1,0 +1,49 @@
+package pe
+
+import "sync"
+
+// quiesce counts work outstanding across every partition of an engine:
+// each task is counted from the moment it is queued until its execution
+// (including post-commit trigger dispatch) returns. Because a
+// committing TE enqueues its triggered children before its own count is
+// released, the counter can only reach zero when the engine is truly
+// idle — no task queued anywhere and none in flight. Drain blocks on
+// that condition instead of busy-polling the partitions, so a drain
+// costs no CPU while streaming work runs down.
+type quiesce struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+}
+
+func newQuiesce() *quiesce {
+	q := &quiesce{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// add accounts for newly queued tasks.
+func (q *quiesce) add(delta int) {
+	q.mu.Lock()
+	q.n += int64(delta)
+	q.mu.Unlock()
+}
+
+// done releases one task; the last release wakes every waiter.
+func (q *quiesce) done() {
+	q.mu.Lock()
+	q.n--
+	if q.n == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// wait blocks until the outstanding count is zero.
+func (q *quiesce) wait() {
+	q.mu.Lock()
+	for q.n != 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}

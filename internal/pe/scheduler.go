@@ -18,8 +18,11 @@ type task struct {
 	sp      string
 	params  types.Row
 	batchID int64
-	// batch carries the atomic batch's tuples for border TEs (the
-	// ingest path inserts them into the input stream inside the TE).
+	// batch carries the atomic batch's tuples when the TE must place
+	// them into its input stream itself: border TEs (the ingest path,
+	// where arrival and processing commit atomically, §2.1) and
+	// interior TEs whose batch was routed to this partition by the
+	// cross-partition dispatch path (the rows move with the task).
 	batch []types.Row
 	// kind classifies the TE for command logging.
 	kind wal.RecordKind
@@ -27,6 +30,11 @@ type task struct {
 	// the engine garbage-collects the batch once every consumer ran
 	// (§3.2.3).
 	inputStream string
+	// gcRefs, on an interior task that carries a relocated batch
+	// (cross-partition dispatch), is the total number of consumers
+	// sharing the batch; the carrying task registers the remaining
+	// refcount on the destination partition after it commits.
+	gcRefs int
 	// nested, when non-nil, makes this task a nested transaction:
 	// the children run as one isolation unit (§2.3).
 	nested []nestedChild
@@ -73,6 +81,11 @@ type scheduler struct {
 	front  []*task // triggered TEs, consumed before back
 	back   []*task // FIFO client requests
 	closed bool
+	// track, when non-nil, is the engine-wide outstanding-work counter
+	// backing the event-driven Drain: every successful enqueue
+	// increments it; the partition goroutine releases it after the
+	// task finishes executing.
+	track *quiesce
 }
 
 func newScheduler() *scheduler {
@@ -89,6 +102,32 @@ func (s *scheduler) PushBack(t *task) bool {
 		return false
 	}
 	s.back = append(s.back, t)
+	if s.track != nil {
+		s.track.add(1)
+	}
+	s.cond.Signal()
+	return true
+}
+
+// PushBackBatch appends several tasks atomically in the given order.
+// The cross-partition dispatch path uses this: a committing TE hands a
+// routed batch's consumer TEs to another partition's queue as one unit,
+// so batches of a stream arrive at each partition in the producer's
+// commit order (the per-(stream, partition) ordering guarantee) and no
+// foreign task can land between the consumers of one batch.
+func (s *scheduler) PushBackBatch(ts []*task) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.back = append(s.back, ts...)
+	if s.track != nil {
+		s.track.add(len(ts))
+	}
 	s.cond.Signal()
 	return true
 }
@@ -105,6 +144,9 @@ func (s *scheduler) PushFrontBatch(ts []*task) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.front = append(append(make([]*task, 0, len(ts)+len(s.front)), ts...), s.front...)
+	if s.track != nil {
+		s.track.add(len(ts))
+	}
 	s.cond.Signal()
 }
 

@@ -109,3 +109,78 @@ func TestDedupConcurrent(t *testing.T) {
 		t.Errorf("total admissions = %d, want exactly 1000", total)
 	}
 }
+
+func TestDedupRelease(t *testing.T) {
+	d := NewDedup()
+	if !d.Admit("s", 1) || !d.Admit("s", 2) {
+		t.Fatal("admissions rejected")
+	}
+	// Releasing the most recent admission restores the previous high.
+	d.Release("s", 2)
+	if d.High("s") != 1 {
+		t.Errorf("high after release = %d, want 1", d.High("s"))
+	}
+	if !d.Admit("s", 2) {
+		t.Error("released batch should be admittable again")
+	}
+	// Releasing a non-latest ID is a no-op: the ledger cannot regress
+	// below a later admission.
+	d.Release("s", 1)
+	if d.High("s") != 2 {
+		t.Errorf("high after stale release = %d, want 2", d.High("s"))
+	}
+	// Releasing an unknown stream is a no-op.
+	d.Release("other", 7)
+	if d.High("other") != 0 {
+		t.Errorf("high on untouched stream = %d", d.High("other"))
+	}
+}
+
+func TestShardedDedup(t *testing.T) {
+	s := NewShardedDedup(4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	// Shards are independent ledgers: the same (stream, ID) admits on
+	// each shard exactly once.
+	for shard := 0; shard < 4; shard++ {
+		if !s.Admit(shard, "s", 1) {
+			t.Errorf("shard %d rejected first admission", shard)
+		}
+		if s.Admit(shard, "s", 1) {
+			t.Errorf("shard %d admitted duplicate", shard)
+		}
+	}
+	// Release and Reset are per shard.
+	if !s.Admit(1, "s", 5) {
+		t.Fatal("shard 1 rejected batch 5")
+	}
+	s.Release(1, "s", 5)
+	if s.High(1, "s") != 1 {
+		t.Errorf("shard 1 high = %d, want 1", s.High(1, "s"))
+	}
+	s.Reset(2, "s")
+	if !s.Admit(2, "s", 1) {
+		t.Error("reset shard should re-admit")
+	}
+	if s.High(3, "s") != 1 {
+		t.Errorf("shard 3 high = %d, want 1", s.High(3, "s"))
+	}
+	// Out-of-range shard indexes wrap instead of panicking.
+	if !s.Admit(6, "t", 1) { // shard 2
+		t.Error("wrapped shard rejected admission")
+	}
+	if s.High(-2, "t") != 1 { // also shard 2
+		t.Errorf("negative shard index should wrap: high = %d", s.High(-2, "t"))
+	}
+}
+
+func TestShardedDedupSingleShard(t *testing.T) {
+	s := NewShardedDedup(0) // clamped to 1
+	if s.Shards() != 1 {
+		t.Fatalf("shards = %d, want 1", s.Shards())
+	}
+	if !s.Admit(0, "s", 1) || s.Admit(5, "s", 1) {
+		t.Error("single shard must behave as one ledger")
+	}
+}

@@ -158,7 +158,11 @@ type Config struct {
 	GroupWindow time.Duration
 	// SnapshotDir is where checkpoints live.
 	SnapshotDir string
-	// PartitionBy routes ingested batches to partitions.
+	// PartitionBy routes batches to partitions — both ingested
+	// (border) batches and interior batches produced by committing
+	// TEs, which relocate to their routed partition so workflows fan
+	// out across partitions. Partition by a key every tuple of a
+	// batch shares; the function must be pure. See DESIGN.md §3.
 	PartitionBy func(streamName string, batch []Row) int
 	// RouteCall routes OLTP calls to partitions.
 	RouteCall func(sp string, params Row) int
