@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|all [-quick]
+//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|all [-quick] [-json]
+//
+// With -json, each experiment additionally writes BENCH_<exp>.json in
+// the current directory: the result table's columns and raw row
+// values plus the wall time, so the performance trajectory is
+// machine-readable across runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +41,36 @@ var figures = []struct {
 	{"scale", "Partition scaling: workflow throughput with interior batches routed across partitions", experiments.Scale},
 }
 
+// benchReport is the machine-readable result of one experiment.
+type benchReport struct {
+	Experiment     string   `json:"experiment"`
+	Title          string   `json:"title"`
+	Quick          bool     `json:"quick"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	Columns        []string `json:"columns"`
+	Rows           [][]any  `json:"rows"`
+}
+
+func writeReport(name, title string, quick bool, table *benchutil.Table, elapsed time.Duration) error {
+	rep := benchReport{
+		Experiment:     name,
+		Title:          title,
+		Quick:          quick,
+		ElapsedSeconds: elapsed.Seconds(),
+		Columns:        table.Columns(),
+		Rows:           table.Rows(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", name), append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig5..fig11, ablation, or all")
 	quick := flag.Bool("quick", false, "shrink sweeps and windows for a fast pass")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json per experiment")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "sstore-bench-*")
@@ -62,7 +95,14 @@ func main() {
 			os.Exit(1)
 		}
 		table.Print(os.Stdout)
-		fmt.Printf("(%s in %.1fs)\n\n", f.name, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		fmt.Printf("(%s in %.1fs)\n\n", f.name, elapsed.Seconds())
+		if *jsonOut {
+			if err := writeReport(f.name, f.title, *quick, table, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "sstore-bench: %s: write json: %v\n", f.name, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "sstore-bench: unknown experiment %q (want fig5..fig11, ablation, scale, or all)\n", *exp)

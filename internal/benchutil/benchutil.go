@@ -170,10 +170,12 @@ func MeasureThroughput(n int, submit func(i int) error, settle func() error) (fl
 }
 
 // Table accumulates aligned rows for printing paper-style result
-// tables.
+// tables; it keeps the raw values alongside the formatted cells so
+// results can also be exported machine-readably (sstore-bench -json).
 type Table struct {
 	header []string
 	rows   [][]string
+	raw    [][]any
 }
 
 // NewTable creates a table with the given column headers.
@@ -193,7 +195,15 @@ func (t *Table) AddRow(values ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.raw = append(t.raw, append([]any(nil), values...))
 }
+
+// Columns returns the column headers.
+func (t *Table) Columns() []string { return t.header }
+
+// Rows returns the rows' raw (unformatted) values, one slice per
+// AddRow call.
+func (t *Table) Rows() [][]any { return t.raw }
 
 // Print writes the table, aligned, to w.
 func (t *Table) Print(w io.Writer) {

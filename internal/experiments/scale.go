@@ -2,13 +2,16 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"sstore/internal/benchutil"
 	"sstore/internal/linearroad"
 	"sstore/internal/pe"
+	"sstore/internal/recovery"
 	"sstore/internal/stream"
 	"sstore/internal/types"
+	"sstore/internal/wal"
 	"sstore/internal/workflow"
 )
 
@@ -39,6 +42,13 @@ const scaleWorkQueries = 8
 // that ingested it and extra partitions add nothing. A Linear Road
 // x-way run (border and minute-mark batches both routed by x-way)
 // rides along as the realistic workload.
+//
+// The routed-pipeline-logged variant reruns the synthetic pipeline
+// with strong command logging under group commit: every TE's commit
+// blocks on its partition's log. With the sharded log set each
+// partition flushes its own file, so the logged workflow still scales
+// with partitions; a shared log would re-serialize on one mutex and
+// one fsync queue exactly the work the routing spread out.
 func Scale(opts Options) (*benchutil.Table, error) {
 	table := benchutil.NewTable("workload", "partitions", "workflows_per_sec", "speedup_vs_1p")
 	parts := opts.pick([]int{1, 4}, []int{1, 2, 4, 8})
@@ -47,6 +57,7 @@ func Scale(opts Options) (*benchutil.Table, error) {
 		probe func(Options, int) (float64, error)
 	}{
 		{"routed-pipeline", scaleRoutedProbe},
+		{"routed-pipeline-logged", scaleRoutedLoggedProbe},
 		{"linearroad-xway", scaleLinearRoadProbe},
 	}
 	for _, w := range workloads {
@@ -74,17 +85,18 @@ func Scale(opts Options) (*benchutil.Table, error) {
 // issues scaleWorkQueries statements against the batch and records the
 // outcome. PartitionBy pins the border stream to partition 0 and routes
 // scale_jobs by the key every tuple of a batch shares.
-func scaleRoutedEngine(parts int) (*pe.Engine, error) {
-	eng, err := pe.NewEngine(pe.Options{
-		Partitions: parts,
-		EEDispatch: scaleDispatch,
-		PartitionBy: func(streamName string, batch []types.Row) int {
+func scaleRoutedEngine(parts int, base pe.Options) (*pe.Engine, error) {
+	base.Partitions = parts
+	base.EEDispatch = scaleDispatch
+	if base.PartitionBy == nil {
+		base.PartitionBy = func(streamName string, batch []types.Row) int {
 			if streamName != "scale_jobs" || len(batch) == 0 {
 				return 0
 			}
 			return int(batch[0][0].Int()) % parts
-		},
-	})
+		}
+	}
+	eng, err := pe.NewEngine(base)
 	if err != nil {
 		return nil, err
 	}
@@ -135,11 +147,17 @@ func scaleRoutedEngine(parts int) (*pe.Engine, error) {
 }
 
 func scaleRoutedProbe(opts Options, parts int) (float64, error) {
-	eng, err := scaleRoutedEngine(parts)
+	eng, err := scaleRoutedEngine(parts, pe.Options{})
 	if err != nil {
 		return 0, err
 	}
 	defer eng.Close()
+	return driveScaleRouted(opts, eng)
+}
+
+// driveScaleRouted pushes the keyed batch stream through a routed
+// pipeline engine and reports workflows per second.
+func driveScaleRouted(opts Options, eng *pe.Engine) (float64, error) {
 	n := opts.n(150, 600)
 	tput, err := benchutil.MeasureThroughput(n,
 		func(i int) error {
@@ -158,6 +176,38 @@ func scaleRoutedProbe(opts Options, parts int) (float64, error) {
 		return 0, err
 	}
 	return tput, nil
+}
+
+// scaleRoutedLoggedProbe is the routed pipeline with durability on:
+// strong recovery (border and interior TEs logged) under group
+// commit, the log sharded one file per partition in a scratch
+// directory. Border batches route by key too, so commits — and their
+// log appends — land on every partition's own log rather than
+// funneling through one file.
+func scaleRoutedLoggedProbe(opts Options, parts int) (float64, error) {
+	scratch, err := os.MkdirTemp(opts.Dir, "scale-log-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(scratch)
+	routeBoth := func(streamName string, batch []types.Row) int {
+		if len(batch) == 0 {
+			return 0
+		}
+		return int(batch[0][0].Int()) % parts
+	}
+	eng, err := scaleRoutedEngine(parts, pe.Options{
+		Recovery:    recovery.ModeStrong,
+		LogPath:     scratch, // directory: one cmd-p<N>.log per partition
+		LogPolicy:   wal.SyncGroup,
+		SnapshotDir: scratch,
+		PartitionBy: routeBoth,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	return driveScaleRouted(opts, eng)
 }
 
 // scaleLinearRoadProbe drives the Linear Road workflow with a fixed

@@ -2,6 +2,7 @@ package pe
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -10,7 +11,6 @@ import (
 	"sstore/internal/ee"
 	"sstore/internal/netsim"
 	"sstore/internal/recovery"
-	"sstore/internal/storage"
 	"sstore/internal/stream"
 	"sstore/internal/txn"
 	"sstore/internal/types"
@@ -32,8 +32,11 @@ type Options struct {
 	EEDispatch time.Duration
 	// Recovery selects the logging/recovery scheme (§3.2.5).
 	Recovery recovery.Mode
-	// LogPath is the command-log file; required when Recovery is not
-	// ModeNone.
+	// LogPath is the command-log location, required when Recovery is
+	// not ModeNone. The log is sharded one file per partition: an
+	// existing directory holds <dir>/cmd-p<N>.log, any other path is
+	// used as a file-name prefix (<path>.p<N>). A legacy unsharded
+	// log at exactly <path> is still replayed.
 	LogPath string
 	// LogPolicy selects commit durability (§3.1; Figure 9a runs
 	// without group commit, i.e. SyncEachCommit).
@@ -73,7 +76,9 @@ type Engine struct {
 	spInput   map[string]string   // sp → input stream (lower-case)
 	spBorder  map[string]bool
 
-	logger *wal.Logger
+	// logs is the sharded command log, one file per partition with a
+	// shared global commit sequence; nil when logging is off.
+	logs *wal.LogSet
 	// dedup is the exactly-once ingestion ledger, sharded one per
 	// partition: a batch's admission lives on the partition the batch
 	// routes to, so ingestion to different partitions never contends
@@ -82,6 +87,15 @@ type Engine struct {
 	// idle counts queued plus in-flight tasks engine-wide; Drain
 	// blocks on it reaching zero.
 	idle *quiesce
+	// stash, non-nil only while Recover runs, parks batches produced
+	// by replayed TEs until their consumer's log record replays (see
+	// replay.go).
+	stash *replayStash
+	// snapLSN is the commit-sequence stamp of the last snapshot
+	// loaded; Recover re-arms the sequence past it so post-checkpoint
+	// commits never reuse stamps the replay filter treats as
+	// already-applied.
+	snapLSN uint64
 
 	peTriggersOn atomic.Bool
 	loggingOn    atomic.Bool
@@ -119,11 +133,16 @@ func NewEngine(opts Options) (*Engine, error) {
 		e.boundary = &netsim.Boundary{Dispatch: opts.EEDispatch}
 	}
 	if opts.Recovery != recovery.ModeNone {
-		l, err := wal.Open(wal.Options{Path: opts.LogPath, Policy: opts.LogPolicy, GroupWindow: opts.GroupWindow})
+		ls, err := wal.OpenSet(wal.SetOptions{
+			Path:        opts.LogPath,
+			Partitions:  opts.Partitions,
+			Policy:      opts.LogPolicy,
+			GroupWindow: opts.GroupWindow,
+		})
 		if err != nil {
 			return nil, err
 		}
-		e.logger = l
+		e.logs = ls
 	}
 	for i := 0; i < opts.Partitions; i++ {
 		p := newPartition(i, e)
@@ -146,8 +165,8 @@ func (e *Engine) Close() error {
 	for _, p := range e.parts {
 		<-p.done
 	}
-	if e.logger != nil {
-		return e.logger.Close()
+	if e.logs != nil {
+		return e.logs.Close()
 	}
 	return nil
 }
@@ -558,8 +577,8 @@ func (e *Engine) Stats() Stats {
 		s.Executed += p.executed
 		s.Aborted += p.aborted
 	}
-	if e.logger != nil {
-		s.LogAppends, s.LogSyncs = e.logger.Stats()
+	if e.logs != nil {
+		s.LogAppends, s.LogSyncs = e.logs.Stats()
 	}
 	if e.link != nil {
 		s.ClientTrips = e.link.Trips()
@@ -572,8 +591,34 @@ func (e *Engine) Stats() Stats {
 
 // --- Checkpoint & recovery ---
 
+// snapshotPath is the legacy (pre-manifest) per-partition snapshot
+// name, still loaded when no manifest exists.
 func (e *Engine) snapshotPath(pid int) string {
 	return filepath.Join(e.opts.SnapshotDir, fmt.Sprintf("snapshot.p%d", pid))
+}
+
+// genSnapshotPath names one partition's snapshot file within a
+// checkpoint generation; the generation is committed by the manifest.
+func (e *Engine) genSnapshotPath(pid int, stamp uint64) string {
+	return filepath.Join(e.opts.SnapshotDir, fmt.Sprintf("snapshot.p%d.g%d", pid, stamp))
+}
+
+// cleanupSnapshotGenerations best-effort removes snapshot files of
+// generations other than keep — superseded generations and legacy
+// plain files — once a new manifest has committed.
+func (e *Engine) cleanupSnapshotGenerations(keep uint64) {
+	ents, err := os.ReadDir(e.opts.SnapshotDir)
+	if err != nil {
+		return
+	}
+	keepSuffix := fmt.Sprintf(".g%d", keep)
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "snapshot.p") || strings.HasSuffix(name, keepSuffix) {
+			continue
+		}
+		os.Remove(filepath.Join(e.opts.SnapshotDir, name))
+	}
 }
 
 // Checkpoint quiesces all partitions and writes a transaction-
@@ -608,218 +653,60 @@ func (e *Engine) Checkpoint() error {
 	for len(parked) < len(e.parts) {
 		parked = append(parked, <-ready)
 	}
+	// With every partition parked, the global commit sequence is the
+	// snapshot stamp: every record at or below it committed before
+	// the quiesce and is reflected in the partition snapshots.
 	var lastLSN uint64
-	if e.logger != nil {
-		lastLSN = e.logger.LastLSN()
+	if e.logs != nil {
+		lastLSN = e.logs.LastSeq()
 	}
+	// Ground batches traveling inside queued carrying tasks before
+	// cutting snapshots: a TE that committed behind another
+	// partition's barrier may have relocated its output batch into a
+	// queue, where no table snapshot would see it — and its log
+	// record, stamped at or below lastLSN, is about to be compacted
+	// away. Grounding puts the rows into the destination's stream
+	// table so the snapshot covers them. A grounding failure aborts
+	// the checkpoint before any snapshot is written: stamping the
+	// snapshots without the batch would make it unrecoverable.
+	var groundErr error
+	for _, rp := range parked {
+		if err := rp.p.groundQueuedBatches(); err != nil && groundErr == nil {
+			groundErr = err
+		}
+	}
+	if groundErr != nil {
+		for _, rp := range parked {
+			rp.err <- groundErr
+		}
+		close(release)
+		return groundErr
+	}
+	// Snapshots are written under generation names and committed by
+	// the manifest afterwards: a crash between per-partition writes
+	// leaves the previous generation intact and consistent, so
+	// recovery can never load partitions at mixed stamps.
 	var firstErr error
 	for _, rp := range parked {
-		err := wal.WriteSnapshot(e.snapshotPath(rp.p.id), lastLSN, rp.p.cat.Tables())
+		err := wal.WriteSnapshot(e.genSnapshotPath(rp.p.id, lastLSN), lastLSN, rp.p.cat.Tables())
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		rp.err <- err
 	}
-	// With every partition's snapshot durable, records at or below
-	// lastLSN can never replay; drop them while the engine is still
-	// quiesced.
-	if firstErr == nil && e.logger != nil {
-		firstErr = e.logger.CompactBefore(lastLSN)
+	if firstErr == nil {
+		firstErr = wal.WriteSnapshotManifest(e.opts.SnapshotDir, lastLSN)
+	}
+	// With the generation committed, records at or below the stamp
+	// can never replay; truncate each partition's log against it
+	// while the engine is still quiesced, and drop superseded
+	// snapshot generations.
+	if firstErr == nil && e.logs != nil {
+		firstErr = e.logs.CompactBefore(lastLSN)
+	}
+	if firstErr == nil {
+		e.cleanupSnapshotGenerations(lastLSN)
 	}
 	close(release)
 	return firstErr
-}
-
-// LoadSnapshot implements recovery.Engine: it restores the latest
-// checkpoint into every partition, returning the checkpoint's log
-// position.
-func (e *Engine) LoadSnapshot() (uint64, error) {
-	var lastLSN uint64
-	for _, p := range e.parts {
-		var lsn uint64
-		err := e.onPartition(p, func(p *partition) error {
-			var err error
-			lsn, err = wal.LoadSnapshot(e.snapshotPath(p.id), p.cat.Lookup)
-			return err
-		})
-		if err != nil {
-			return 0, err
-		}
-		if lsn > lastLSN {
-			lastLSN = lsn
-		}
-	}
-	return lastLSN, nil
-}
-
-// SetPETriggersEnabled implements recovery.Engine.
-func (e *Engine) SetPETriggersEnabled(enabled bool) { e.peTriggersOn.Store(enabled) }
-
-// ReplayRecord implements recovery.Engine: it re-executes one logged
-// TE synchronously without re-logging it. Replay is client-driven, as
-// in H-Store: "the log is read by the client and transactions are
-// submitted sequentially ... each transaction must be confirmed as
-// committed before the next can be sent" (§4.4) — so each replayed
-// record pays one client round trip. TEs re-derived inside the engine
-// by PE triggers (weak recovery's interior work) pay none, which is
-// why weak recovery also *recovers* faster (Figure 9b).
-func (e *Engine) ReplayRecord(rec *wal.Record) error {
-	if e.link != nil {
-		e.link.RoundTrip()
-	}
-	pid := rec.Partition
-	if pid >= len(e.parts) {
-		return fmt.Errorf("pe: log record for partition %d, engine has %d", pid, len(e.parts))
-	}
-	t := &task{
-		sp:      rec.SP,
-		params:  rec.Params,
-		batchID: rec.BatchID,
-		kind:    rec.Kind,
-		noLog:   true,
-		reply:   make(chan callResult, 1),
-	}
-	switch rec.Kind {
-	case wal.KindBorder:
-		t.batch = rec.Batch
-		t.inputStream = e.spInput[rec.SP]
-		e.dedup.Admit(pid, t.inputStream, rec.BatchID)
-	case wal.KindInterior:
-		t.inputStream = e.spInput[rec.SP]
-		// Under strong recovery the upstream TE replays with PE
-		// triggers disabled, so a batch that was relocated across
-		// partitions before the crash sits in the producing
-		// partition's stream table rather than here. Move it to the
-		// logged execution site before re-executing the consumer.
-		if t.inputStream != "" {
-			if rows := e.relocateBatchTo(pid, t.inputStream, rec.BatchID); len(rows) > 0 {
-				t.batch = rows
-			}
-		}
-	}
-	if !e.parts[pid].sched.PushBack(t) {
-		return fmt.Errorf("pe: engine closed")
-	}
-	r := <-t.reply
-	return r.err
-}
-
-// relocateBatchTo finds an interior batch's rows across partitions
-// and, when they live somewhere other than the target partition,
-// extracts them so the caller can hand them to the replayed TE (they
-// re-enter the target's stream table inside that TE). It returns nil
-// when the batch already sits on the target — the local-dispatch case —
-// or cannot be found anywhere (already consumed and GC'd).
-func (e *Engine) relocateBatchTo(pid int, streamKey string, batchID int64) []types.Row {
-	onTarget := false
-	_ = e.onPartition(e.parts[pid], func(p *partition) error {
-		if tbl, ok := p.cat.Lookup(streamKey); ok {
-			onTarget = len(storage.BatchRows(tbl, batchID)) > 0
-		}
-		return nil
-	})
-	if onTarget {
-		return nil
-	}
-	var rows []types.Row
-	for _, p := range e.parts {
-		if p.id == pid {
-			continue
-		}
-		_ = e.onPartition(p, func(p *partition) error {
-			if tbl, ok := p.cat.Lookup(streamKey); ok {
-				if got := storage.BatchRows(tbl, batchID); len(got) > 0 {
-					storage.DeleteBatch(tbl, batchID, nil)
-					rows = got
-				}
-			}
-			return nil
-		})
-		if len(rows) > 0 {
-			break
-		}
-	}
-	return rows
-}
-
-// FirePendingStreamTriggers implements recovery.Engine: for every
-// stream table holding tuples, it re-fires the PE triggers batch by
-// batch (and re-ingest bookkeeping), running the consumers to
-// completion.
-func (e *Engine) FirePendingStreamTriggers() error {
-	for _, p := range e.parts {
-		err := e.onPartition(p, func(p *partition) error {
-			for _, tbl := range p.cat.StreamsWithData() {
-				key := strings.ToLower(tbl.Name())
-				batches := storage.PendingBatches(tbl)
-				// Keep this partition's exactly-once ledger ahead of
-				// the batches recovered onto it.
-				if n := len(batches); n > 0 {
-					if hi := batches[n-1]; hi > e.dedup.High(p.id, key) {
-						e.dedup.Reset(p.id, key)
-						e.dedup.Admit(p.id, key, hi)
-					}
-				}
-				consumers := e.consumers[key]
-				if len(consumers) == 0 {
-					// Border stream: its own (border) SP re-consumes
-					// the recovered batches.
-					if sp := e.borderConsumer(key); sp != "" {
-						consumers = []string{sp}
-					}
-				}
-				if len(consumers) == 0 {
-					continue
-				}
-				var ts []*task
-				for _, b := range batches {
-					gk := gcKey{stream: key, batchID: b}
-					p.pendingGC[gk] = len(consumers)
-					for _, c := range consumers {
-						ts = append(ts, &task{
-							sp:          c,
-							params:      types.Row{types.NewInt(b)},
-							batchID:     b,
-							kind:        wal.KindInterior,
-							inputStream: key,
-						})
-					}
-				}
-				p.sched.PushFrontBatch(ts)
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return e.Drain()
-}
-
-// Recover runs crash recovery per the configured mode, then re-arms
-// logging with the LSN counter past everything already in the log.
-// Call before admitting traffic.
-func (e *Engine) Recover() error {
-	e.loggingOn.Store(false)
-	defer e.loggingOn.Store(true)
-	if err := recovery.Recover(e.opts.Recovery, e.opts.LogPath, e); err != nil {
-		return err
-	}
-	if err := e.Drain(); err != nil {
-		return err
-	}
-	if e.logger != nil {
-		recs, err := wal.ReadAll(e.opts.LogPath)
-		if err != nil {
-			return err
-		}
-		var max uint64
-		for _, r := range recs {
-			if r.LSN > max {
-				max = r.LSN
-			}
-		}
-		e.logger.SetNextLSN(max + 1)
-	}
-	return nil
 }

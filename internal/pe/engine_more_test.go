@@ -84,8 +84,10 @@ func TestFanOutStreamGC(t *testing.T) {
 	}
 }
 
-// TestGroupCommitEndToEnd: with SyncGroup, concurrent commits across
-// partitions batch into far fewer fsyncs, and the log remains complete.
+// TestGroupCommitEndToEnd: with SyncGroup over sharded logs, commits
+// land in each partition's own log (parallel flushers, no shared fsync
+// queue) and the merged view reconstructs total commit order with no
+// record lost.
 func TestGroupCommitEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	e := newEngine(t, Options{
@@ -124,16 +126,34 @@ func TestGroupCommitEndToEnd(t *testing.T) {
 	if appends != n {
 		t.Errorf("appends = %d, want %d", appends, n)
 	}
-	if syncs >= appends {
-		t.Errorf("group commit should batch: %d syncs for %d appends", syncs, appends)
+	// Per-partition logs serve one serial commit at a time, so at the
+	// engine level syncs tracks appends under SyncGroup (the win is
+	// parallel, contention-free fsyncs, not within-log batching);
+	// wal's TestGroupCommitReleasesWaiters asserts the batching of
+	// concurrent waiters on a single log.
+	if syncs == 0 || syncs > appends {
+		t.Errorf("syncs = %d for %d appends", syncs, appends)
 	}
-	// All records durable and replayable.
+	// Sharding is real: both partitions' logs hold records.
+	for pid := 0; pid < 2; pid++ {
+		recs, err := wal.ReadAll(wal.PartitionPath(dir+"/cmd.log", pid))
+		if err != nil || len(recs) == 0 {
+			t.Errorf("partition %d log: %d records (%v)", pid, len(recs), err)
+		}
+	}
+	// All records durable and replayable, and the merged view of the
+	// two partition logs reconstructs total commit order.
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := wal.ReadAll(dir + "/cmd.log")
+	recs, err := wal.ReadSetMerged(dir + "/cmd.log")
 	if err != nil || len(recs) != n {
 		t.Fatalf("log has %d records (%v), want %d", len(recs), err, n)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("merged replay out of order: LSN %d after %d", recs[i].LSN, recs[i-1].LSN)
+		}
 	}
 }
 

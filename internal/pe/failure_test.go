@@ -34,13 +34,14 @@ func TestCrashWithTornLogTail(t *testing.T) {
 	}
 	e1.Drain()
 	e1.Close()
-	// Corrupt the tail: a crash mid-append leaves a torn record that
-	// recovery must ignore.
-	data, err := os.ReadFile(opts.LogPath)
+	// Corrupt the tail of partition 0's log: a crash mid-append
+	// leaves a torn record that recovery must ignore.
+	logFile := wal.PartitionPath(opts.LogPath, 0)
+	data, err := os.ReadFile(logFile)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(opts.LogPath, append(data, 0xba, 0xad), 0o644); err != nil {
+	if err := os.WriteFile(logFile, append(data, 0xba, 0xad), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	e2 := newEngine(t, opts)
@@ -181,8 +182,8 @@ func TestLoggerFailurePropagatesAsAbort(t *testing.T) {
 	// Sabotage the log file descriptor by closing the logger's file
 	// out from under it via the filesystem: remove the directory's
 	// write permission is insufficient for an open fd, so instead
-	// close the engine's logger directly.
-	if err := e.logger.Close(); err != nil {
+	// close the engine's log set directly.
+	if err := e.logs.Close(); err != nil {
 		t.Fatal(err)
 	}
 	_, err := e.Call("P", nil)

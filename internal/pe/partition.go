@@ -227,12 +227,60 @@ func (p *partition) retainRelocatedBatch(t *task) {
 	}
 }
 
-// logCommit appends the TE's command-log record per the recovery mode,
-// blocking until durable. It runs before Commit so a logged transaction
-// is always recoverable (write-ahead).
+// groundQueuedBatches materializes batches traveling inside this
+// partition's queued carrying tasks into its stream tables. The
+// checkpoint barrier calls it with every partition parked: a batch
+// relocated by a TE that committed behind another partition's barrier
+// exists only in the carrying task, so without grounding the snapshot
+// would miss a durably-committed (and soon compacted-away) batch. The
+// GC refcount moves to pendingGC and the task sheds its payload — the
+// consumer then finds the rows in the table, exactly as if the batch
+// had been produced locally.
+func (p *partition) groundQueuedBatches() error {
+	var firstErr error
+	p.sched.ForEachQueued(func(t *task) {
+		if t.kind != wal.KindInterior || len(t.batch) == 0 || t.inputStream == "" {
+			return
+		}
+		tbl, err := p.cat.Get(t.inputStream)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		for _, row := range t.batch {
+			if _, err := tbl.Insert(row, t.batchID, nil); err != nil {
+				// Roll the partial insert back out of the table: the
+				// task keeps its payload, so the batch is neither
+				// duplicated (when the consumer later places it) nor
+				// lost (the checkpoint aborts on this error).
+				storage.DeleteBatch(tbl, t.batchID, nil)
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+		}
+		if t.gcRefs > 0 {
+			p.pendingGC[gcKey{stream: t.inputStream, batchID: t.batchID}] = t.gcRefs
+		}
+		t.batch = nil
+		t.gcRefs = 0
+	})
+	return firstErr
+}
+
+// logCommit appends the TE's command-log record to this partition's
+// log per the recovery mode, blocking until durable. It runs before
+// Commit so a logged transaction is always recoverable (write-ahead).
+// Because each partition has its own log, concurrent commits on
+// different partitions never contend on a shared mutex or fsync
+// queue; the record's global sequence stamp preserves total commit
+// order for replay.
 func (p *partition) logCommit(t *task) error {
 	e := p.eng
-	if t.noLog || e.logger == nil || !e.loggingOn.Load() || !e.opts.Recovery.ShouldLog(t.kind) {
+	if t.noLog || e.logs == nil || !e.loggingOn.Load() || !e.opts.Recovery.ShouldLog(t.kind) {
 		return nil
 	}
 	rec := &wal.Record{
@@ -246,11 +294,11 @@ func (p *partition) logCommit(t *task) error {
 	// interior task may also hold rows when its batch was relocated
 	// across partitions, but logging them would be pure log volume:
 	// strong-recovery replay re-derives the rows from the upstream
-	// record and moves them with relocateBatchTo.
+	// record and hands them over through the replay stash.
 	if t.kind == wal.KindBorder {
 		rec.Batch = t.batch
 	}
-	_, err := e.logger.Append(rec)
+	_, err := e.logs.Append(p.id, rec)
 	return err
 }
 
@@ -259,6 +307,11 @@ func (p *partition) logCommit(t *task) error {
 func (p *partition) afterCommit(t *task, appends []ee.StreamAppend) {
 	if p.eng.peTriggersOn.Load() {
 		p.dispatchTriggers(t, appends)
+	} else if p.eng.stash != nil {
+		// Strong replay: produced batches leave the table for the
+		// replay stash instead of firing triggers, so later replayed
+		// TEs never see a neighbor batch in their input stream.
+		p.stashAppends(t, appends)
 	}
 	if t.inputStream == "" {
 		return
@@ -360,22 +413,7 @@ func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 		// first consumer task; the dedup ledger and GC refcount follow
 		// the batch to its destination. The local copy is deleted only
 		// after the hand-off is accepted, below.
-		group := make([]*task, 0, len(consumers))
-		for i, c := range consumers {
-			ct := &task{
-				sp:          c,
-				params:      types.Row{types.NewInt(ap.BatchID)},
-				batchID:     ap.BatchID,
-				kind:        wal.KindInterior,
-				inputStream: ap.Table,
-			}
-			if i == 0 {
-				ct.batch = rows
-				ct.gcRefs = len(consumers)
-			}
-			group = append(group, ct)
-		}
-		remote = append(remote, group)
+		remote = append(remote, makeConsumerTasks(consumers, ap.Table, ap.BatchID, rows))
 		remoteTo = append(remoteTo, target)
 	}
 	p.sched.PushFrontBatch(local)
@@ -435,10 +473,10 @@ func (p *partition) executeNested(t *task) {
 		}
 	}
 	// All children succeeded: log then commit each in order.
-	if !t.noLog && p.eng.logger != nil && p.eng.loggingOn.Load() && p.eng.opts.Recovery.ShouldLog(t.kind) {
+	if !t.noLog && p.eng.logs != nil && p.eng.loggingOn.Load() && p.eng.opts.Recovery.ShouldLog(t.kind) {
 		for _, child := range t.nested {
 			rec := &wal.Record{Kind: t.kind, Partition: p.id, SP: child.sp, Params: child.params}
-			if _, err := p.eng.logger.Append(rec); err != nil {
+			if _, err := p.eng.logs.Append(p.id, rec); err != nil {
 				rollbackAll()
 				p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
 				return

@@ -1,0 +1,458 @@
+package pe
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"sstore/internal/ee"
+	"sstore/internal/recovery"
+	"sstore/internal/storage"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+)
+
+// This file is the engine's replay surface: the recovery.Engine
+// implementation plus the machinery that lets serial replay of the
+// sharded command logs reproduce a live schedule's state.
+//
+// During live execution a produced batch either travels inside its
+// consumer task (cross-partition relocation) or sits briefly in the
+// producer's stream table protected by front-of-queue scheduling —
+// either way, a TE only ever sees its *own* batch in its input stream.
+// Serial strong replay cannot reproduce that schedule: border records
+// replay ahead of the interior records that consume them, so produced
+// batches would pile up in stream tables and a replayed TE scanning
+// its input stream would read its neighbors' tuples. The replayStash
+// restores the invariant: while PE triggers are disabled, every stream
+// append a replayed TE commits is swept out of the table into the
+// stash, and handed back as traveling rows when the consumer's own log
+// record replays.
+
+// stashKey identifies a produced batch parked in the replay stash.
+type stashKey struct {
+	stream  string
+	batchID int64
+}
+
+// stashedBatch remembers a batch's rows, the partition whose table
+// they were extracted from, how many consumer records have yet to
+// take the batch (a fan-out stream's batch is consumed by one logged
+// TE per consumer, each of which needs the rows), and which consumers
+// already took it — so a crash that logged only some of a fan-out's
+// consumers re-fires exactly the missing ones.
+type stashedBatch struct {
+	rows  []types.Row
+	pid   int
+	refs  int
+	taken map[string]bool
+}
+
+// replayStash holds batches produced during strong replay whose
+// consumers have not replayed yet, plus the set of streams already
+// swept out of the tables.
+type replayStash struct {
+	mu    sync.Mutex
+	m     map[stashKey]stashedBatch
+	swept map[string]bool
+}
+
+func newReplayStash() *replayStash {
+	return &replayStash{m: make(map[stashKey]stashedBatch), swept: make(map[string]bool)}
+}
+
+func (s *replayStash) put(stream string, batchID int64, pid int, rows []types.Row, refs int) {
+	if refs < 1 {
+		refs = 1
+	}
+	s.mu.Lock()
+	s.m[stashKey{stream: stream, batchID: batchID}] = stashedBatch{rows: rows, pid: pid, refs: refs, taken: make(map[string]bool)}
+	s.mu.Unlock()
+}
+
+// take hands the batch's rows to one consumer's replay, recording
+// which consumer took it; the entry is removed once every consumer
+// has taken it.
+func (s *replayStash) take(stream string, batchID int64, sp string) []types.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := stashKey{stream: stream, batchID: batchID}
+	b, ok := s.m[k]
+	if !ok {
+		return nil
+	}
+	b.refs--
+	b.taken[sp] = true
+	if b.refs <= 0 {
+		delete(s.m, k)
+	} else {
+		s.m[k] = b
+	}
+	return b.rows
+}
+
+// sweepOnce reports whether the stream still needs its table sweep,
+// marking it swept.
+func (s *replayStash) sweepOnce(stream string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.swept[stream] {
+		return false
+	}
+	s.swept[stream] = true
+	return true
+}
+
+// drain empties the stash, returning every parked batch.
+func (s *replayStash) drain() map[stashKey]stashedBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.m
+	s.m = make(map[stashKey]stashedBatch)
+	return m
+}
+
+// LoadSnapshot implements recovery.Engine: it restores the latest
+// committed checkpoint generation into every partition, returning the
+// generation's commit-sequence stamp. The manifest names the
+// generation, so a checkpoint torn between per-partition snapshot
+// writes can never load partitions at mixed stamps; without a
+// manifest (pre-manifest checkpoints) the legacy plain files load as
+// before.
+func (e *Engine) LoadSnapshot() (uint64, error) {
+	stamp, committed, err := wal.ReadSnapshotManifest(e.opts.SnapshotDir)
+	if err != nil {
+		return 0, err
+	}
+	var lastLSN uint64
+	for _, p := range e.parts {
+		path := e.snapshotPath(p.id)
+		if committed {
+			path = e.genSnapshotPath(p.id, stamp)
+			if _, err := os.Stat(path); err != nil {
+				// A committed generation is complete by construction;
+				// a missing member means external damage, and loading
+				// around it would silently drop that partition's
+				// checkpointed state.
+				return 0, fmt.Errorf("pe: snapshot generation %d missing %s: %w", stamp, path, err)
+			}
+		}
+		var lsn uint64
+		loadErr := e.onPartition(p, func(p *partition) error {
+			var err error
+			lsn, err = wal.LoadSnapshot(path, p.cat.Lookup)
+			return err
+		})
+		if loadErr != nil {
+			return 0, loadErr
+		}
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+	}
+	// Remember the stamp for Recover: the commit sequence must re-arm
+	// past it even when compaction has emptied the logs.
+	e.snapLSN = lastLSN
+	return lastLSN, nil
+}
+
+// SetPETriggersEnabled implements recovery.Engine.
+func (e *Engine) SetPETriggersEnabled(enabled bool) { e.peTriggersOn.Store(enabled) }
+
+// ReplayRecord implements recovery.Engine: it re-executes one logged
+// TE synchronously without re-logging it. Replay is client-driven, as
+// in H-Store: "the log is read by the client and transactions are
+// submitted sequentially ... each transaction must be confirmed as
+// committed before the next can be sent" (§4.4) — so each replayed
+// record pays one client round trip. TEs re-derived inside the engine
+// by PE triggers (weak recovery's interior work) pay none, which is
+// why weak recovery also *recovers* faster (Figure 9b).
+func (e *Engine) ReplayRecord(rec *wal.Record) error {
+	if e.link != nil {
+		e.link.RoundTrip()
+	}
+	pid := rec.Partition
+	if pid >= len(e.parts) {
+		return fmt.Errorf("pe: log record for partition %d, engine has %d", pid, len(e.parts))
+	}
+	t := &task{
+		sp:      rec.SP,
+		params:  rec.Params,
+		batchID: rec.BatchID,
+		kind:    rec.Kind,
+		noLog:   true,
+		reply:   make(chan callResult, 1),
+	}
+	switch rec.Kind {
+	case wal.KindBorder:
+		t.batch = rec.Batch
+		t.inputStream = e.spInput[rec.SP]
+		e.dedup.Admit(pid, t.inputStream, rec.BatchID)
+	case wal.KindInterior:
+		t.inputStream = e.spInput[rec.SP]
+		// Under strong recovery the upstream TE replayed with PE
+		// triggers disabled, so its output batch is parked in the
+		// replay stash (or, if it predates the crash snapshot, in
+		// some partition's stream table). Hand the rows to the
+		// consumer task; it re-enters them at the logged execution
+		// site inside the TE.
+		if t.inputStream != "" {
+			if rows := e.takeReplayBatch(t.inputStream, rec.BatchID, rec.SP); len(rows) > 0 {
+				t.batch = rows
+			}
+		}
+	}
+	if !e.parts[pid].sched.PushBack(t) {
+		return fmt.Errorf("pe: engine closed")
+	}
+	r := <-t.reply
+	return r.err
+}
+
+// takeReplayBatch produces the traveling rows for a replayed interior
+// TE. The stream's pending batches are first swept out of the tables
+// (snapshot-recovered batches included), so the consuming TE sees its
+// input stream holding nothing but its own batch — the invariant live
+// scheduling maintains. The stash is created lazily so a recovery
+// driver invoked directly on the engine (bypassing Engine.Recover)
+// still replays correctly.
+func (e *Engine) takeReplayBatch(streamKey string, batchID int64, sp string) []types.Row {
+	if e.stash == nil {
+		e.stash = newReplayStash()
+	}
+	e.sweepStreamToStash(streamKey)
+	return e.stash.take(streamKey, batchID, sp)
+}
+
+// sweepStreamToStash moves every pending batch of one stream, on every
+// partition, from the table into the replay stash. The sweep runs once
+// per stream per recovery: with PE triggers disabled, nothing can
+// repopulate the tables afterwards outside the stash path (stashed
+// rows re-enter a table only inside a consuming TE, which garbage-
+// collects them at commit).
+func (e *Engine) sweepStreamToStash(streamKey string) {
+	if !e.stash.sweepOnce(streamKey) {
+		return
+	}
+	refs := len(e.consumers[streamKey])
+	for _, p := range e.parts {
+		_ = e.onPartition(p, func(p *partition) error {
+			tbl, ok := p.cat.Lookup(streamKey)
+			if !ok {
+				return nil
+			}
+			for _, b := range storage.PendingBatches(tbl) {
+				if rows := storage.BatchRows(tbl, b); len(rows) > 0 {
+					storage.DeleteBatch(tbl, b, nil)
+					e.stash.put(streamKey, b, p.id, rows, refs)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// stashAppends parks a replayed TE's produced batches in the replay
+// stash; the partition goroutine calls it from afterCommit in place of
+// trigger dispatch while strong replay has PE triggers disabled.
+func (p *partition) stashAppends(t *task, appends []ee.StreamAppend) {
+	seen := make(map[gcKey]bool)
+	for _, ap := range appends {
+		if ap.Table == strings.ToLower(t.inputStream) {
+			continue // the TE's own input: consumed, not produced
+		}
+		key := gcKey{stream: ap.Table, batchID: ap.BatchID}
+		if seen[key] || len(p.eng.consumers[ap.Table]) == 0 {
+			continue
+		}
+		seen[key] = true
+		if tbl, ok := p.cat.Lookup(ap.Table); ok {
+			if rows := storage.BatchRows(tbl, ap.BatchID); len(rows) > 0 {
+				storage.DeleteBatch(tbl, ap.BatchID, nil)
+				// One take per consumer: each consumer's logged TE
+				// replays against the same batch.
+				p.eng.stash.put(ap.Table, ap.BatchID, p.id, rows, len(p.eng.consumers[ap.Table]))
+			}
+		}
+	}
+}
+
+// consumersOf resolves a stream's firing targets: its PE-trigger
+// consumers, or (for a border stream) its border SP.
+func (e *Engine) consumersOf(streamKey string) []string {
+	if cs := e.consumers[streamKey]; len(cs) > 0 {
+		return cs
+	}
+	if sp := e.borderConsumer(streamKey); sp != "" {
+		return []string{sp}
+	}
+	return nil
+}
+
+// makeConsumerTasks builds the consumer TE group for one batch under
+// the hand-off convention every dispatch path shares: one task per
+// consumer, the first carrying the rows and the group's GC refcount.
+func makeConsumerTasks(consumers []string, streamKey string, batchID int64, rows []types.Row) []*task {
+	ts := make([]*task, 0, len(consumers))
+	for i, c := range consumers {
+		ct := &task{
+			sp:          c,
+			params:      types.Row{types.NewInt(batchID)},
+			batchID:     batchID,
+			kind:        wal.KindInterior,
+			inputStream: streamKey,
+		}
+		if i == 0 {
+			ct.batch = rows
+			ct.gcRefs = len(consumers)
+		}
+		ts = append(ts, ct)
+	}
+	return ts
+}
+
+// FirePendingStreamTriggers implements recovery.Engine: every batch
+// still pending — parked in the replay stash (produced during replay,
+// consumer never logged) or sitting in a stream table (recovered by
+// the snapshot) — is re-fired through its consumers, run to
+// completion. Batches are fired in ascending ID order per stream,
+// routed by PartitionBy exactly like live dispatch, with the rows
+// traveling inside the first consumer task — so consumers never see a
+// neighbor batch in their input stream and keyed data lands on the
+// partition that owns it. For a fan-out batch whose records partially
+// survived the crash, only the consumers that did NOT already replay
+// are fired; re-firing a replayed one would double-apply it.
+func (e *Engine) FirePendingStreamTriggers() error {
+	type pending struct {
+		stream  string
+		batchID int64
+		rows    []types.Row
+		pid     int // partition the rows were extracted from
+		taken   map[string]bool
+	}
+	var all []pending
+	if e.stash != nil {
+		for k, b := range e.stash.drain() {
+			all = append(all, pending{stream: k.stream, batchID: k.batchID, rows: b.rows, pid: b.pid, taken: b.taken})
+		}
+	}
+	for _, p := range e.parts {
+		err := e.onPartition(p, func(p *partition) error {
+			for _, tbl := range p.cat.StreamsWithData() {
+				key := strings.ToLower(tbl.Name())
+				if len(e.consumersOf(key)) == 0 {
+					continue
+				}
+				for _, b := range storage.PendingBatches(tbl) {
+					rows := storage.BatchRows(tbl, b)
+					if len(rows) == 0 {
+						continue
+					}
+					storage.DeleteBatch(tbl, b, nil)
+					all = append(all, pending{stream: key, batchID: b, rows: rows, pid: p.id})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].stream != all[j].stream {
+			return all[i].stream < all[j].stream
+		}
+		return all[i].batchID < all[j].batchID
+	})
+	perPart := make(map[int][]*task)
+	type ledgerKey struct {
+		pid    int
+		stream string
+	}
+	ledgerHi := make(map[ledgerKey]int64)
+	for _, pb := range all {
+		var remaining []string
+		for _, c := range e.consumersOf(pb.stream) {
+			if pb.taken == nil || !pb.taken[c] {
+				remaining = append(remaining, c)
+			}
+		}
+		target := pb.pid
+		if e.opts.PartitionBy != nil && len(e.parts) > 1 {
+			target = wrapPartition(e.opts.PartitionBy(pb.stream, pb.rows), len(e.parts))
+		}
+		if len(remaining) == 0 {
+			// Every consumer of this batch already replayed (possible
+			// only with duplicate records): park the rows back in the
+			// table rather than dropping them.
+			pb := pb
+			err := e.onPartition(e.parts[pb.pid], func(p *partition) error {
+				tbl, ok := p.cat.Lookup(pb.stream)
+				if !ok {
+					return fmt.Errorf("pe: pending batch for unknown stream %q", pb.stream)
+				}
+				for _, row := range pb.rows {
+					if _, err := tbl.Insert(row, pb.batchID, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		perPart[target] = append(perPart[target], makeConsumerTasks(remaining, pb.stream, pb.batchID, pb.rows)...)
+		lk := ledgerKey{pid: target, stream: pb.stream}
+		if pb.batchID > ledgerHi[lk] {
+			ledgerHi[lk] = pb.batchID
+		}
+	}
+	// Keep each destination's exactly-once ledger shard ahead of the
+	// batches fired onto it.
+	for lk, hi := range ledgerHi {
+		if hi > e.dedup.High(lk.pid, lk.stream) {
+			e.dedup.Reset(lk.pid, lk.stream)
+			e.dedup.Admit(lk.pid, lk.stream, hi)
+		}
+	}
+	for pid, ts := range perPart {
+		e.parts[pid].sched.PushFrontBatch(ts)
+	}
+	return e.Drain()
+}
+
+// Recover runs crash recovery per the configured mode over the
+// sharded command logs, then re-arms the global commit sequence past
+// everything already logged. Call before admitting traffic.
+func (e *Engine) Recover() error {
+	e.loggingOn.Store(false)
+	e.stash = newReplayStash()
+	defer func() {
+		e.stash = nil
+		e.loggingOn.Store(true)
+	}()
+	maxLSN, err := recovery.Recover(e.opts.Recovery, e.opts.LogPath, e)
+	if err != nil {
+		return err
+	}
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	if e.logs != nil {
+		// Re-arm past both the highest sequence number the replay
+		// observed in the logs (including records its filters
+		// skipped) and the snapshot stamp: after a checkpoint
+		// compacted the logs, the stamp alone records how far the
+		// sequence had advanced, and a commit stamped at or below it
+		// would be silently skipped by the next recovery.
+		if e.snapLSN > maxLSN {
+			maxLSN = e.snapLSN
+		}
+		e.logs.SetNextSeq(maxLSN + 1)
+	}
+	return nil
+}

@@ -171,6 +171,21 @@ func (s *scheduler) Pop() (*task, bool) {
 	return nil, false
 }
 
+// ForEachQueued visits every queued task (front queue first) under
+// the scheduler lock; the checkpoint barrier uses it to ground
+// batches traveling inside queued carrying tasks. fn must not call
+// back into the scheduler.
+func (s *scheduler) ForEachQueued(fn func(*task)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.front {
+		fn(t)
+	}
+	for _, t := range s.back {
+		fn(t)
+	}
+}
+
 // Len returns the number of queued tasks.
 func (s *scheduler) Len() int {
 	s.mu.Lock()

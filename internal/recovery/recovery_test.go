@@ -87,7 +87,7 @@ func TestStrongOrderAndFiltering(t *testing.T) {
 	}
 	path := writeLog(t, t.TempDir(), recs)
 	f := &fakeEngine{snapLSN: 1} // first record already in snapshot
-	if err := Recover(ModeStrong, path, f); err != nil {
+	if _, err := Recover(ModeStrong, path, f); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"triggers-off", "snapshot", "replay-I1", "replay-B2", "triggers-on", "fire-pending", "triggers-on"}
@@ -109,7 +109,7 @@ func TestWeakSkipsInteriorAndFiresFirst(t *testing.T) {
 	}
 	path := writeLog(t, t.TempDir(), recs)
 	f := &fakeEngine{}
-	if err := Recover(ModeWeak, path, f); err != nil {
+	if _, err := Recover(ModeWeak, path, f); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"snapshot", "triggers-on", "fire-pending", "replay-B1", "replay-O1"}
@@ -131,7 +131,7 @@ func TestWeakSkipsInteriorAndFiresFirst(t *testing.T) {
 
 func TestModeNoneOnlyLoadsSnapshot(t *testing.T) {
 	f := &fakeEngine{}
-	if err := Recover(ModeNone, "/nonexistent", f); err != nil {
+	if _, err := Recover(ModeNone, "/nonexistent", f); err != nil {
 		t.Fatal(err)
 	}
 	if len(f.events) != 1 || f.events[0] != "snapshot" {
@@ -141,7 +141,7 @@ func TestModeNoneOnlyLoadsSnapshot(t *testing.T) {
 
 func TestMissingLogIsEmptyReplay(t *testing.T) {
 	f := &fakeEngine{}
-	if err := Recover(ModeStrong, filepath.Join(t.TempDir(), "none.log"), f); err != nil {
+	if _, err := Recover(ModeStrong, filepath.Join(t.TempDir(), "none.log"), f); err != nil {
 		t.Fatal(err)
 	}
 	if len(f.replayed) != 0 {

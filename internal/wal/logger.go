@@ -2,9 +2,13 @@ package wal
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,29 +40,43 @@ type Options struct {
 	// GroupWindow is the flush interval under SyncGroup; it defaults
 	// to 2ms, a typical group-commit window.
 	GroupWindow time.Duration
+	// Seq, when non-nil, is a sequence counter shared with other
+	// loggers (a LogSet): records appended to any of them draw LSNs
+	// from one lock-free global commit sequence, so total commit
+	// order survives sharding the log. Nil gives the logger a private
+	// counter (a standalone, unsharded log).
+	Seq *atomic.Uint64
 }
 
-// Logger is an append-only command log shared by all partitions of an
-// engine. Appends are serialized internally; partitions block in
-// Append until their record is durable per the sync policy, which is
+// Logger is an append-only command log for one partition (execution
+// site). Appends are serialized internally; the partition blocks in
+// Append until its record is durable per the sync policy, which is
 // exactly the commit-time behavior the recovery experiments measure.
+// Loggers of one engine share a global sequence counter through a
+// LogSet, so their files merge back into total commit order.
 type Logger struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	nextLSN uint64
-	opts    Options
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seq  *atomic.Uint64
+	opts Options
 
-	// Group-commit state.
-	waiters []chan error
-	stop    chan struct{}
-	done    chan struct{}
+	// Group-commit state. The flusher sleeps until kicked by the
+	// first waiter of a group, then syncs once the group window
+	// (measured from the previous sync) has elapsed — so an idle log
+	// never ticks and a waiter arriving after an idle period longer
+	// than the window is synced immediately.
+	waiters  []chan error
+	kick     chan struct{}
+	lastSync time.Time
+	stop     chan struct{}
+	done     chan struct{}
 
 	appends uint64
 	syncs   uint64
 }
 
-// Open creates or truncates the log file. An existing log should be
+// Open creates or appends to the log file. An existing log should be
 // read with ReadAll before opening for writes.
 func Open(opts Options) (*Logger, error) {
 	if opts.GroupWindow <= 0 {
@@ -68,13 +86,19 @@ func Open(opts Options) (*Logger, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
+	seq := opts.Seq
+	if seq == nil {
+		seq = new(atomic.Uint64)
+	}
 	l := &Logger{
-		f:       f,
-		w:       bufio.NewWriterSize(f, 1<<16),
-		nextLSN: 1,
-		opts:    opts,
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<16),
+		seq:      seq,
+		opts:     opts,
+		lastSync: time.Now(),
 	}
 	if opts.Policy == SyncGroup {
+		l.kick = make(chan struct{}, 1)
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
 		go l.groupFlusher()
@@ -82,20 +106,16 @@ func Open(opts Options) (*Logger, error) {
 	return l, nil
 }
 
-// SetNextLSN positions the LSN counter; used when appending to a log
-// that already contains records.
-func (l *Logger) SetNextLSN(lsn uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.nextLSN = lsn
-}
-
-// Append assigns the record an LSN, writes it, and blocks until it is
-// durable per the sync policy. It returns the assigned LSN.
+// Append assigns the record the next sequence number, writes it, and
+// blocks until it is durable per the sync policy. It returns the
+// assigned LSN.
 func (l *Logger) Append(rec *Record) (uint64, error) {
 	l.mu.Lock()
-	rec.LSN = l.nextLSN
-	l.nextLSN++
+	// The stamp is lock-free with respect to the other partitions'
+	// logs: only this logger's own mutex is held, never a cross-log
+	// lock. Taking it under the local mutex keeps LSNs monotonic
+	// within the file, which the merge reader relies on.
+	rec.LSN = l.seq.Add(1)
 	l.appends++
 	buf := rec.encode(nil)
 	if _, err := l.w.Write(buf); err != nil {
@@ -113,7 +133,14 @@ func (l *Logger) Append(rec *Record) (uint64, error) {
 	default: // SyncGroup
 		ch := make(chan error, 1)
 		l.waiters = append(l.waiters, ch)
+		first := len(l.waiters) == 1
 		l.mu.Unlock()
+		if first {
+			select {
+			case l.kick <- struct{}{}:
+			default:
+			}
+		}
 		return rec.LSN, <-ch
 	}
 }
@@ -126,21 +153,37 @@ func (l *Logger) flushAndSyncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.lastSync = time.Now()
 	return nil
 }
 
-// groupFlusher periodically flushes and releases group-commit waiters.
+// groupFlusher releases group-commit waiters. It is kicked by the
+// first waiter of each group and syncs once the group window has
+// elapsed since the previous sync — immediately, when the log has been
+// idle past the window, rather than making every group sleep the full
+// window.
 func (l *Logger) groupFlusher() {
 	defer close(l.done)
-	ticker := time.NewTicker(l.opts.GroupWindow)
-	defer ticker.Stop()
 	for {
 		select {
-		case <-ticker.C:
-			l.flushGroup()
 		case <-l.stop:
 			l.flushGroup()
 			return
+		case <-l.kick:
+			l.mu.Lock()
+			wait := l.opts.GroupWindow - time.Since(l.lastSync)
+			l.mu.Unlock()
+			if wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-l.stop:
+					timer.Stop()
+					l.flushGroup()
+					return
+				}
+			}
+			l.flushGroup()
 		}
 	}
 }
@@ -157,14 +200,6 @@ func (l *Logger) flushGroup() {
 	for _, ch := range waiters {
 		ch <- err
 	}
-}
-
-// LastLSN returns the LSN of the most recently appended record (0 when
-// none).
-func (l *Logger) LastLSN() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.nextLSN - 1
 }
 
 // Stats reports the number of appended records and fsync calls; the
@@ -192,31 +227,17 @@ func (l *Logger) Close() error {
 // CompactBefore rewrites the log keeping only records with LSN >
 // keepAfter — everything at or below is already reflected in a
 // checkpoint and never replays. The caller must hold the engine
-// quiesced (no concurrent Appends); the rewrite is atomic
-// (write-temp-then-rename) so a crash mid-compaction leaves the old
-// log intact.
+// quiesced (no concurrent Appends); the rewrite streams record by
+// record and is atomic (write-temp-then-rename), so a crash
+// mid-compaction leaves the old log intact.
 func (l *Logger) CompactBefore(keepAfter uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: compact flush: %w", err)
 	}
-	recs, err := ReadAll(l.opts.Path)
-	if err != nil {
+	if _, err := compactFile(l.opts.Path, keepAfter); err != nil {
 		return err
-	}
-	var buf []byte
-	for _, r := range recs {
-		if r.LSN > keepAfter {
-			buf = r.encode(buf)
-		}
-	}
-	tmp := l.opts.Path + ".compact"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("wal: compact write: %w", err)
-	}
-	if err := os.Rename(tmp, l.opts.Path); err != nil {
-		return fmt.Errorf("wal: compact rename: %w", err)
 	}
 	// Reopen the (renamed-over) file for appends.
 	if err := l.f.Close(); err != nil {
@@ -231,24 +252,159 @@ func (l *Logger) CompactBefore(keepAfter uint64) error {
 	return nil
 }
 
-// ReadAll reads every intact record from a log file, stopping cleanly
-// at a torn tail (the expected state after a crash).
+// compactFile rewrites one log file keeping only records with LSN >
+// keepAfter, streaming record by record. The rewrite is atomic and
+// durable (write-temp, sync, rename) — the kept records are committed
+// transactions not covered by any checkpoint, so a crash around the
+// rename must never lose them. It returns how many records were kept.
+func compactFile(path string, keepAfter uint64) (int, error) {
+	r, err := OpenReader(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: compact read: %w", err)
+	}
+	tmp := path + ".compact"
+	out, err := os.Create(tmp)
+	if err != nil {
+		r.Close()
+		return 0, fmt.Errorf("wal: compact write: %w", err)
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	var scratch []byte
+	kept := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.Close()
+			out.Close()
+			return 0, fmt.Errorf("wal: compact read: %w", err)
+		}
+		if rec.LSN <= keepAfter {
+			continue
+		}
+		scratch = rec.encode(scratch[:0])
+		if _, err := bw.Write(scratch); err != nil {
+			r.Close()
+			out.Close()
+			return 0, fmt.Errorf("wal: compact write: %w", err)
+		}
+		kept++
+	}
+	r.Close()
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return 0, fmt.Errorf("wal: compact flush: %w", err)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return 0, fmt.Errorf("wal: compact sync: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return 0, fmt.Errorf("wal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("wal: compact rename: %w", err)
+	}
+	return kept, nil
+}
+
+// Reader streams records out of a log file one frame at a time, so
+// replay and compaction never need a file-sized allocation. A torn or
+// corrupt tail (the expected state after a crash) reads as a clean
+// end-of-log.
+type Reader struct {
+	f         *os.File
+	br        *bufio.Reader
+	remaining int64
+	lenbuf    [4]byte
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// OpenReader opens a log file for streaming record reads. The caller
+// should treat os.IsNotExist errors as an empty log.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Reader{f: f, br: bufio.NewReaderSize(f, 1<<16), remaining: st.Size()}, nil
+}
+
+// Next returns the next intact record, or io.EOF at the end of the log
+// — including a torn tail, which ends the log cleanly. A genuine read
+// failure (an I/O error rather than a short or corrupt frame) is
+// reported as an error, not as end-of-log, so replay never silently
+// truncates on a failing disk.
+func (r *Reader) Next() (*Record, error) {
+	if r.remaining < 4+1+4 { // too short for any frame: clean end or torn tail
+		r.remaining = 0
+		return nil, io.EOF
+	}
+	if _, err := io.ReadFull(r.br, r.lenbuf[:]); err != nil {
+		r.remaining = 0
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	plen := int64(binary.LittleEndian.Uint32(r.lenbuf[:]))
+	if plen <= 0 || plen+8 > r.remaining {
+		// Garbage length or a frame that claims more bytes than the
+		// file holds: torn tail.
+		r.remaining = 0
+		return nil, io.EOF
+	}
+	buf := make([]byte, plen+4)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		r.remaining = 0
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	payload := buf[:plen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[plen:]) {
+		r.remaining = 0
+		return nil, io.EOF
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		r.remaining = 0
+		return nil, io.EOF
+	}
+	r.remaining -= 4 + plen + 4
+	return rec, nil
+}
+
+// ReadAll streams every intact record from a log file, stopping
+// cleanly at a torn tail (the expected state after a crash).
 func ReadAll(path string) ([]*Record, error) {
-	data, err := os.ReadFile(path)
+	r, err := OpenReader(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("wal: read: %w", err)
 	}
+	defer r.Close()
 	var recs []*Record
-	for len(data) > 0 {
-		rec, n, err := decodeRecord(data)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
 		if err != nil {
-			break // torn tail
+			return nil, fmt.Errorf("wal: read: %w", err)
 		}
 		recs = append(recs, rec)
-		data = data[n:]
 	}
-	return recs, nil
 }

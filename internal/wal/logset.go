@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// LogSet shards the command log one file per partition, the way
+// H-Store logs per execution site (§3.1): each partition appends to
+// its own Logger — its own file, its own mutex, its own group-commit
+// flusher — so durability-on configurations scale with partitions
+// instead of serializing on one fsync queue. Every record is stamped
+// from one lock-free global commit sequence, so the per-partition
+// files merge back into total commit order for strong recovery.
+type LogSet struct {
+	base    string
+	loggers []*Logger
+	seq     atomic.Uint64
+}
+
+// SetOptions configures a LogSet.
+type SetOptions struct {
+	// Path is the log location: an existing directory (partition logs
+	// become <dir>/cmd-p<N>.log) or a file-name prefix (partition
+	// logs become <path>.p<N>). A legacy unsharded log at exactly
+	// <path> is still read by the set readers below, so pre-shard
+	// logs remain replayable.
+	Path string
+	// Partitions is the number of per-partition logs.
+	Partitions int
+	// Policy selects the durability mode, per Logger.
+	Policy SyncPolicy
+	// GroupWindow is the flush interval under SyncGroup.
+	GroupWindow time.Duration
+}
+
+// PartitionPath maps (base, partition) to the partition's log file:
+// under a directory base the file is <base>/cmd-p<N>.log, under a
+// prefix base it is <base>.p<N>.
+func PartitionPath(base string, pid int) string {
+	if st, err := os.Stat(base); err == nil && st.IsDir() {
+		return filepath.Join(base, fmt.Sprintf("cmd-p%d.log", pid))
+	}
+	return fmt.Sprintf("%s.p%d", base, pid)
+}
+
+// OpenSet opens one Logger per partition under the base path, all
+// drawing LSNs from the set's shared commit sequence.
+func OpenSet(opts SetOptions) (*LogSet, error) {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 1
+	}
+	s := &LogSet{base: opts.Path}
+	for i := 0; i < opts.Partitions; i++ {
+		l, err := Open(Options{
+			Path:        PartitionPath(opts.Path, i),
+			Policy:      opts.Policy,
+			GroupWindow: opts.GroupWindow,
+			Seq:         &s.seq,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.loggers = append(s.loggers, l)
+	}
+	return s, nil
+}
+
+// Partitions returns the number of per-partition logs.
+func (s *LogSet) Partitions() int { return len(s.loggers) }
+
+// Append stamps the record with the next global sequence number and
+// appends it to the partition's log, blocking until durable per the
+// sync policy. Appends to different partitions proceed in parallel —
+// no shared lock, no shared fsync queue.
+func (s *LogSet) Append(pid int, rec *Record) (uint64, error) {
+	if pid < 0 || pid >= len(s.loggers) {
+		return 0, fmt.Errorf("wal: no log for partition %d", pid)
+	}
+	return s.loggers[pid].Append(rec)
+}
+
+// LastSeq returns the most recently assigned global sequence number
+// (0 when none).
+func (s *LogSet) LastSeq() uint64 { return s.seq.Load() }
+
+// SetNextSeq positions the global sequence counter; used after replay
+// so new commits continue past everything already logged.
+func (s *LogSet) SetNextSeq(seq uint64) { s.seq.Store(seq - 1) }
+
+// Stats sums appended records and fsync calls across all partition
+// logs.
+func (s *LogSet) Stats() (appends, syncs uint64) {
+	for _, l := range s.loggers {
+		a, y := l.Stats()
+		appends += a
+		syncs += y
+	}
+	return appends, syncs
+}
+
+// CompactBefore truncates every partition's log against the snapshot
+// sequence stamp: records at or below keepAfter are reflected in that
+// partition's checkpoint and never replay. Each log is rewritten
+// independently and atomically; the caller must hold the engine
+// quiesced.
+func (s *LogSet) CompactBefore(keepAfter uint64) error {
+	for _, l := range s.loggers {
+		if err := l.CompactBefore(keepAfter); err != nil {
+			return err
+		}
+	}
+	return compactLegacy(s.base, keepAfter)
+}
+
+// compactLegacy prunes a pre-shard unsharded log sitting at exactly
+// the base path: the set never writes to it, but its records are
+// re-read (and filtered) by every recovery until a checkpoint renders
+// them obsolete. Fully-obsolete legacy logs are deleted outright.
+func compactLegacy(base string, keepAfter uint64) error {
+	st, err := os.Stat(base)
+	if err != nil || !st.Mode().IsRegular() {
+		return nil // no legacy log (or base is the shard directory)
+	}
+	kept, err := compactFile(base, keepAfter)
+	if err != nil {
+		return err
+	}
+	if kept == 0 {
+		// Fully obsolete: the stamp covers every legacy record.
+		if err := os.Remove(base); err != nil {
+			return fmt.Errorf("wal: compact legacy: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes every partition's log, flushing buffered records.
+func (s *LogSet) Close() error {
+	var first error
+	for _, l := range s.loggers {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetPaths lists the log files under base in partition order: a legacy
+// unsharded log at exactly base (if present) first, then every
+// cmd-p<N>.log / <base>.p<N> shard. Shards that were never created are
+// simply absent; each returned path exists at the time of listing.
+// Names are matched literally (directory listing plus prefix check),
+// so a base containing glob metacharacters lists its shards correctly.
+func SetPaths(base string) ([]string, error) {
+	var paths []string
+	type shard struct {
+		pid  int
+		path string
+	}
+	var shards []shard
+	if st, err := os.Stat(base); err == nil && st.IsDir() {
+		ents, err := os.ReadDir(base)
+		if err != nil {
+			return nil, fmt.Errorf("wal: list logs: %w", err)
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if !strings.HasPrefix(name, "cmd-p") || !strings.HasSuffix(name, ".log") {
+				continue
+			}
+			pid, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "cmd-p"), ".log"))
+			if err != nil {
+				continue
+			}
+			shards = append(shards, shard{pid: pid, path: filepath.Join(base, name)})
+		}
+	} else {
+		if err == nil && st.Mode().IsRegular() {
+			paths = append(paths, base) // legacy unsharded log
+		}
+		ents, err := os.ReadDir(filepath.Dir(base))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return paths, nil
+			}
+			return nil, fmt.Errorf("wal: list logs: %w", err)
+		}
+		prefix := filepath.Base(base) + ".p"
+		for _, ent := range ents {
+			name := ent.Name()
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			pid, err := strconv.Atoi(strings.TrimPrefix(name, prefix))
+			if err != nil {
+				continue
+			}
+			shards = append(shards, shard{pid: pid, path: filepath.Join(filepath.Dir(base), name)})
+		}
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].pid < shards[j].pid })
+	for _, sh := range shards {
+		paths = append(paths, sh.path)
+	}
+	return paths, nil
+}
+
+// SetReader k-way merge-streams every log under base by global
+// sequence number, reconstructing total commit order across
+// partitions while holding only one record per shard in memory.
+// Strong recovery replays this merged stream.
+type SetReader struct {
+	readers []*Reader
+	heads   []*Record
+	err     error
+}
+
+// OpenSetReader opens every log under base for a merged streaming
+// read. Empty and absent logs are skipped.
+func OpenSetReader(base string) (*SetReader, error) {
+	paths, err := SetPaths(base)
+	if err != nil {
+		return nil, err
+	}
+	s := &SetReader{}
+	for _, p := range paths {
+		r, err := OpenReader(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			s.Close()
+			return nil, fmt.Errorf("wal: read: %w", err)
+		}
+		rec, rerr := r.Next()
+		if rerr == io.EOF {
+			r.Close() // empty log (or torn from the first frame)
+			continue
+		}
+		if rerr != nil {
+			r.Close()
+			s.Close()
+			return nil, rerr
+		}
+		s.readers = append(s.readers, r)
+		s.heads = append(s.heads, rec)
+	}
+	return s, nil
+}
+
+// Next returns the record with the lowest sequence number across all
+// shards, or io.EOF when every shard is exhausted. A genuine read
+// failure on any shard is reported (after the records already merged
+// are delivered) rather than read as end-of-log, so a failing disk
+// never silently truncates the merged stream.
+func (s *SetReader) Next() (*Record, error) {
+	best := -1
+	for i, h := range s.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || h.LSN < s.heads[best].LSN {
+			best = i
+		}
+	}
+	if best < 0 {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, io.EOF
+	}
+	rec := s.heads[best]
+	nxt, err := s.readers[best].Next()
+	if err != nil {
+		if err != io.EOF && s.err == nil {
+			s.err = err
+		}
+		s.heads[best] = nil
+		s.readers[best].Close()
+		s.readers[best] = nil
+	} else {
+		s.heads[best] = nxt
+	}
+	return rec, nil
+}
+
+// Close releases any shards not yet exhausted.
+func (s *SetReader) Close() error {
+	for i, r := range s.readers {
+		if r != nil {
+			r.Close()
+			s.readers[i] = nil
+		}
+	}
+	return nil
+}
+
+// ReadSetMerged reads every log under base into memory in merged
+// global-sequence order; replay paths should prefer streaming with
+// OpenSetReader.
+func ReadSetMerged(base string) ([]*Record, error) {
+	r, err := OpenSetReader(base)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var recs []*Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogSetGlobalSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSet(SetOptions{Path: dir, Partitions: 3, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent appenders on different partitions draw from one
+	// sequence: LSNs are unique and every record lands in its own
+	// partition's file.
+	const perPart = 20
+	var wg sync.WaitGroup
+	for pid := 0; pid < 3; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perPart; i++ {
+				if _, err := s.Append(pid, testRecord(KindOLTP, "SP", int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if got := s.LastSeq(); got != 3*perPart {
+		t.Errorf("LastSeq = %d, want %d", got, 3*perPart)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ReadSetMerged(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3*perPart {
+		t.Fatalf("merged records = %d", len(merged))
+	}
+	for i, r := range merged {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("merged[%d].LSN = %d: global order broken", i, r.LSN)
+		}
+	}
+	// Per-partition files each hold their own perPart records, in
+	// ascending LSN order.
+	for pid := 0; pid < 3; pid++ {
+		recs, err := ReadAll(PartitionPath(dir, pid))
+		if err != nil || len(recs) != perPart {
+			t.Fatalf("partition %d: %d records (%v)", pid, len(recs), err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].LSN <= recs[i-1].LSN {
+				t.Fatalf("partition %d log not monotonic", pid)
+			}
+		}
+	}
+}
+
+func TestLogSetPrefixLayout(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cmd.log")
+	s, err := OpenSet(SetOptions{Path: base, Partitions: 2, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(0, testRecord(KindOLTP, "A", 1))
+	s.Append(1, testRecord(KindOLTP, "B", 2))
+	s.Close()
+	for pid := 0; pid < 2; pid++ {
+		if _, err := os.Stat(base + ".p" + string(rune('0'+pid))); err != nil {
+			t.Errorf("missing shard %d: %v", pid, err)
+		}
+	}
+	merged, err := ReadSetMerged(base)
+	if err != nil || len(merged) != 2 {
+		t.Fatalf("merged = %d records (%v)", len(merged), err)
+	}
+}
+
+func TestReadSetLegacySingleFile(t *testing.T) {
+	// A pre-shard log written at exactly the base path is still
+	// replayable alongside (or without) shards.
+	base := filepath.Join(t.TempDir(), "cmd.log")
+	l, err := Open(Options{Path: base, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		l.Append(testRecord(KindBorder, "Old", i))
+	}
+	l.Close()
+	merged, err := ReadSetMerged(base)
+	if err != nil || len(merged) != 4 {
+		t.Fatalf("legacy merged = %d records (%v)", len(merged), err)
+	}
+	paths, err := SetPaths(base)
+	if err != nil || len(paths) != 1 || paths[0] != base {
+		t.Fatalf("legacy paths = %v (%v)", paths, err)
+	}
+}
+
+func TestLogSetTornTailsIndependent(t *testing.T) {
+	// Torn tails on two different partition logs are dropped
+	// independently: each log loses only its own tail.
+	dir := t.TempDir()
+	s, err := OpenSet(SetOptions{Path: dir, Partitions: 2, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		s.Append(0, testRecord(KindOLTP, "P0", i))
+		s.Append(1, testRecord(KindOLTP, "P1", i))
+	}
+	s.Close()
+	for pid := 0; pid < 2; pid++ {
+		path := PartitionPath(dir, pid)
+		data, _ := os.ReadFile(path)
+		// Partition 0 gets trailing garbage; partition 1 loses half
+		// its final record.
+		if pid == 0 {
+			data = append(data, 0xde, 0xad)
+		} else {
+			data = data[:len(data)-7]
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := ReadSetMerged(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 5 { // 3 intact on p0 + 2 on p1
+		t.Fatalf("merged after torn tails = %d records", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].LSN <= merged[i-1].LSN {
+			t.Fatalf("merge order broken at %d", i)
+		}
+	}
+}
+
+func TestLogSetCompactBefore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSet(SetOptions{Path: dir, Partitions: 2, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		s.Append(0, testRecord(KindOLTP, "P0", i))
+		s.Append(1, testRecord(KindOLTP, "P1", i))
+	}
+	cut := s.LastSeq() - 2 // keep the last two commits (one per log)
+	if err := s.CompactBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ReadSetMerged(dir)
+	if err != nil || len(merged) != 2 {
+		t.Fatalf("after compaction: %d records (%v)", len(merged), err)
+	}
+	for _, r := range merged {
+		if r.LSN <= cut {
+			t.Errorf("record %d survived compaction below %d", r.LSN, cut)
+		}
+	}
+	// Appends continue past the compacted tail.
+	lsn, err := s.Append(0, testRecord(KindOLTP, "P0", 9))
+	if err != nil || lsn != 9 {
+		t.Fatalf("post-compaction append LSN = %d (%v), want 9", lsn, err)
+	}
+	merged, err = ReadSetMerged(dir)
+	if err != nil || merged[len(merged)-1].LSN != 9 {
+		t.Fatalf("post-append merged tail = %v (%v), want LSN 9", merged, err)
+	}
+	s.Close()
+}
+
+func TestGroupCommitFlushesImmediatelyWhenDue(t *testing.T) {
+	// A waiter arriving after the log has been idle longer than the
+	// group window must not sleep another full window: the sync is
+	// already due, so it flushes immediately.
+	path := filepath.Join(t.TempDir(), "cmd.log")
+	const window = 300 * time.Millisecond
+	l, err := Open(Options{Path: path, Policy: SyncGroup, GroupWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// First append pays up to one window (the timer arms at open).
+	if _, err := l.Append(testRecord(KindOLTP, "A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Idle past the window, then append: the flush must come well
+	// under a full window.
+	time.Sleep(window + 50*time.Millisecond)
+	start := time.Now()
+	if _, err := l.Append(testRecord(KindOLTP, "B", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > window/2 {
+		t.Errorf("overdue sync took %v, want immediate (window %v)", d, window)
+	}
+}
+
+func TestCompactBeforePrunesLegacyLog(t *testing.T) {
+	// A pre-shard log at the base path is read-only to the set, but a
+	// checkpoint must still prune it: once the stamp covers its
+	// records they would otherwise be re-read and filtered on every
+	// recovery forever.
+	base := filepath.Join(t.TempDir(), "cmd.log")
+	l, err := Open(Options{Path: base, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		l.Append(testRecord(KindOLTP, "Old", i))
+	}
+	l.Close()
+
+	s, err := OpenSet(SetOptions{Path: base, Partitions: 2, Policy: SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetNextSeq(4) // continue past the legacy records
+	s.Append(0, testRecord(KindOLTP, "New", 4))
+	s.Append(1, testRecord(KindOLTP, "New", 5))
+
+	// Stamp covers the legacy records and one shard record.
+	if err := s.CompactBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(base); !os.IsNotExist(err) {
+		t.Errorf("fully-obsolete legacy log should be deleted, stat err = %v", err)
+	}
+	merged, err := ReadSetMerged(base)
+	if err != nil || len(merged) != 1 || merged[0].LSN != 5 {
+		t.Fatalf("after compaction: %v (%v), want only LSN 5", merged, err)
+	}
+}

@@ -2,7 +2,10 @@
 // from H-Store (§3.1) and extends for streaming (§3.2.5): a command log
 // that records committed stored-procedure invocations (name plus input
 // parameters, not data pages), with optional group commit, plus
-// snapshot checkpoint files.
+// snapshot checkpoint files. The log is sharded one file per partition
+// (LogSet): each execution site logs to its own file with its own
+// group-commit flusher, and a shared lock-free commit sequence stamps
+// every record so the shards merge back into total commit order.
 //
 // The streaming recovery modes differ only in *which* transactions get
 // logged: strong recovery logs every TE, weak recovery logs border TEs
@@ -50,9 +53,11 @@ func (k RecordKind) String() string {
 // identified by its stored procedure and input parameters, exactly the
 // information needed to re-execute it (§3.1).
 type Record struct {
-	// LSN is the log sequence number, assigned by the logger at
-	// append time; records replay in LSN order, which is commit
-	// order.
+	// LSN is the log sequence number, assigned at append time from
+	// the engine-wide commit sequence (shared by every partition's
+	// log through a LogSet): records replay in LSN order, which is
+	// total commit order even when the log is sharded one file per
+	// partition.
 	LSN uint64
 	// Kind classifies the TE for recovery-mode filtering.
 	Kind RecordKind
@@ -95,75 +100,63 @@ func (r *Record) encode(buf []byte) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
 }
 
-// decodeRecord reads one framed record from b, returning the record
-// and bytes consumed. io-style: a short or corrupt frame returns
-// errTorn, which readers treat as end-of-log (torn tail after a
-// crash).
+// decodePayload decodes one record's payload (the bytes between the
+// length prefix and the CRC, which the caller has already verified).
+// A malformed payload returns errTorn, which readers treat as
+// end-of-log (torn tail after a crash).
 var errTorn = fmt.Errorf("wal: torn or corrupt record")
 
-func decodeRecord(b []byte) (*Record, int, error) {
-	if len(b) < 4 {
-		return nil, 0, errTorn
-	}
-	plen := int(binary.LittleEndian.Uint32(b))
-	if plen <= 0 || len(b) < 4+plen+4 {
-		return nil, 0, errTorn
-	}
-	payload := b[4 : 4+plen]
-	wantCRC := binary.LittleEndian.Uint32(b[4+plen:])
-	if crc32.Checksum(payload, crcTable) != wantCRC {
-		return nil, 0, errTorn
-	}
+func decodePayload(payload []byte) (*Record, error) {
 	r := &Record{}
 	n := 0
 	lsn, m := binary.Uvarint(payload[n:])
 	if m <= 0 {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	r.LSN = lsn
 	if n >= len(payload) {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	r.Kind = RecordKind(payload[n])
 	n++
 	part, m := binary.Uvarint(payload[n:])
 	if m <= 0 {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	r.Partition = int(part)
 	batch, m := binary.Varint(payload[n:])
 	if m <= 0 {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	r.BatchID = batch
 	splen, m := binary.Uvarint(payload[n:])
 	if m <= 0 || uint64(len(payload)-n-m) < splen {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	r.SP = string(payload[n : n+int(splen)])
 	n += int(splen)
 	params, m, err := types.DecodeRow(payload[n:])
 	if err != nil {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	r.Params = params
 	count, m := binary.Uvarint(payload[n:])
 	if m <= 0 {
-		return nil, 0, errTorn
+		return nil, errTorn
 	}
 	n += m
 	for i := uint64(0); i < count; i++ {
 		row, m, err := types.DecodeRow(payload[n:])
 		if err != nil {
-			return nil, 0, errTorn
+			return nil, errTorn
 		}
 		n += m
 		r.Batch = append(r.Batch, row)
 	}
-	return r, 4 + plen + 4, nil
+	return r, nil
 }

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"sstore/internal/storage"
 )
@@ -92,4 +95,64 @@ func LoadSnapshot(path string, lookup func(name string) (*storage.Table, bool)) 
 		}
 	}
 	return lastLSN, nil
+}
+
+// A multi-partition checkpoint is committed by a manifest: the
+// per-partition snapshot files of one checkpoint are written under
+// generation names (snapshot.p<N>.g<stamp>) and the manifest records
+// the committed generation last, atomically. Recovery loads only the
+// generation the manifest names, so a crash between per-partition
+// snapshot writes can never mix stamps — without the manifest, a
+// torn checkpoint would leave some partitions at the new stamp and
+// others at the old one, and a max-stamp replay filter would skip
+// records the older partitions still need.
+
+const manifestName = "snapshot.manifest"
+const manifestMagic = "SSMF"
+
+// WriteSnapshotManifest atomically and durably commits stamp as the
+// snapshot generation in dir.
+func WriteSnapshotManifest(dir string, stamp uint64) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%s %d\n", manifestMagic, stamp); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotManifest returns the committed generation stamp;
+// ok=false means no manifest exists (pre-manifest checkpoints, loaded
+// from the legacy plain snapshot files).
+func ReadSnapshotManifest(dir string) (stamp uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("wal: manifest: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 2 || fields[0] != manifestMagic {
+		return 0, false, fmt.Errorf("wal: manifest: malformed %q", string(data))
+	}
+	stamp, perr := strconv.ParseUint(fields[1], 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("wal: manifest: %w", perr)
+	}
+	return stamp, true, nil
 }

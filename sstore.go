@@ -150,7 +150,11 @@ type Config struct {
 	// Recovery selects the logging/recovery scheme; non-None
 	// requires LogPath.
 	Recovery RecoveryMode
-	// LogPath is the command-log file.
+	// LogPath locates the command log, which is sharded one file per
+	// partition: an existing directory holds <dir>/cmd-p<N>.log, any
+	// other path serves as a file-name prefix (<path>.p<N>). A legacy
+	// unsharded log at exactly <path> is still replayed. See
+	// DESIGN.md §5.
 	LogPath string
 	// LogPolicy selects commit durability (default SyncEachCommit).
 	LogPolicy SyncPolicy
