@@ -66,3 +66,8 @@ func BenchmarkAblations(b *testing.B) { runFigure(b, experiments.Ablations) }
 // spread across partitions by PartitionBy, on a synthetic routed
 // pipeline and an x-way-partitioned Linear Road run.
 func BenchmarkScalePartitions(b *testing.B) { runFigure(b, experiments.Scale) }
+
+// BenchmarkNetThroughput runs the client/server experiment: served
+// workflow throughput vs concurrent connections over a real loopback
+// TCP socket, against the in-process simulated-RTT reference.
+func BenchmarkNetThroughput(b *testing.B) { runFigure(b, experiments.NetBench) }

@@ -1,0 +1,289 @@
+// Package client is the Go client for an S-Store server
+// (cmd/sstore-server): a TCP connection speaking the internal/wire
+// protocol, with request pipelining — many Calls and Ingests may be in
+// flight concurrently on one connection, and each completes when its
+// transaction commits server-side.
+//
+// Backpressure is first-class: when the server rejects a request under
+// queue-depth bounds, the returned error matches sstore.ErrOverloaded
+// and carries the server's retry-after hint (sstore.RetryAfter). The
+// rejected request left no server-side trace, so retrying the
+// identical request — same batch ID included — is legal, provided the
+// retry happens before later batch IDs are admitted on the same
+// stream and partition (the server's exactly-once ledger is a
+// high-water mark): resolve each batch before pipelining past it when
+// the server may push back. IngestRetry packages that loop.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sstore"
+	"sstore/internal/wire"
+)
+
+// Result is a Call's client-visible outcome, mirroring sstore.Result.
+type Result struct {
+	Columns         []string
+	Rows            []sstore.Row
+	LastInsertBatch int64
+}
+
+// Stats is the server engine's counter snapshot.
+type Stats = wire.Stats
+
+// Client is one pipelined connection to a server. Methods are safe for
+// concurrent use; responses are matched to requests by ID, so
+// concurrent in-flight requests complete independently.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes request writes; each request is framed and
+	// flushed as one unit.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	err     error // sticky transport failure, fails all later requests
+}
+
+// Dial connects to a server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan *wire.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("client: closed"))
+	return c.conn.Close()
+}
+
+// readLoop delivers responses to their waiting requests until the
+// connection dies, then fails everything still pending.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("client: %w", err))
+			c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the client broken and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *wire.Response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// send registers a pending slot and writes the framed request. The
+// returned channel receives the response, or closes on transport
+// failure.
+func (c *Client) send(req *wire.Request) (chan *wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	frame := wire.AppendRequest(nil, req)
+	if len(frame)-4 > wire.MaxFrame {
+		// An oversize request (e.g. a huge batch) fails locally rather
+		// than desynchronizing the server's frame reader.
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: request of %d bytes exceeds frame limit %d", len(frame)-4, wire.MaxFrame)
+	}
+	c.wmu.Lock()
+	_, err := c.bw.Write(frame)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		err = fmt.Errorf("client: send: %w", err)
+		c.fail(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// decodeErr converts a non-OK response into the matching Go error; an
+// overloaded status becomes an sstore.OverloadedError so errors.Is
+// against sstore.ErrOverloaded and sstore.RetryAfter work unchanged
+// across the wire.
+func decodeErr(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOverloaded:
+		return &sstore.OverloadedError{
+			Partition:  resp.Partition,
+			Depth:      resp.Depth,
+			RetryAfter: time.Duration(resp.RetryAfterMicros) * time.Microsecond,
+		}
+	case wire.StatusErr:
+		return fmt.Errorf("server: %s", resp.Msg)
+	default:
+		return nil
+	}
+}
+
+// await turns a response channel into (response, error), mapping a
+// closed channel to the sticky transport error.
+func (c *Client) await(ch chan *wire.Response) (*wire.Response, error) {
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("client: connection lost")
+		}
+		return nil, err
+	}
+	if err := decodeErr(resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Call invokes a stored procedure as an OLTP transaction and waits for
+// its result.
+func (c *Client) Call(sp string, params ...sstore.Value) (*Result, error) {
+	ch, err := c.send(&wire.Request{Op: wire.OpCall, SP: sp, Params: sstore.Row(params)})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:         resp.Columns,
+		Rows:            resp.Rows,
+		LastInsertBatch: resp.LastInsertBatch,
+	}, nil
+}
+
+// Ingest pushes an atomic batch into a border stream and waits for the
+// border transaction to commit (exactly-once: duplicate batch IDs are
+// rejected server-side).
+func (c *Client) Ingest(streamName string, b *sstore.Batch) error {
+	ch, err := c.IngestAsync(streamName, b)
+	if err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// IngestAsync submits the batch and returns a channel receiving the
+// border transaction's commit outcome, enabling many in-flight batches
+// per connection. The request is written before IngestAsync returns,
+// so a single caller's batches are admitted in submission order.
+// Submission-time rejections (duplicate, overload) arrive on the
+// channel like commit outcomes.
+func (c *Client) IngestAsync(streamName string, b *sstore.Batch) (<-chan error, error) {
+	ch, err := c.send(&wire.Request{
+		Op: wire.OpIngest, Stream: streamName, BatchID: b.ID, Rows: b.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan error, 1)
+	go func() {
+		_, err := c.await(ch)
+		out <- err
+	}()
+	return out, nil
+}
+
+// IngestRetry ingests a batch, retrying after the server's hinted
+// backoff for as long as the server reports overload — the retryable
+// ingestion loop a production client runs under backpressure. Other
+// errors (duplicate, abort, transport) return immediately.
+func (c *Client) IngestRetry(streamName string, b *sstore.Batch) error {
+	for {
+		err := c.Ingest(streamName, b)
+		if err == nil {
+			return nil
+		}
+		wait := sstore.RetryAfter(err)
+		if wait <= 0 {
+			return err
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Stats fetches the server engine's counters.
+func (c *Client) Stats() (Stats, error) {
+	ch, err := c.send(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Drain blocks until the server engine is quiescent — all queued work,
+// including trigger cascades, finished. Intended for tests and
+// controlled benchmarks; under continuous ingestion from other clients
+// it may block indefinitely.
+func (c *Client) Drain() error {
+	ch, err := c.send(&wire.Request{Op: wire.OpDrain})
+	if err != nil {
+		return err
+	}
+	_, err = c.await(ch)
+	return err
+}

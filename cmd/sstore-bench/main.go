@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|all [-quick] [-json]
+//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|net|all [-quick] [-json]
+//	sstore-bench -client host:port [-conns N] [-batches N] [-window N] [-sensor-base N]
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json in
 // the current directory: the result table's columns and raw row
 // values plus the wall time, so the performance trajectory is
 // machine-readable across runs.
+//
+// With -client, sstore-bench is a load driver for a running
+// sstore-server (-app pipeline): it opens -conns connections, ingests
+// -batches atomic batches per connection (one sensor per connection,
+// up to -window in flight), waits for every border commit, then
+// verifies exactly-once results through Report and exits non-zero on
+// any mismatch. Overload rejections from a -max-queue server are
+// retried after the server's hint when -window is 1.
 package main
 
 import (
@@ -39,6 +48,7 @@ var figures = []struct {
 	{"fig11", "Figure 11: Multi-core Scalability, Linear Road subset (max x-ways)", experiments.Fig11},
 	{"ablation", "Ablations: index-vs-scan, batch size, trigger mechanism", experiments.Ablations},
 	{"scale", "Partition scaling: workflow throughput with interior batches routed across partitions", experiments.Scale},
+	{"net", "Client/server throughput vs connections over a real loopback socket", experiments.NetBench},
 }
 
 // benchReport is the machine-readable result of one experiment.
@@ -68,10 +78,23 @@ func writeReport(name, title string, quick bool, table *benchutil.Table, elapsed
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5..fig11, ablation, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5..fig11, ablation, scale, net, or all")
 	quick := flag.Bool("quick", false, "shrink sweeps and windows for a fast pass")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json per experiment")
+	clientAddr := flag.String("client", "", "drive a running sstore-server at this address instead of running experiments")
+	conns := flag.Int("conns", 4, "client mode: number of connections (one sensor each)")
+	batches := flag.Int("batches", 500, "client mode: batches per connection")
+	window := flag.Int("window", 32, "client mode: max in-flight batches per connection (1 = sync with overload retry)")
+	sensorBase := flag.Int("sensor-base", 0, "client mode: first sensor ID (offset reruns to fresh sensors)")
 	flag.Parse()
+
+	if *clientAddr != "" {
+		if err := runClientBench(*clientAddr, *conns, *batches, *window, *sensorBase); err != nil {
+			fmt.Fprintln(os.Stderr, "sstore-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	dir, err := os.MkdirTemp("", "sstore-bench-*")
 	if err != nil {

@@ -142,6 +142,7 @@ func TestAllFiguresQuick(t *testing.T) {
 		"fig10":    Fig10,
 		"fig11":    Fig11,
 		"ablation": Ablations,
+		"net":      NetBench,
 	} {
 		t.Run(name, func(t *testing.T) {
 			table, err := fn(opts)

@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -45,7 +46,10 @@ func (l *Link) Trips() uint64 { return l.trips.Load() }
 
 // Delay blocks for approximately d. time.Sleep overshoots badly below
 // ~100µs, which would distort microsecond-scale simulated costs, so
-// short delays spin on the monotonic clock instead.
+// short delays spin on the monotonic clock instead. The spin yields
+// the processor on every iteration: many simulated clients spinning on
+// few cores would otherwise starve the partition goroutines of OS
+// threads, turning a latency simulation into a scheduling denial.
 func Delay(d time.Duration) {
 	if d <= 0 {
 		return
@@ -56,6 +60,7 @@ func Delay(d time.Duration) {
 	}
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 

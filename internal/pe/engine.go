@@ -1,6 +1,7 @@
 package pe
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,6 +61,63 @@ type Options struct {
 	// RouteCall routes an OLTP call to a partition; defaults to
 	// partition 0.
 	RouteCall func(sp string, params types.Row) int
+	// MaxQueueDepth, when positive, bounds each partition's scheduler
+	// queue at the border: client Calls and ingested batches are
+	// rejected with an OverloadedError (wrapping ErrOverloaded, with a
+	// retry-after hint) once the target partition's queue reaches the
+	// bound. Interior work — PE-triggered TEs and batches routed
+	// across partitions by committing TEs — is never blocked or
+	// rejected, so cross-partition dispatch cannot deadlock even at
+	// MaxQueueDepth=1. Zero means unbounded (the embedded-library
+	// default).
+	MaxQueueDepth int
+}
+
+// ErrOverloaded is the sentinel matched by errors.Is when a border
+// submission is rejected because the target partition's queue is at
+// MaxQueueDepth. The concrete error is an *OverloadedError carrying a
+// retry-after hint.
+var ErrOverloaded = errors.New("pe: overloaded")
+
+// OverloadedError reports a border rejection under queue-depth
+// backpressure. The admission side effects of the rejected submission
+// are fully undone (an ingested batch's exactly-once admission is
+// released), so retrying the identical request after RetryAfter is
+// legal — provided the injector retries before admitting later batch
+// IDs on the same (stream, partition): the exactly-once ledger is a
+// high-water mark and cannot regress below a later admission.
+type OverloadedError struct {
+	// Partition is the partition whose queue was full.
+	Partition int
+	// Depth is the queue depth observed at rejection time.
+	Depth int
+	// RetryAfter is a hint for how long the client should wait before
+	// retrying — an estimate of the time the partition needs to drain
+	// enough of its queue, not a guarantee.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("pe: partition %d overloaded (queue depth %d); retry after %v",
+		e.Partition, e.Depth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// retryAfterHint estimates a backoff for a border rejection from the
+// observed queue depth: roughly the time a partition takes to drain
+// half the queue at typical in-memory TE cost, clamped to keep retries
+// responsive under light overload and polite under heavy.
+func retryAfterHint(depth int) time.Duration {
+	d := time.Duration(depth) * 25 * time.Microsecond
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
 }
 
 // Engine is a single-node S-Store instance: partitions, stored
@@ -99,6 +157,10 @@ type Engine struct {
 
 	peTriggersOn atomic.Bool
 	loggingOn    atomic.Bool
+
+	// overloaded counts border submissions rejected by the
+	// MaxQueueDepth bound; surfaced through Stats.
+	overloaded atomic.Uint64
 
 	link     *netsim.Link
 	boundary *netsim.Boundary
@@ -147,6 +209,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	for i := 0; i < opts.Partitions; i++ {
 		p := newPartition(i, e)
 		p.sched.track = e.idle
+		p.sched.bound = opts.MaxQueueDepth
 		e.parts = append(e.parts, p)
 		go p.run()
 	}
@@ -303,6 +366,22 @@ func (e *Engine) routeCall(sp string, params types.Row) int {
 	return 0
 }
 
+// pushBorder enqueues a client-originated task (OLTP Call or ingested
+// batch) subject to the MaxQueueDepth bound, translating a full queue
+// into an *OverloadedError with a retry-after hint. Interior work never
+// goes through here.
+func (e *Engine) pushBorder(p *partition, t *task) error {
+	ok, full, depth := p.sched.PushBackBounded(t)
+	if ok {
+		return nil
+	}
+	if full {
+		e.overloaded.Add(1)
+		return &OverloadedError{Partition: p.id, Depth: depth, RetryAfter: retryAfterHint(depth)}
+	}
+	return fmt.Errorf("pe: engine closed")
+}
+
 // Call invokes a stored procedure as an OLTP transaction (pull model)
 // and waits for its result. The simulated client RTT is charged once
 // per call — exactly the round trip the paper's H-Store baseline pays
@@ -329,8 +408,8 @@ func (e *Engine) CallAsync(sp string, params types.Row) <-chan CallResult {
 	reply := make(chan callResult, 1)
 	t := &task{sp: sp, params: params, kind: wal.KindOLTP, reply: reply}
 	p := e.parts[e.routeCall(sp, params)]
-	if !p.sched.PushBack(t) {
-		out <- CallResult{Err: fmt.Errorf("pe: engine closed")}
+	if err := e.pushBorder(p, t); err != nil {
+		out <- CallResult{Err: err}
 		return out
 	}
 	go func() {
@@ -362,8 +441,8 @@ func (e *Engine) CallNested(children []NestedCall) (*Result, error) {
 	reply := make(chan callResult, 1)
 	t := &task{nested: nested, kind: wal.KindOLTP, reply: reply}
 	p := e.parts[e.routeCall(children[0].SP, children[0].Params)]
-	if !p.sched.PushBack(t) {
-		return nil, fmt.Errorf("pe: engine closed")
+	if err := e.pushBorder(p, t); err != nil {
+		return nil, err
 	}
 	r := <-reply
 	return r.res, r.err
@@ -436,11 +515,12 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 		inputStream: key,
 		reply:       reply,
 	}
-	if !e.parts[pid].sched.PushBack(t) {
-		// The batch never entered the engine: release the admission so
-		// a retry is not rejected as a duplicate.
+	if err := e.pushBorder(e.parts[pid], t); err != nil {
+		// The batch never entered the engine (queue full or engine
+		// closed): release the admission so a retry is not rejected as
+		// a duplicate.
 		e.dedup.Release(pid, key, b.ID)
-		return nil, fmt.Errorf("pe: engine closed")
+		return nil, err
 	}
 	return reply, nil
 }
@@ -566,6 +646,9 @@ type Stats struct {
 	LogSyncs    uint64
 	ClientTrips uint64
 	EECrossings uint64
+	// Overloaded counts border submissions (Calls and ingested
+	// batches) rejected by the MaxQueueDepth backpressure bound.
+	Overloaded uint64
 }
 
 // Stats returns a snapshot of engine counters. Executed/Aborted are
@@ -577,6 +660,7 @@ func (e *Engine) Stats() Stats {
 		s.Executed += p.executed
 		s.Aborted += p.aborted
 	}
+	s.Overloaded = e.overloaded.Load()
 	if e.logs != nil {
 		s.LogAppends, s.LogSyncs = e.logs.Stats()
 	}

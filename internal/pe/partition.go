@@ -135,6 +135,7 @@ func (p *partition) executeSP(t *task) {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
 		p.retainRelocatedBatch(t)
+		p.releaseBorderAdmission(t)
 		p.replyTo(t, nil, err)
 		return
 	}
@@ -144,6 +145,12 @@ func (p *partition) executeSP(t *task) {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
 		p.retainRelocatedBatch(t)
+		// Deliberately no releaseBorderAdmission here: a log append
+		// can fail after the record's bytes reached the file (fsync
+		// error), so the batch may replay at recovery. Keeping the
+		// admission rejects the retry as a duplicate — losing one
+		// delivery attempt is recoverable; applying the batch twice is
+		// not.
 		p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
 		return
 	}
@@ -203,6 +210,32 @@ func (p *partition) placeMovedBatch(streamName string, rows []types.Row, batchID
 		}
 	}
 	return nil
+}
+
+// releaseBorderAdmission runs after a border TE's body aborted and
+// rolled back, before logCommit was ever attempted: the rollback
+// removed the batch's rows from the input stream and nothing reached
+// the log, so the batch left no trace — but its admission still sits
+// in the exactly-once ledger, where it would reject the client's retry
+// of the very same batch as a duplicate. Releasing the admission
+// restores the re-delivery contract: abort → retry → commit. The
+// release happens on this partition's ledger shard, which is where
+// ingest admitted the batch (the ledger travels with the routing).
+//
+// The ledger is a high-water mark, so only the shard's most recent
+// admission can actually be released (stream.Dedup.Release): the
+// retry guarantee holds for an injector that resolves each batch
+// before admitting later IDs on the same (stream, shard) — the sync
+// and retry-loop clients. A pipelined injector that runs past an
+// abort cannot reclaim the hole. It does not run on a post-log commit
+// failure: the record's bytes may have reached the file even when the
+// append reported an error, and a replayed-plus-retried batch would
+// apply twice.
+func (p *partition) releaseBorderAdmission(t *task) {
+	if t.kind != wal.KindBorder || t.inputStream == "" {
+		return
+	}
+	p.eng.dedup.Release(p.id, t.inputStream, t.batchID)
 }
 
 // retainRelocatedBatch runs after an aborted TE rolled back: if the

@@ -70,6 +70,68 @@ type Result struct {
 	LastInsertBatch int64
 }
 
+// deque is a ring-buffer double-ended task queue: push and pop at
+// either end are amortized O(1), unlike the slice pair it replaced,
+// where every front push re-allocated and copied the whole front queue
+// — O(depth) per committing TE under load. Capacity is kept a power of
+// two so index wrap is a mask. Not safe for concurrent use; the
+// scheduler serializes access under its mutex.
+type deque struct {
+	buf  []*task
+	head int // index of the first element
+	n    int
+}
+
+func (d *deque) len() int { return d.n }
+
+// grow doubles capacity until need more elements fit, re-linearizing
+// the ring at index 0.
+func (d *deque) grow(need int) {
+	if d.n+need <= len(d.buf) {
+		return
+	}
+	capNew := len(d.buf)
+	if capNew == 0 {
+		capNew = 8
+	}
+	for capNew < d.n+need {
+		capNew *= 2
+	}
+	buf := make([]*task, capNew)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+func (d *deque) pushBack(t *task) {
+	d.grow(1)
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = t
+	d.n++
+}
+
+func (d *deque) pushFront(t *task) {
+	d.grow(1)
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = t
+	d.n++
+}
+
+func (d *deque) popFront() *task {
+	t := d.buf[d.head]
+	d.buf[d.head] = nil // release for GC
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return t
+}
+
+func (d *deque) forEach(fn func(*task)) {
+	for i := 0; i < d.n; i++ {
+		fn(d.buf[(d.head+i)&(len(d.buf)-1)])
+	}
+}
+
 // scheduler is a partition's transaction request queue: FIFO for
 // client-submitted work, with a front-of-queue fast path for
 // PE-triggered TEs so a workflow's TEs for one batch execute without
@@ -78,9 +140,16 @@ type Result struct {
 type scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	front  []*task // triggered TEs, consumed before back
-	back   []*task // FIFO client requests
+	front  deque // triggered TEs, consumed before back
+	back   deque // FIFO client requests
 	closed bool
+	// bound, when positive, caps the queue depth seen by border
+	// submissions (PushBackBounded): client Calls and ingested batches
+	// are rejected with an overload signal once front+back reaches it.
+	// Interior pushes (PushBack, PushBackBatch, PushFrontBatch) ignore
+	// the bound — a committing TE must always be able to hand work to
+	// the next partition, or cross-partition dispatch could deadlock.
+	bound int
 	// track, when non-nil, is the engine-wide outstanding-work counter
 	// backing the event-driven Drain: every successful enqueue
 	// increments it; the partition goroutine releases it after the
@@ -94,14 +163,15 @@ func newScheduler() *scheduler {
 	return s
 }
 
-// PushBack appends a client request (FIFO order).
+// PushBack appends a client request (FIFO order), ignoring the depth
+// bound; border paths use PushBackBounded instead.
 func (s *scheduler) PushBack(t *task) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	s.back = append(s.back, t)
+	s.back.pushBack(t)
 	if s.track != nil {
 		s.track.add(1)
 	}
@@ -109,12 +179,37 @@ func (s *scheduler) PushBack(t *task) bool {
 	return true
 }
 
+// PushBackBounded appends a border submission (client Call or ingested
+// batch) unless the queue is full. closed=false means the scheduler is
+// shut down; otherwise full reports whether the depth bound rejected
+// the task, with depth the queue depth observed under the lock (the
+// basis for the retry-after hint).
+func (s *scheduler) PushBackBounded(t *task) (ok, full bool, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, false, 0
+	}
+	depth = s.front.len() + s.back.len()
+	if s.bound > 0 && depth >= s.bound {
+		return false, true, depth
+	}
+	s.back.pushBack(t)
+	if s.track != nil {
+		s.track.add(1)
+	}
+	s.cond.Signal()
+	return true, false, depth
+}
+
 // PushBackBatch appends several tasks atomically in the given order.
 // The cross-partition dispatch path uses this: a committing TE hands a
 // routed batch's consumer TEs to another partition's queue as one unit,
 // so batches of a stream arrive at each partition in the producer's
 // commit order (the per-(stream, partition) ordering guarantee) and no
-// foreign task can land between the consumers of one batch.
+// foreign task can land between the consumers of one batch. The depth
+// bound is deliberately not applied: rejecting an already-committed
+// batch would lose it.
 func (s *scheduler) PushBackBatch(ts []*task) bool {
 	if len(ts) == 0 {
 		return true
@@ -124,7 +219,10 @@ func (s *scheduler) PushBackBatch(ts []*task) bool {
 	if s.closed {
 		return false
 	}
-	s.back = append(s.back, ts...)
+	s.back.grow(len(ts))
+	for _, t := range ts {
+		s.back.pushBack(t)
+	}
 	if s.track != nil {
 		s.track.add(len(ts))
 	}
@@ -136,14 +234,18 @@ func (s *scheduler) PushBackBatch(ts []*task) bool {
 // ahead of everything already queued. The partition goroutine calls
 // this when a committing TE fires PE triggers, so the downstream TEs
 // run immediately — the "short-circuit of H-Store's FIFO scheduler"
-// (§3.2.4).
+// (§3.2.4). Never bounded: the TEs continue an admitted batch's
+// workflow.
 func (s *scheduler) PushFrontBatch(ts []*task) {
 	if len(ts) == 0 {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.front = append(append(make([]*task, 0, len(ts)+len(s.front)), ts...), s.front...)
+	s.front.grow(len(ts))
+	for i := len(ts) - 1; i >= 0; i-- {
+		s.front.pushFront(ts[i])
+	}
 	if s.track != nil {
 		s.track.add(len(ts))
 	}
@@ -155,18 +257,14 @@ func (s *scheduler) PushFrontBatch(ts []*task) {
 func (s *scheduler) Pop() (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.front) == 0 && len(s.back) == 0 && !s.closed {
+	for s.front.len() == 0 && s.back.len() == 0 && !s.closed {
 		s.cond.Wait()
 	}
-	if len(s.front) > 0 {
-		t := s.front[0]
-		s.front = s.front[1:]
-		return t, true
+	if s.front.len() > 0 {
+		return s.front.popFront(), true
 	}
-	if len(s.back) > 0 {
-		t := s.back[0]
-		s.back = s.back[1:]
-		return t, true
+	if s.back.len() > 0 {
+		return s.back.popFront(), true
 	}
 	return nil, false
 }
@@ -178,19 +276,15 @@ func (s *scheduler) Pop() (*task, bool) {
 func (s *scheduler) ForEachQueued(fn func(*task)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, t := range s.front {
-		fn(t)
-	}
-	for _, t := range s.back {
-		fn(t)
-	}
+	s.front.forEach(fn)
+	s.back.forEach(fn)
 }
 
 // Len returns the number of queued tasks.
 func (s *scheduler) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.front) + len(s.back)
+	return s.front.len() + s.back.len()
 }
 
 // Close wakes the partition loop for shutdown; queued tasks still

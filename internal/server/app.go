@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"sstore/internal/pe"
+	"sstore/internal/types"
+	"sstore/internal/workflow"
+)
+
+// App is a built-in demo application the server binary can deploy:
+// schema, stored procedures, and workflow wiring, plus the routing
+// functions a multi-partition deployment needs. Stored procedures are
+// Go code, so server deployments pick from compiled-in apps rather
+// than loading them over the wire.
+type App struct {
+	// Name selects the app (cmd/sstore-server -app).
+	Name string
+	// Describe is a one-line summary for -list-apps.
+	Describe string
+	// PartitionBy/RouteCall are the app's routing functions; wire them
+	// into pe.Options before building the engine.
+	PartitionBy func(stream string, rows []types.Row) int
+	RouteCall   func(sp string, params types.Row) int
+	// Setup creates schema, registers procedures, and deploys
+	// workflows on a freshly built engine.
+	Setup func(eng *pe.Engine) error
+}
+
+// byFirstInt routes by the first column's integer value — the key
+// every demo app shares across a batch's tuples.
+func byFirstInt(_ string, rows []types.Row) int {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return 0
+	}
+	return int(rows[0][0].Int())
+}
+
+// PipelineApp is the sensor pipeline of examples/quickstart as a
+// served application: raw_readings → Clean → clean_readings →
+// Aggregate folds per-sensor averages into a shared table, and the
+// OLTP procedure Report(sensor) reads them back. Batches and Report
+// calls route by sensor, so the workflow fans out across partitions
+// and a multi-connection client load with one sensor per connection
+// never contends on a ledger shard.
+func PipelineApp() *App {
+	return &App{
+		Name:        "pipeline",
+		Describe:    "sensor cleaning/averaging workflow + Report OLTP reads, routed by sensor",
+		PartitionBy: byFirstInt,
+		RouteCall: func(_ string, params types.Row) int {
+			if len(params) == 0 {
+				return 0
+			}
+			return int(params[0].Int())
+		},
+		Setup: func(eng *pe.Engine) error {
+			for _, ddl := range []string{
+				"CREATE STREAM raw_readings (sensor BIGINT, value BIGINT)",
+				"CREATE STREAM clean_readings (sensor BIGINT, value BIGINT)",
+				"CREATE TABLE averages (sensor BIGINT PRIMARY KEY, n BIGINT, total BIGINT)",
+			} {
+				if err := eng.ExecDDL(ddl); err != nil {
+					return err
+				}
+			}
+			err := eng.RegisterProc(&pe.StoredProc{Name: "Clean", Func: func(ctx *pe.ProcCtx) error {
+				_, err := ctx.Query(
+					"INSERT INTO clean_readings SELECT sensor, value FROM raw_readings WHERE value >= 0 AND value <= 1000")
+				return err
+			}})
+			if err != nil {
+				return err
+			}
+			err = eng.RegisterProc(&pe.StoredProc{Name: "Aggregate", Func: func(ctx *pe.ProcCtx) error {
+				rows, err := ctx.Query("SELECT sensor, value FROM clean_readings")
+				if err != nil {
+					return err
+				}
+				for _, r := range rows.Rows {
+					existing, err := ctx.Query("SELECT n FROM averages WHERE sensor = ?", r[0])
+					if err != nil {
+						return err
+					}
+					if len(existing.Rows) == 0 {
+						_, err = ctx.Query("INSERT INTO averages VALUES (?, 1, ?)", r[0], r[1])
+					} else {
+						_, err = ctx.Query(
+							"UPDATE averages SET n = n + 1, total = total + ? WHERE sensor = ?", r[1], r[0])
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}})
+			if err != nil {
+				return err
+			}
+			err = eng.RegisterProc(&pe.StoredProc{Name: "Report", Func: func(ctx *pe.ProcCtx) error {
+				res, err := ctx.Query(
+					"SELECT sensor, total / n AS avg, n FROM averages WHERE sensor = ?", ctx.Params()[0])
+				if err != nil {
+					return err
+				}
+				ctx.SetResult(res)
+				return nil
+			}})
+			if err != nil {
+				return err
+			}
+			wf, err := workflow.New("pipeline", []workflow.Node{
+				{SP: "Clean", Input: "raw_readings", Outputs: []string{"clean_readings"}},
+				{SP: "Aggregate", Input: "clean_readings"},
+			})
+			if err != nil {
+				return err
+			}
+			return eng.DeployWorkflow(wf)
+		},
+	}
+}
+
+// apps indexes the built-in applications by name.
+func apps() map[string]*App {
+	m := make(map[string]*App)
+	for _, a := range []*App{PipelineApp()} {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// LookupApp finds a built-in app by name, listing the known names in
+// the error when it doesn't exist.
+func LookupApp(name string) (*App, error) {
+	m := apps()
+	if a, ok := m[name]; ok {
+		return a, nil
+	}
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("server: unknown app %q (built-in apps: %v)", name, names)
+}
+
+// Apps returns the built-in applications in name order.
+func Apps() []*App {
+	m := apps()
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*App, 0, len(names))
+	for _, n := range names {
+		out = append(out, m[n])
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sstore"
+	"sstore/client"
+)
+
+// findModRoot walks up from the working directory to the module root,
+// where go build resolves the sstore module.
+func findModRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestE2EBinaryServedWorkflow builds the real cmd/sstore-server
+// binary, starts it on an ephemeral port, and drives the multi-SP
+// pipeline workflow through it over a real TCP socket via the Go
+// client, verifying exactly-once results end to end — the acceptance
+// path a deployment exercises.
+func TestE2EBinaryServedWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	root := findModRoot(t)
+	bin := filepath.Join(t.TempDir(), "sstore-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sstore-server")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sstore-server: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-app", "pipeline", "-partitions", "4", "-max-queue", "1024")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// The readiness line announces the chosen port.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				lineCh <- strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+	}()
+	select {
+	case addr = <-lineCh:
+	case <-deadline:
+		t.Fatal("server never announced its listen address")
+	}
+
+	const sensors, batches = 3, 40
+	clients := make([]*client.Client, sensors)
+	for s := range clients {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		defer c.Close()
+		clients[s] = c
+	}
+	// Pipeline the whole feed per sensor connection, then collect acks.
+	acks := make([][]<-chan error, sensors)
+	for s, c := range clients {
+		for id := int64(1); id <= batches; id++ {
+			ack, err := c.IngestAsync("raw_readings", &sstore.Batch{
+				ID:   id,
+				Rows: []sstore.Row{{sstore.Int(int64(s)), sstore.Int(11)}},
+			})
+			if err != nil {
+				t.Fatalf("sensor %d batch %d: %v", s, id, err)
+			}
+			acks[s] = append(acks[s], ack)
+		}
+	}
+	for s := range acks {
+		for id, ack := range acks[s] {
+			if err := <-ack; err != nil {
+				t.Fatalf("sensor %d batch %d ack: %v", s, id+1, err)
+			}
+		}
+	}
+
+	c := clients[0]
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for s := 0; s < sensors; s++ {
+		res, err := c.Call("Report", sstore.Int(int64(s)))
+		if err != nil {
+			t.Fatalf("Report(%d): %v", s, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("Report(%d): %d rows", s, len(res.Rows))
+		}
+		if n := res.Rows[0][2].Int(); n != batches {
+			t.Errorf("sensor %d: %d readings aggregated, want %d (exactly-once violated)", s, n, batches)
+		}
+		if avg := res.Rows[0][1].Int(); avg != 11 {
+			t.Errorf("sensor %d: avg %d, want 11", s, avg)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2 * sensors * batches); st.Executed < want {
+		t.Errorf("executed %d TEs, want >= %d", st.Executed, want)
+	}
+}

@@ -1,0 +1,286 @@
+// Package server is the engine's network front door: a TCP server
+// speaking the internal/wire protocol, turning a single-process
+// partition engine into a client/server system (the deployment shape
+// the paper assumes — clients and stream injection feed the engine
+// over a network, Figure 4).
+//
+// Each connection gets a reader goroutine and a writer goroutine.
+// The reader decodes requests and submits them to the engine through
+// the asynchronous entry points (CallAsync, IngestAsync), so requests
+// pipeline: the exactly-once batch admission happens synchronously in
+// the order requests arrive on the connection, while commit
+// acknowledgements flow back whenever their transaction finishes —
+// out of order when partitions differ. Backpressure rejections
+// (pe.ErrOverloaded) are relayed with their retry-after hint instead
+// of being treated as failures, so clients can retry identically.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sstore/internal/pe"
+	"sstore/internal/stream"
+	"sstore/internal/wire"
+)
+
+// Server serves one engine over TCP. Create with New, start with
+// Serve, stop with Close; the engine's lifecycle stays the caller's.
+type Server struct {
+	eng *pe.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New wraps an engine; the engine must be fully set up (DDL, stored
+// procedures, workflows) before Serve admits traffic.
+func New(eng *pe.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close; it blocks. The
+// listener is owned by the server from here on.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and serves; it blocks like Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// per-connection goroutines to finish. It does not close the engine.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// handle runs one connection: a read loop that submits requests and a
+// writer goroutine that serializes responses. Response frames travel
+// through out; every in-flight request holds a slot in inflight, and
+// out is closed only after the read loop ended and all in-flight
+// requests delivered their response — so a send on out never races a
+// close.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(c)
+
+	out := make(chan []byte, 128)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(c)
+		for frame := range out {
+			if _, err := bw.Write(frame); err != nil {
+				// Connection is gone; keep draining so in-flight
+				// responders never block on a dead writer.
+				for range out {
+				}
+				return
+			}
+			// Flush when no further response is immediately ready:
+			// consecutive ready responses coalesce into one write.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					for range out {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	var inflight sync.WaitGroup
+	br := bufio.NewReader(c)
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Protocol error: the stream cannot be resynchronized;
+			// report and hang up.
+			out <- wire.AppendResponse(nil, &wire.Response{
+				Status: wire.StatusErr, Msg: err.Error(),
+			})
+			break
+		}
+		s.dispatch(req, out, &inflight)
+	}
+	inflight.Wait()
+	close(out)
+	<-writerDone
+}
+
+// dispatch submits one request to the engine. Submission itself is
+// synchronous — admission order on a connection is request order —
+// while waiting for the outcome moves to a goroutine per in-flight
+// request.
+func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.WaitGroup) {
+	switch req.Op {
+	case wire.OpCall:
+		ch := s.eng.CallAsync(req.SP, req.Params)
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			r := <-ch
+			if r.Err != nil {
+				out <- errFrame(req, r.Err)
+				return
+			}
+			resp := &wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+			if r.Res != nil {
+				resp.Columns = r.Res.Columns
+				resp.Rows = r.Res.Rows
+				resp.LastInsertBatch = r.Res.LastInsertBatch
+			}
+			frame := wire.AppendResponse(nil, resp)
+			if len(frame)-4 > wire.MaxFrame {
+				// A result too large to frame fails its own request;
+				// sending it would make the client's frame reader kill
+				// the whole pipelined connection.
+				frame = errFrame(req, fmt.Errorf(
+					"server: result of %d bytes exceeds frame limit %d", len(frame)-4, wire.MaxFrame))
+			}
+			out <- frame
+		}()
+	case wire.OpIngest:
+		ch, err := s.eng.IngestAsync(req.Stream, &stream.Batch{ID: req.BatchID, Rows: req.Rows})
+		if err != nil {
+			out <- errFrame(req, err)
+			return
+		}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			if err := <-ch; err != nil {
+				out <- errFrame(req, err)
+				return
+			}
+			out <- wire.AppendResponse(nil, &wire.Response{
+				ID: req.ID, Op: req.Op, Status: wire.StatusOK, BatchID: req.BatchID,
+			})
+		}()
+	case wire.OpStats:
+		st := s.eng.Stats()
+		out <- wire.AppendResponse(nil, &wire.Response{
+			ID: req.ID, Op: req.Op, Status: wire.StatusOK,
+			Stats: wire.Stats{
+				Executed:    st.Executed,
+				Aborted:     st.Aborted,
+				LogAppends:  st.LogAppends,
+				LogSyncs:    st.LogSyncs,
+				ClientTrips: st.ClientTrips,
+				EECrossings: st.EECrossings,
+				Overloaded:  st.Overloaded,
+			},
+		})
+	case wire.OpDrain:
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			err := s.eng.Drain()
+			if err != nil {
+				out <- errFrame(req, err)
+				return
+			}
+			out <- wire.AppendResponse(nil, &wire.Response{
+				ID: req.ID, Op: req.Op, Status: wire.StatusOK,
+			})
+		}()
+	default:
+		out <- errFrame(req, fmt.Errorf("server: unknown op %d", req.Op))
+	}
+}
+
+// errFrame encodes an error outcome, mapping a backpressure rejection
+// to the overloaded status so the client sees the retry-after hint
+// rather than an opaque failure.
+func errFrame(req *wire.Request, err error) []byte {
+	var oe *pe.OverloadedError
+	if errors.As(err, &oe) {
+		return wire.AppendResponse(nil, &wire.Response{
+			ID: req.ID, Op: req.Op, Status: wire.StatusOverloaded,
+			Partition:        oe.Partition,
+			Depth:            oe.Depth,
+			RetryAfterMicros: uint64(oe.RetryAfter.Microseconds()),
+		})
+	}
+	return wire.AppendResponse(nil, &wire.Response{
+		ID: req.ID, Op: req.Op, Status: wire.StatusErr, Msg: err.Error(),
+	})
+}

@@ -1,0 +1,391 @@
+// Package wire is the client↔server protocol of the network front
+// door: a length-prefixed binary framing over TCP that reuses the
+// repository's stable value encoding (internal/types, the same codec
+// backing the command log and snapshots). The protocol is
+// request/response with client-assigned request IDs, so a connection
+// can pipeline many requests and receive their responses out of order
+// — an ingest acknowledgement arrives when its border transaction
+// commits, not when the server happens to read the next request.
+//
+// Framing:
+//
+//	frame    := u32-LE payload-len, payload
+//	request  := uvarint req-id, op:u8, body
+//	response := uvarint req-id, op:u8, status:u8, body
+//
+// Request bodies:
+//
+//	call   := uvarint sp-len, sp, row(params)
+//	ingest := uvarint stream-len, stream, varint batch-id,
+//	          uvarint row-count, row*
+//	stats  := (empty)
+//	drain  := (empty)
+//
+// Response bodies:
+//
+//	ok+call      := uvarint col-count, (uvarint len, name)*,
+//	                uvarint row-count, row*, varint last-batch
+//	ok+ingest    := varint batch-id
+//	ok+stats     := uvarint field-count, uvarint* (see Stats)
+//	ok+drain     := (empty)
+//	error        := uvarint msg-len, msg
+//	overloaded   := uvarint partition, uvarint depth,
+//	                uvarint retry-after-micros
+//
+// The overloaded status carries the engine's backpressure verdict
+// across the wire: the request was rejected without side effects (an
+// ingested batch's exactly-once admission is released server-side), so
+// the client may retry the identical request after the hinted backoff,
+// as long as it retries before admitting later batch IDs on the same
+// stream and partition (see client.IngestRetry).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sstore/internal/types"
+)
+
+// Ops identify the request kind; echoed in the response so responses
+// decode without tracking per-request context.
+const (
+	OpCall uint8 = iota + 1
+	OpIngest
+	OpStats
+	OpDrain
+)
+
+// Response statuses.
+const (
+	StatusOK uint8 = iota
+	StatusErr
+	StatusOverloaded
+)
+
+// MaxFrame bounds a frame's payload; a peer announcing more is treated
+// as a protocol error rather than an allocation request.
+const MaxFrame = 64 << 20
+
+// Stats mirrors the engine's counter snapshot across the wire. Fields
+// are encoded as a counted list of uvarints, so decoders tolerate
+// servers with more (or fewer) counters.
+type Stats struct {
+	Executed    uint64
+	Aborted     uint64
+	LogAppends  uint64
+	LogSyncs    uint64
+	ClientTrips uint64
+	EECrossings uint64
+	Overloaded  uint64
+}
+
+// Request is one decoded client request.
+type Request struct {
+	ID uint64
+	Op uint8
+
+	// OpCall
+	SP     string
+	Params types.Row
+
+	// OpIngest
+	Stream  string
+	BatchID int64
+	Rows    []types.Row
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID     uint64
+	Op     uint8
+	Status uint8
+
+	// StatusOK, OpCall
+	Columns         []string
+	Rows            []types.Row
+	LastInsertBatch int64
+
+	// StatusOK, OpIngest
+	BatchID int64
+
+	// StatusOK, OpStats
+	Stats Stats
+
+	// StatusErr
+	Msg string
+
+	// StatusOverloaded
+	Partition        int
+	Depth            int
+	RetryAfterMicros uint64
+}
+
+// AppendRequest appends r's framed encoding to buf.
+func AppendRequest(buf []byte, r *Request) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	p := len(buf)
+	buf = binary.AppendUvarint(buf, r.ID)
+	buf = append(buf, r.Op)
+	switch r.Op {
+	case OpCall:
+		buf = appendString(buf, r.SP)
+		buf = types.EncodeRow(buf, r.Params)
+	case OpIngest:
+		buf = appendString(buf, r.Stream)
+		buf = binary.AppendVarint(buf, r.BatchID)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			buf = types.EncodeRow(buf, row)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-p))
+	return buf
+}
+
+// AppendResponse appends r's framed encoding to buf.
+func AppendResponse(buf []byte, r *Response) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	p := len(buf)
+	buf = binary.AppendUvarint(buf, r.ID)
+	buf = append(buf, r.Op, r.Status)
+	switch r.Status {
+	case StatusErr:
+		buf = appendString(buf, r.Msg)
+	case StatusOverloaded:
+		buf = binary.AppendUvarint(buf, uint64(r.Partition))
+		buf = binary.AppendUvarint(buf, uint64(r.Depth))
+		buf = binary.AppendUvarint(buf, r.RetryAfterMicros)
+	case StatusOK:
+		switch r.Op {
+		case OpCall:
+			buf = binary.AppendUvarint(buf, uint64(len(r.Columns)))
+			for _, c := range r.Columns {
+				buf = appendString(buf, c)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+			for _, row := range r.Rows {
+				buf = types.EncodeRow(buf, row)
+			}
+			buf = binary.AppendVarint(buf, r.LastInsertBatch)
+		case OpIngest:
+			buf = binary.AppendVarint(buf, r.BatchID)
+		case OpStats:
+			fields := []uint64{
+				r.Stats.Executed, r.Stats.Aborted,
+				r.Stats.LogAppends, r.Stats.LogSyncs,
+				r.Stats.ClientTrips, r.Stats.EECrossings,
+				r.Stats.Overloaded,
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(fields)))
+			for _, f := range fields {
+				buf = binary.AppendUvarint(buf, f)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-p))
+	return buf
+}
+
+// ReadFrame reads one frame's payload. io.EOF on a clean connection
+// close between frames; io.ErrUnexpectedEOF mid-frame.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// DecodeRequest decodes one request payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := decoder{buf: payload}
+	r := &Request{}
+	r.ID = d.uvarint()
+	r.Op = d.byte()
+	switch r.Op {
+	case OpCall:
+		r.SP = d.string()
+		r.Params = d.row()
+	case OpIngest:
+		r.Stream = d.string()
+		r.BatchID = d.varint()
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(payload)) {
+			// More rows announced than the payload could possibly
+			// hold: corrupt; refuse before allocating.
+			d.fail("row count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			r.Rows = append(r.Rows, d.row())
+		}
+	case OpStats, OpDrain:
+	default:
+		if d.err == nil {
+			d.fail("unknown op %d", r.Op)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: request: %w", d.err)
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes one response payload.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := decoder{buf: payload}
+	r := &Response{}
+	r.ID = d.uvarint()
+	r.Op = d.byte()
+	r.Status = d.byte()
+	switch r.Status {
+	case StatusErr:
+		r.Msg = d.string()
+	case StatusOverloaded:
+		r.Partition = int(d.uvarint())
+		r.Depth = int(d.uvarint())
+		r.RetryAfterMicros = d.uvarint()
+	case StatusOK:
+		switch r.Op {
+		case OpCall:
+			ncols := d.uvarint()
+			if d.err == nil && ncols > uint64(len(payload)) {
+				d.fail("column count %d exceeds frame", ncols)
+			}
+			for i := uint64(0); i < ncols && d.err == nil; i++ {
+				r.Columns = append(r.Columns, d.string())
+			}
+			nrows := d.uvarint()
+			if d.err == nil && nrows > uint64(len(payload)) {
+				d.fail("row count %d exceeds frame", nrows)
+			}
+			for i := uint64(0); i < nrows && d.err == nil; i++ {
+				r.Rows = append(r.Rows, d.row())
+			}
+			r.LastInsertBatch = d.varint()
+		case OpIngest:
+			r.BatchID = d.varint()
+		case OpStats:
+			n := d.uvarint()
+			fields := []*uint64{
+				&r.Stats.Executed, &r.Stats.Aborted,
+				&r.Stats.LogAppends, &r.Stats.LogSyncs,
+				&r.Stats.ClientTrips, &r.Stats.EECrossings,
+				&r.Stats.Overloaded,
+			}
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				v := d.uvarint()
+				if i < uint64(len(fields)) {
+					*fields[i] = v
+				}
+			}
+		}
+	default:
+		if d.err == nil {
+			d.fail("unknown status %d", r.Status)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: response: %w", d.err)
+	}
+	return r, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a cursor over one payload; the first failure sticks and
+// every later read is a no-op, so call sites stay linear.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("truncated")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) row() types.Row {
+	if d.err != nil {
+		return nil
+	}
+	row, n, err := types.DecodeRow(d.buf)
+	if err != nil {
+		d.fail("row: %v", err)
+		return nil
+	}
+	d.buf = d.buf[n:]
+	return row
+}

@@ -36,6 +36,7 @@
 package sstore
 
 import (
+	"errors"
 	"time"
 
 	"sstore/internal/ee"
@@ -170,6 +171,35 @@ type Config struct {
 	PartitionBy func(streamName string, batch []Row) int
 	// RouteCall routes OLTP calls to partitions.
 	RouteCall func(sp string, params Row) int
+	// MaxQueueDepth, when positive, bounds each partition's scheduler
+	// queue at the border: Call and Ingest reject with an error
+	// matching ErrOverloaded (carrying a retry-after hint, see
+	// RetryAfter) once the target partition's queue is full. Interior
+	// workflow dispatch is never blocked, so the bound cannot
+	// deadlock. Zero means unbounded.
+	MaxQueueDepth int
+}
+
+// ErrOverloaded is the sentinel matched by errors.Is when a Call or
+// Ingest is rejected by MaxQueueDepth backpressure. The rejected
+// request left no trace (an ingested batch's exactly-once admission is
+// released), so retrying the identical request is legal as long as the
+// injector retries before submitting later batch IDs on the same
+// stream and partition — see DESIGN.md §7.
+var ErrOverloaded = pe.ErrOverloaded
+
+// OverloadedError is the concrete border-rejection error; it carries
+// the partition, the observed queue depth, and a retry-after hint.
+type OverloadedError = pe.OverloadedError
+
+// RetryAfter extracts the backoff hint from an overload rejection, or
+// 0 when err is not one.
+func RetryAfter(err error) time.Duration {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
 }
 
 // Engine is a running S-Store instance.
@@ -183,16 +213,17 @@ type Stats = pe.Stats
 // Open builds and starts an engine.
 func Open(cfg Config) (*Engine, error) {
 	inner, err := pe.NewEngine(pe.Options{
-		Partitions:  cfg.Partitions,
-		ClientRTT:   cfg.ClientRTT,
-		EEDispatch:  cfg.EEDispatch,
-		Recovery:    cfg.Recovery,
-		LogPath:     cfg.LogPath,
-		LogPolicy:   cfg.LogPolicy,
-		GroupWindow: cfg.GroupWindow,
-		SnapshotDir: cfg.SnapshotDir,
-		PartitionBy: cfg.PartitionBy,
-		RouteCall:   cfg.RouteCall,
+		Partitions:    cfg.Partitions,
+		ClientRTT:     cfg.ClientRTT,
+		EEDispatch:    cfg.EEDispatch,
+		Recovery:      cfg.Recovery,
+		LogPath:       cfg.LogPath,
+		LogPolicy:     cfg.LogPolicy,
+		GroupWindow:   cfg.GroupWindow,
+		SnapshotDir:   cfg.SnapshotDir,
+		PartitionBy:   cfg.PartitionBy,
+		RouteCall:     cfg.RouteCall,
+		MaxQueueDepth: cfg.MaxQueueDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -248,6 +279,14 @@ func (e *Engine) Ingest(streamName string, b *Batch) error { return e.pe.Ingest(
 // commit.
 func (e *Engine) IngestSync(streamName string, b *Batch) error {
 	return e.pe.IngestSync(streamName, b)
+}
+
+// IngestAsync enqueues the batch like Ingest but returns a channel that
+// receives the border transaction's commit outcome. The enqueue — and
+// the exactly-once batch admission — happens synchronously in
+// submission order before IngestAsync returns.
+func (e *Engine) IngestAsync(streamName string, b *Batch) (<-chan error, error) {
+	return e.pe.IngestAsync(streamName, b)
 }
 
 // Drain waits for all queued work, including trigger cascades, to
