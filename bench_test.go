@@ -71,3 +71,8 @@ func BenchmarkScalePartitions(b *testing.B) { runFigure(b, experiments.Scale) }
 // workflow throughput vs concurrent connections over a real loopback
 // TCP socket, against the in-process simulated-RTT reference.
 func BenchmarkNetThroughput(b *testing.B) { runFigure(b, experiments.NetBench) }
+
+// BenchmarkWindowEngine runs the incremental-window experiment: insert
+// throughput and maintained- vs scan-aggregate trigger-TE throughput
+// swept over window size at slide 1.
+func BenchmarkWindowEngine(b *testing.B) { runFigure(b, experiments.Window) }

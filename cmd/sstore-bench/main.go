@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|net|all [-quick] [-json]
+//	sstore-bench -exp fig5|fig6|fig7|fig8|fig9a|fig9b|fig10|fig11|ablation|scale|net|window|all [-quick] [-json]
 //	sstore-bench -client host:port [-conns N] [-batches N] [-window N] [-sensor-base N]
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json in
@@ -49,6 +49,7 @@ var figures = []struct {
 	{"ablation", "Ablations: index-vs-scan, batch size, trigger mechanism", experiments.Ablations},
 	{"scale", "Partition scaling: workflow throughput with interior batches routed across partitions", experiments.Scale},
 	{"net", "Client/server throughput vs connections over a real loopback socket", experiments.NetBench},
+	{"window", "Incremental windows: insert and trigger-TE throughput vs window size (slide 1)", experiments.Window},
 }
 
 // benchReport is the machine-readable result of one experiment.

@@ -491,6 +491,9 @@ func (e *Executor) runUpdate(p *updatePlan, params []types.Value, ctx *ExecCtx) 
 	if err != nil {
 		return nil, err
 	}
+	if t.Kind() == storage.KindWindow && ctx.Txn != nil {
+		ctx.Txn.MarkWindow(t)
+	}
 	tids, err := e.matchTIDs(t, p.probe, p.filter, params)
 	if err != nil {
 		return nil, err
@@ -524,6 +527,9 @@ func (e *Executor) runDelete(p *deletePlan, params []types.Value, ctx *ExecCtx) 
 	t, err := e.cat.Get(p.table)
 	if err != nil {
 		return nil, err
+	}
+	if t.Kind() == storage.KindWindow && ctx.Txn != nil {
+		ctx.Txn.MarkWindow(t)
 	}
 	tids, err := e.matchTIDs(t, p.probe, p.filter, params)
 	if err != nil {

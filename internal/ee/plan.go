@@ -23,6 +23,12 @@ type selectPlan struct {
 
 	agg *aggPlan // nil → plain projection
 
+	// maintained, when non-nil, maps every aggregate call to a
+	// maintained window aggregate (§4.3): run() reads the stored
+	// accumulators instead of scanning, making trigger TEs O(1) in the
+	// window size. Parallel to agg.calls.
+	maintained []maintainedAggRef
+
 	items    []compiledExpr // projection (over input or agg scope)
 	colNames []string
 
@@ -63,6 +69,13 @@ type aggPlan struct {
 	calls    []*sql.FuncCall
 	argExprs []compiledExpr // one per call; nil for COUNT(*)
 	having   compiledExpr   // over the agg output scope; may be nil
+}
+
+// maintainedAggRef names one maintained window aggregate of the base
+// table.
+type maintainedAggRef struct {
+	fn  storage.AggFunc
+	col int
 }
 
 type orderKey struct {
@@ -148,6 +161,7 @@ func compileSelect(stmt *sql.Select, cat *storage.Catalog) (*selectPlan, error) 
 		if err := p.compileAggregate(stmt, items, aggCalls, sc); err != nil {
 			return nil, err
 		}
+		p.detectMaintained(stmt, base)
 		return p, nil
 	}
 
@@ -286,6 +300,54 @@ func (p *selectPlan) compileAggregate(stmt *sql.Select, items []sql.SelectItem, 
 	}
 	p.agg = agg
 	return nil
+}
+
+// detectMaintained checks whether an aggregate plan can be served from
+// the base window's maintained aggregates: an ungrouped, unfiltered,
+// join-free aggregate over a window table whose every call is
+// registered as maintained. Registration invalidates plan caches, so a
+// compile-time check stays correct for the plan's lifetime.
+func (p *selectPlan) detectMaintained(stmt *sql.Select, base *storage.Table) {
+	if base.Kind() != storage.KindWindow || base.Window() == nil {
+		return
+	}
+	if p.probe != nil || p.filter != nil || len(p.joins) > 0 || len(p.agg.groupBy) > 0 {
+		return
+	}
+	refs := make([]maintainedAggRef, 0, len(p.agg.calls))
+	for _, c := range p.agg.calls {
+		if c.Distinct {
+			return
+		}
+		fn, err := storage.ParseAggFunc(c.Name)
+		if err != nil {
+			return
+		}
+		col := storage.AggStar
+		if c.Star {
+			if fn != storage.AggCount {
+				return
+			}
+		} else {
+			if len(c.Args) != 1 {
+				return
+			}
+			ref, ok := c.Args[0].(*sql.ColumnRef)
+			if !ok || (ref.Table != "" && lowerName(ref.Table) != lowerName(stmt.From.Alias)) {
+				return
+			}
+			ord, ok := base.Schema().Index(ref.Column)
+			if !ok {
+				return
+			}
+			col = ord
+		}
+		if !base.MaintainsAggregate(fn, col) {
+			return
+		}
+		refs = append(refs, maintainedAggRef{fn: fn, col: col})
+	}
+	p.maintained = refs
 }
 
 func itemName(it sql.SelectItem) string {
@@ -538,6 +600,9 @@ func (p *selectPlan) run(cat *storage.Catalog, params []types.Value) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if p.maintained != nil {
+		return p.runMaintained(base, params)
+	}
 	env := &evalEnv{params: params}
 
 	var inputErr error
@@ -677,21 +742,75 @@ func (p *selectPlan) applyJoins(cat *storage.Catalog, env *evalEnv, step int, ro
 	return cont, loopErr
 }
 
+// runMaintained serves an aggregate plan from the window's maintained
+// accumulators: no scan, one synthetic output row (the single global
+// group), then HAVING/projection/limit as usual. The read is O(1)
+// regardless of window size — the §4.3 point that window statistics
+// live in table metadata, now extended to the aggregates themselves.
+func (p *selectPlan) runMaintained(base *storage.Table, params []types.Value) (*Result, error) {
+	res := &Result{Columns: append([]string(nil), p.colNames...)}
+	limit, err := p.resolveLimit(params)
+	if err != nil {
+		return nil, err
+	}
+	synthetic := make(types.Row, 0, len(p.maintained))
+	for _, m := range p.maintained {
+		v, ok := base.MaintainedAggregate(m.fn, m.col)
+		if !ok {
+			return nil, fmt.Errorf("ee: window %s no longer maintains %s", base.Name(), m.fn)
+		}
+		synthetic = append(synthetic, v)
+	}
+	env := &evalEnv{params: params, row: synthetic}
+	if p.agg.having != nil {
+		ok, err := boolOf(p.agg.having, env)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+	}
+	if limit == 0 {
+		return res, nil
+	}
+	out := make(types.Row, len(p.items))
+	for i, item := range p.items {
+		v, err := item(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	res.Rows = append(res.Rows, out)
+	return res, nil
+}
+
+// resolveLimit returns the effective LIMIT (-1 = none), reading the
+// parameter slot if the statement used LIMIT ?.
+func (p *selectPlan) resolveLimit(params []types.Value) (int, error) {
+	limit := p.limit
+	if p.limitParam >= 0 {
+		if p.limitParam >= len(params) {
+			return 0, fmt.Errorf("ee: missing parameter %d for LIMIT", p.limitParam+1)
+		}
+		v := params[p.limitParam]
+		if v.Kind() != types.KindInt || v.Int() < 0 {
+			return 0, fmt.Errorf("ee: LIMIT parameter must be a non-negative integer, got %s", v)
+		}
+		limit = int(v.Int())
+	}
+	return limit, nil
+}
+
 // newSink builds the row consumer (projection or aggregation) and the
 // finisher that applies sort/limit and produces the Result.
 func (p *selectPlan) newSink(params []types.Value) (func(*evalEnv) error, func() (*Result, error), error) {
 	res := &Result{Columns: append([]string(nil), p.colNames...)}
 
-	limit := p.limit
-	if p.limitParam >= 0 {
-		if p.limitParam >= len(params) {
-			return nil, nil, fmt.Errorf("ee: missing parameter %d for LIMIT", p.limitParam+1)
-		}
-		v := params[p.limitParam]
-		if v.Kind() != types.KindInt || v.Int() < 0 {
-			return nil, nil, fmt.Errorf("ee: LIMIT parameter must be a non-negative integer, got %s", v)
-		}
-		limit = int(v.Int())
+	limit, err := p.resolveLimit(params)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	if p.agg == nil {

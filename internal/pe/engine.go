@@ -12,6 +12,7 @@ import (
 	"sstore/internal/ee"
 	"sstore/internal/netsim"
 	"sstore/internal/recovery"
+	"sstore/internal/storage"
 	"sstore/internal/stream"
 	"sstore/internal/txn"
 	"sstore/internal/types"
@@ -275,6 +276,46 @@ func (e *Engine) AddEETrigger(table string, stmts ...string) error {
 	for _, p := range e.parts {
 		if err := e.onPartition(p, func(p *partition) error {
 			return p.exec.AddTrigger(tr)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaintainWindowAggregate registers an incrementally maintained
+// aggregate (count/sum/avg/min/max over a column, or count over "*")
+// on a window table, on every partition. Aggregate queries over the
+// window that match a maintained aggregate read the stored accumulator
+// instead of scanning, so trigger TEs stay O(1) in the window size
+// (§4.3). Like DDL, registration is part of application setup and must
+// be re-issued at boot before recovery loads a snapshot.
+func (e *Engine) MaintainWindowAggregate(table, fn, column string) error {
+	f, err := storage.ParseAggFunc(fn)
+	if err != nil {
+		return err
+	}
+	for _, p := range e.parts {
+		if err := e.onPartition(p, func(p *partition) error {
+			t, err := p.cat.Get(table)
+			if err != nil {
+				return err
+			}
+			col := storage.AggStar
+			if column != "" && column != "*" {
+				ord, ok := t.Schema().Index(column)
+				if !ok {
+					return fmt.Errorf("pe: table %s has no column %s", table, column)
+				}
+				col = ord
+			}
+			if err := t.MaintainAggregate(f, col); err != nil {
+				return err
+			}
+			// Cached plans compiled before registration still scan;
+			// recompile so they pick up the stored accumulators.
+			p.exec.InvalidatePlans()
+			return nil
 		}); err != nil {
 			return err
 		}

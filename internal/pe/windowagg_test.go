@@ -1,0 +1,123 @@
+package pe
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sstore/internal/recovery"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+)
+
+// buildAggEngine creates an engine with a maintained-aggregate window
+// fed by a stored procedure, re-issuing registration the way an
+// application's boot sequence would before recovery.
+func buildAggEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e := newEngine(t, opts)
+	if err := e.ExecDDL("CREATE WINDOW aw (v BIGINT) SIZE 4 SLIDE 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProc(&StoredProc{Name: "AggFeed", Func: func(ctx *ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO aw VALUES (?)", ctx.Params()[0])
+		return err
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"count", "sum", "avg", "min", "max"} {
+		if err := e.MaintainWindowAggregate("aw", fn, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.MaintainWindowAggregate("aw", "count", "*"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const aggQuery = "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM aw"
+
+// TestMaintainedAggregatesSurviveCheckpointRecovery: checkpoint a
+// window with maintained aggregates, recover in a fresh engine, and
+// the stored values — and all subsequent sliding — match exactly.
+func TestMaintainedAggregatesSurviveCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Recovery:    recovery.ModeStrong,
+		LogPath:     filepath.Join(dir, "cmd.log"),
+		LogPolicy:   wal.SyncEachCommit,
+		SnapshotDir: dir,
+	}
+	e1 := buildAggEngine(t, opts)
+	for _, v := range []int64{5, 1, 9, 2, 7, 3, 8} {
+		if _, err := e1.Call("AggFeed", types.Row{types.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := e1.AdHoc(0, aggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	e2 := buildAggEngine(t, opts)
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.AdHoc(0, aggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Rows[0] {
+		if !got.Rows[0][i].Equal(want.Rows[0][i]) {
+			t.Errorf("col %d (%s): recovered %v, want %v", i, want.Columns[i], got.Rows[0][i], want.Rows[0][i])
+		}
+	}
+	// The recovered window keeps sliding with correct aggregates.
+	for _, v := range []int64{11, 4} {
+		if _, err := e2.Call("AggFeed", types.Row{types.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ = e2.AdHoc(0, aggQuery)
+	ref, _ := e2.AdHoc(0, "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM aw WHERE v > -999999")
+	for i := range ref.Rows[0] {
+		if !got.Rows[0][i].Equal(ref.Rows[0][i]) {
+			t.Errorf("post-recovery col %d: stored %v, scan %v", i, got.Rows[0][i], ref.Rows[0][i])
+		}
+	}
+}
+
+// TestMaintainedAggregateTriggerTE: an EE trigger reading a maintained
+// aggregate fires on every slide inside the inserting TE.
+func TestMaintainedAggregateTriggerTE(t *testing.T) {
+	e := buildAggEngine(t, Options{})
+	if err := e.ExecDDL("CREATE TABLE agg_log (total BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEETrigger("aw", "INSERT INTO agg_log SELECT SUM(v) FROM aw"); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(1); v <= 8; v++ {
+		if _, err := e.Call("AggFeed", types.Row{types.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Size 4 slide 2: windows {1..4}, {3..6}, {5..8} → sums 10, 18, 26.
+	res, err := e.AdHoc(0, "SELECT total FROM agg_log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSums := []int64{10, 18, 26}
+	if len(res.Rows) != len(wantSums) {
+		t.Fatalf("trigger fired %d times (%v), want %d", len(res.Rows), res.Rows, len(wantSums))
+	}
+	for i, w := range wantSums {
+		if res.Rows[i][0].Int() != w {
+			t.Errorf("slide %d logged %v, want %d", i, res.Rows[i][0], w)
+		}
+	}
+}

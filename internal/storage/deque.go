@@ -1,0 +1,165 @@
+package storage
+
+// tidDeque is a ring-buffer deque of tuple IDs kept in ascending TID
+// order (TID order is arrival order). Window maintenance pushes new
+// tuples at the back and expires/activates at the front, so the hot
+// paths are O(1); out-of-order insertion and removal (rollback paths,
+// ad-hoc deletes inside a window) fall back to a shift of the shorter
+// side, which is rare and bounded by the window size.
+type tidDeque struct {
+	buf  []uint64
+	head int
+	n    int
+}
+
+// Len returns the number of queued TIDs.
+func (d *tidDeque) Len() int { return d.n }
+
+// At returns the i-th TID from the front.
+func (d *tidDeque) At(i int) uint64 { return d.buf[(d.head+i)%len(d.buf)] }
+
+// Front returns the oldest TID; the deque must be non-empty.
+func (d *tidDeque) Front() uint64 { return d.buf[d.head] }
+
+// Back returns the newest TID; the deque must be non-empty.
+func (d *tidDeque) Back() uint64 { return d.At(d.n - 1) }
+
+// Clear empties the deque, keeping its buffer.
+func (d *tidDeque) Clear() { d.head, d.n = 0, 0 }
+
+func (d *tidDeque) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	size := 2 * len(d.buf)
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]uint64, size)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.At(i)
+	}
+	d.buf, d.head = buf, 0
+}
+
+// PushBack appends a TID at the back.
+func (d *tidDeque) PushBack(tid uint64) {
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = tid
+	d.n++
+}
+
+// PushFront prepends a TID at the front.
+func (d *tidDeque) PushFront(tid uint64) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = tid
+	d.n++
+}
+
+// PopFront removes and returns the oldest TID; the deque must be
+// non-empty.
+func (d *tidDeque) PopFront() uint64 {
+	tid := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+	return tid
+}
+
+// PopBack removes and returns the newest TID; the deque must be
+// non-empty.
+func (d *tidDeque) PopBack() uint64 {
+	tid := d.At(d.n - 1)
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+	return tid
+}
+
+// search returns the position of tid in the ascending deque, or the
+// insertion point if absent, plus whether it was found.
+func (d *tidDeque) search(tid uint64) (int, bool) {
+	lo, hi := 0, d.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch v := d.At(mid); {
+		case v == tid:
+			return mid, true
+		case v < tid:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// PushSorted inserts a TID at its ascending position. Pushing past the
+// back (the insert path) and before the front (reverse-order rollback
+// restores) are O(1); interior insertion shifts the shorter side.
+func (d *tidDeque) PushSorted(tid uint64) {
+	if d.n == 0 || tid > d.Back() {
+		d.PushBack(tid)
+		return
+	}
+	if tid < d.Front() {
+		d.PushFront(tid)
+		return
+	}
+	pos, _ := d.search(tid)
+	d.insertAt(pos, tid)
+}
+
+func (d *tidDeque) insertAt(pos int, tid uint64) {
+	if pos <= d.n/2 {
+		d.PushFront(d.Front())
+		for i := 1; i < pos; i++ {
+			d.set(i, d.At(i+1))
+		}
+	} else {
+		d.PushBack(d.Back())
+		for i := d.n - 2; i > pos; i-- {
+			d.set(i, d.At(i-1))
+		}
+	}
+	d.set(pos, tid)
+}
+
+func (d *tidDeque) set(i int, tid uint64) { d.buf[(d.head+i)%len(d.buf)] = tid }
+
+// Remove deletes a TID from the deque, reporting whether it was
+// present. Front and back removals (expiry, rollback) are O(1);
+// interior removal shifts the shorter side.
+func (d *tidDeque) Remove(tid uint64) bool {
+	if d.n == 0 {
+		return false
+	}
+	if tid == d.Front() {
+		d.PopFront()
+		return true
+	}
+	if tid == d.Back() {
+		d.PopBack()
+		return true
+	}
+	pos, ok := d.search(tid)
+	if !ok {
+		return false
+	}
+	if pos <= d.n/2 {
+		for i := pos; i > 0; i-- {
+			d.set(i, d.At(i-1))
+		}
+		d.PopFront()
+	} else {
+		for i := pos; i < d.n-1; i++ {
+			d.set(i, d.At(i+1))
+		}
+		d.PopBack()
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTidDequeAgainstReference drives random sorted inserts, removals,
+// and front/back pops against a reference sorted slice.
+func TestTidDequeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d tidDeque
+	var ref []uint64
+	contains := func(tid uint64) bool {
+		for _, v := range ref {
+			if v == tid {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // sorted insert of a fresh tid
+			tid := uint64(rng.Intn(2000) + 1)
+			if contains(tid) {
+				continue
+			}
+			d.PushSorted(tid)
+			pos := 0
+			for pos < len(ref) && ref[pos] < tid {
+				pos++
+			}
+			ref = append(ref, 0)
+			copy(ref[pos+1:], ref[pos:])
+			ref[pos] = tid
+		case op < 7: // remove a random element (interior included)
+			if len(ref) == 0 {
+				continue
+			}
+			i := rng.Intn(len(ref))
+			if !d.Remove(ref[i]) {
+				t.Fatalf("step %d: Remove(%d) missed", step, ref[i])
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		case op < 8:
+			if d.Remove(uint64(5000)) { // absent tid
+				t.Fatalf("step %d: removed absent tid", step)
+			}
+		case op < 9:
+			if len(ref) > 0 {
+				if got := d.PopFront(); got != ref[0] {
+					t.Fatalf("step %d: PopFront = %d, want %d", step, got, ref[0])
+				}
+				ref = ref[1:]
+			}
+		default:
+			if len(ref) > 0 {
+				if got := d.PopBack(); got != ref[len(ref)-1] {
+					t.Fatalf("step %d: PopBack = %d, want %d", step, got, ref[len(ref)-1])
+				}
+				ref = ref[:len(ref)-1]
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, d.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if d.At(i) != want {
+				t.Fatalf("step %d: At(%d) = %d, want %d (ref %v)", step, i, d.At(i), want, ref)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"sstore/internal/types"
 )
@@ -15,9 +16,27 @@ import (
 //
 //	table   := uvarint-len name-bytes
 //	           nextTID:uvarint
-//	           window?:u8 [filled:u8 started:u8 start:varint slides:uvarint]
+//	           window:u8 body
 //	           uvarint-rowcount row*
 //	row     := tid:uvarint batch:varint staged:u8 types.Row
+//
+// The window byte is 0 (not a window), 1 (legacy window scalars:
+// filled:u8 started:u8 start:varint slides:uvarint — still decoded for
+// old snapshots), or 2 (the legacy scalars followed by the
+// time-disorder tracking [maxTS:varint maxTSSet:u8 timeDisorder:u8]
+// and the maintained aggregate accumulators: uvarint-count, then per
+// aggregate fn:u8 col:varint n:varint sumI:varint sumF:8-byte-LE
+// bestN:varint dirty:u8 best:types.Value). Window deques are not
+// encoded: rows carry their staging flags and TIDs, so the deques
+// rebuild during row restore. Aggregate accumulators also rebuild from
+// the rows; the encoded states overwrite the rebuilt ones so float
+// sums come back bit-for-bit identical to the checkpointed engine. The
+// disorder flags are encoded because snapshot row order is t.order —
+// which a rollback past a compaction can permute away from TID order —
+// so re-deriving them from restore order alone could silently resume
+// unsafe prefix expiry; the decoded flags are OR'd over the rebuilt
+// ones (a spuriously set flag only costs a sweep, a missing one loses
+// tuples' expiry).
 
 // EncodeTable appends the table's snapshot image to buf.
 func EncodeTable(buf []byte, t *Table) []byte {
@@ -25,10 +44,23 @@ func EncodeTable(buf []byte, t *Table) []byte {
 	buf = append(buf, t.name...)
 	buf = binary.AppendUvarint(buf, t.nextTID)
 	if t.window != nil {
-		buf = append(buf, 1)
+		buf = append(buf, 2)
 		buf = append(buf, b2u8(t.window.filled), b2u8(t.window.started))
 		buf = binary.AppendVarint(buf, t.window.start)
 		buf = binary.AppendUvarint(buf, t.window.slides)
+		buf = binary.AppendVarint(buf, t.window.maxTS)
+		buf = append(buf, b2u8(t.window.maxTSSet), b2u8(t.window.timeDisorder))
+		buf = binary.AppendUvarint(buf, uint64(len(t.window.aggs)))
+		for _, a := range t.window.aggs {
+			buf = append(buf, uint8(a.fn))
+			buf = binary.AppendVarint(buf, int64(a.col))
+			buf = binary.AppendVarint(buf, a.state.n)
+			buf = binary.AppendVarint(buf, a.state.sumI)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.state.sumF))
+			buf = binary.AppendVarint(buf, a.state.bestN)
+			buf = append(buf, b2u8(a.state.dirty))
+			buf = types.EncodeValue(buf, a.state.best)
+		}
 	} else {
 		buf = append(buf, 0)
 	}
@@ -82,9 +114,15 @@ func RestoreTable(t *Table, b []byte) (int, error) {
 	if len(b) <= n {
 		return 0, fmt.Errorf("storage: truncated snapshot of %s", name)
 	}
-	hasWindow := b[n] == 1
+	windowVersion := b[n]
 	n++
-	if hasWindow {
+	if windowVersion > 2 {
+		return 0, fmt.Errorf("storage: unknown window snapshot version %d of %s", windowVersion, name)
+	}
+	var aggStates []snapshotAggState
+	var snapMaxTS int64
+	var snapMaxTSSet, snapDisorder bool
+	if windowVersion != 0 {
 		if t.window == nil {
 			return 0, fmt.Errorf("storage: snapshot has window state but %s is not a window", name)
 		}
@@ -106,6 +144,29 @@ func RestoreTable(t *Table, b []byte) (int, error) {
 		n += m
 		t.window.start = start
 		t.window.slides = slides
+		if windowVersion >= 2 {
+			maxTS, m := binary.Varint(b[n:])
+			if m <= 0 {
+				return 0, fmt.Errorf("storage: truncated window maxTS of %s", name)
+			}
+			n += m
+			if len(b) < n+2 {
+				return 0, fmt.Errorf("storage: truncated window flags of %s", name)
+			}
+			snapMaxTS = maxTS
+			snapMaxTSSet = b[n] == 1
+			snapDisorder = b[n+1] == 1
+			n += 2
+			var err error
+			aggStates, m, err = decodeAggStates(b[n:], name)
+			if err != nil {
+				return 0, err
+			}
+			n += m
+		}
+		// windowVersion == 1 is a legacy snapshot with no aggregate
+		// section: any registered aggregates keep the accumulators
+		// rebuilt from the restored rows below.
 	} else if t.window != nil {
 		return 0, fmt.Errorf("storage: snapshot lacks window state for window table %s", name)
 	}
@@ -144,5 +205,94 @@ func RestoreTable(t *Table, b []byte) (int, error) {
 	if nextTID > t.nextTID {
 		t.nextTID = nextTID
 	}
+	// Row restore rebuilt every registered aggregate incrementally;
+	// overwrite matching accumulators with the checkpointed state so
+	// recovery reproduces the live engine's values exactly (float sums
+	// are order-sensitive). States for aggregates no longer registered
+	// by the booting application's DDL are dropped.
+	for _, s := range aggStates {
+		if a := t.findAggregate(s.fn, s.col); a != nil {
+			isFloat := a.state.isFloat
+			a.state = s.state
+			a.state.isFloat = isFloat
+		}
+	}
+	// Row restore re-derived the disorder tracking from restore order;
+	// merge in the checkpointed flags, which saw the true activation
+	// history (see the format comment).
+	if t.window != nil {
+		t.window.timeDisorder = t.window.timeDisorder || snapDisorder
+		if snapMaxTSSet && (!t.window.maxTSSet || snapMaxTS > t.window.maxTS) {
+			t.window.maxTS, t.window.maxTSSet = snapMaxTS, true
+		}
+	}
 	return n, nil
+}
+
+// snapshotAggState is one decoded maintained-aggregate accumulator.
+type snapshotAggState struct {
+	fn    AggFunc
+	col   int
+	state aggState
+}
+
+// decodeAggStates parses the v2 aggregate section, returning the
+// states and bytes consumed.
+func decodeAggStates(b []byte, name string) ([]snapshotAggState, int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("storage: truncated aggregate count of %s", name)
+	}
+	// Each encoded aggregate needs at least 15 bytes (fn, three
+	// single-byte varints, the 8-byte sum, dirty flag, a null value);
+	// a count the remaining input cannot hold is corruption, and must
+	// not reach the allocator.
+	if count > uint64(len(b)-n)/15 {
+		return nil, 0, fmt.Errorf("storage: aggregate count %d of %s exceeds snapshot size", count, name)
+	}
+	out := make([]snapshotAggState, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) <= n {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate %d of %s", i, name)
+		}
+		var s snapshotAggState
+		s.fn = AggFunc(b[n])
+		n++
+		col, m := binary.Varint(b[n:])
+		if m <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate column of %s", name)
+		}
+		n += m
+		s.col = int(col)
+		if s.state.n, m = binary.Varint(b[n:]); m <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate state of %s", name)
+		}
+		n += m
+		if s.state.sumI, m = binary.Varint(b[n:]); m <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate state of %s", name)
+		}
+		n += m
+		if len(b) < n+8 {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate sum of %s", name)
+		}
+		s.state.sumF = math.Float64frombits(binary.LittleEndian.Uint64(b[n:]))
+		n += 8
+		if s.state.bestN, m = binary.Varint(b[n:]); m <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate state of %s", name)
+		}
+		n += m
+		if len(b) <= n {
+			return nil, 0, fmt.Errorf("storage: truncated aggregate flags of %s", name)
+		}
+		s.state.dirty = b[n] == 1
+		n++
+		best, m, err := types.DecodeValue(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: aggregate extremum of %s: %w", name, err)
+		}
+		n += m
+		s.state.best = best
+		out = append(out, s)
+	}
+	return out, n, nil
 }

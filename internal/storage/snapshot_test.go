@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -150,5 +151,197 @@ func TestSnapshotWindowRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// encodeLegacyWindowTable reproduces the v1 snapshot format (window
+// flag byte 1, no aggregate section) so decode stays
+// backward-compatible with checkpoints taken before maintained
+// aggregates existed.
+func encodeLegacyWindowTable(t *Table) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(t.name)))
+	buf = append(buf, t.name...)
+	buf = binary.AppendUvarint(buf, t.nextTID)
+	buf = append(buf, 1)
+	buf = append(buf, b2u8(t.window.filled), b2u8(t.window.started))
+	buf = binary.AppendVarint(buf, t.window.start)
+	buf = binary.AppendUvarint(buf, t.window.slides)
+	buf = binary.AppendUvarint(buf, uint64(t.Len()))
+	t.ScanAll(func(meta TupleMeta, row types.Row) bool {
+		buf = binary.AppendUvarint(buf, meta.TID)
+		buf = binary.AppendVarint(buf, meta.BatchID)
+		buf = append(buf, b2u8(meta.Staged))
+		buf = types.EncodeRow(buf, row)
+		return true
+	})
+	return buf
+}
+
+// TestSnapshotLegacyWindowDecode: a pre-aggregate (v1) window image
+// still loads; registered aggregates fall back to the accumulators
+// rebuilt from the restored rows.
+func TestSnapshotLegacyWindowDecode(t *testing.T) {
+	src, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 1})
+	for i := int64(0); i < 7; i++ {
+		src.Insert(winRow(i, i*2), 0, nil)
+	}
+	img := encodeLegacyWindowTable(src)
+
+	dst, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 1})
+	if err := dst.MaintainAggregate(AggSum, 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := RestoreTable(dst, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(img) {
+		t.Errorf("consumed %d of %d bytes", n, len(img))
+	}
+	if dst.ActiveLen() != src.ActiveLen() || dst.Window().Slides() != src.Window().Slides() {
+		t.Errorf("restored window: active=%d slides=%d, want %d/%d",
+			dst.ActiveLen(), dst.Window().Slides(), src.ActiveLen(), src.Window().Slides())
+	}
+	got, ok := dst.MaintainedAggregate(AggSum, 1)
+	if !ok || !got.Equal(scanAgg(dst, AggSum)) {
+		t.Errorf("legacy restore SUM = %v, want %v", got, scanAgg(dst, AggSum))
+	}
+	// The restored window keeps sliding.
+	res, err := dst.Insert(winRow(7, 14), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Slid {
+		t.Error("restored window should slide on the next insert")
+	}
+}
+
+// TestSnapshotAggregateRoundTrip: maintained accumulators — including
+// an order-sensitive float sum — come back bit-for-bit from a v2
+// image, and a window restored mid-rescan-debt behaves correctly.
+func TestSnapshotAggregateRoundTrip(t *testing.T) {
+	schema := types.MustSchema(
+		types.Column{Name: "ts", Kind: types.KindInt},
+		types.Column{Name: "f", Kind: types.KindFloat},
+	)
+	src, _ := NewWindowTable("w", schema, WindowSpec{Size: 4, Slide: 2})
+	src.MaintainAggregate(AggSum, 1)
+	src.MaintainAggregate(AggMin, 1)
+	src.MaintainAggregate(AggCount, AggStar)
+	// Floats chosen so incremental add/subtract drifts from a fresh
+	// recompute: the snapshot must carry the live accumulator.
+	vals := []float64{0.1, 0.2, 0.3, 1e16, -1e16, 0.7, 0.15, 2.5, 0.05}
+	for i, f := range vals {
+		src.Insert(types.Row{types.NewInt(int64(i)), types.NewFloat(f)}, 0, nil)
+	}
+	img := EncodeTable(nil, src)
+
+	dst, _ := NewWindowTable("w", schema, WindowSpec{Size: 4, Slide: 2})
+	dst.MaintainAggregate(AggSum, 1)
+	dst.MaintainAggregate(AggMin, 1)
+	dst.MaintainAggregate(AggCount, AggStar)
+	if _, err := RestoreTable(dst, img); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range src.MaintainedAggregates() {
+		want, _ := src.MaintainedAggregate(a.Fn(), a.Col())
+		got, ok := dst.MaintainedAggregate(a.Fn(), a.Col())
+		if !ok {
+			t.Fatalf("%s(%d) not maintained after restore", a.Fn(), a.Col())
+		}
+		if !got.Equal(want) {
+			t.Errorf("restored %s = %v, want %v", a.Fn(), got, want)
+		}
+	}
+	// Both windows evolve identically afterwards.
+	for i := 9; i < 14; i++ {
+		f := float64(i) * 1.5
+		r1, _ := src.Insert(types.Row{types.NewInt(int64(i)), types.NewFloat(f)}, 0, nil)
+		r2, _ := dst.Insert(types.Row{types.NewInt(int64(i)), types.NewFloat(f)}, 0, nil)
+		if r1.Slid != r2.Slid {
+			t.Fatalf("insert %d: slid %v vs %v", i, r1.Slid, r2.Slid)
+		}
+	}
+	want, _ := src.MaintainedAggregate(AggSum, 1)
+	got, _ := dst.MaintainedAggregate(AggSum, 1)
+	if !got.Equal(want) {
+		t.Errorf("post-restore evolution SUM = %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotHugeAggregateCountRejected: a corrupted aggregate-count
+// varint must fail decode cleanly, not reach the allocator.
+func TestSnapshotHugeAggregateCountRejected(t *testing.T) {
+	src, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 2, Slide: 1})
+	src.MaintainAggregate(AggSum, 1)
+	src.Insert(winRow(1, 1), 0, nil)
+	img := EncodeTable(nil, src)
+	// The aggregate count follows name, nextTID, flag byte 2, two
+	// scalar flag bytes, and the start/slides varints; locate it by
+	// re-encoding a zero-aggregate twin and diffing lengths.
+	twin, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 2, Slide: 1})
+	twin.Insert(winRow(1, 1), 0, nil)
+	base := EncodeTable(nil, twin)
+	off := -1
+	for i := range img {
+		if i >= len(base) || img[i] != base[i] {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("could not locate aggregate section")
+	}
+	corrupt := append([]byte(nil), img[:off]...)
+	corrupt = binary.AppendUvarint(corrupt, 1<<60) // absurd count
+	corrupt = append(corrupt, img[off+1:]...)
+	dst, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 2, Slide: 1})
+	dst.MaintainAggregate(AggSum, 1)
+	if _, err := RestoreTable(dst, corrupt); err == nil {
+		t.Fatal("corrupted aggregate count decoded without error")
+	}
+}
+
+// TestSnapshotCarriesDisorderFlag: snapshot row order is t.order,
+// which rollback-past-compaction can permute away from TID order — so
+// restore cannot re-derive time-disorder from row sequence alone. The
+// v2 image must carry the flag itself.
+func TestSnapshotCarriesDisorderFlag(t *testing.T) {
+	src, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	src.Insert(winRow(0, 0), 0, nil)
+	src.Insert(winRow(12, 12), 0, nil) // slides to [5,15)
+	src.Insert(winRow(7, 7), 0, nil)   // out of order, in-window: disorder set
+	if !src.window.timeDisorder {
+		t.Fatal("test setup: disorder not set")
+	}
+	// Permute order into ascending-ts so restore-order derivation
+	// would see a well-ordered stream and miss the disorder. The
+	// first entry is the expired ts=0 tombstone; swap the live pair.
+	if n := len(src.order); n != 3 {
+		t.Fatalf("order = %v, want 3 entries", src.order)
+	}
+	src.order[1], src.order[2] = src.order[2], src.order[1]
+	img := EncodeTable(nil, src)
+
+	dst, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	if _, err := RestoreTable(dst, img); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.window.timeDisorder {
+		t.Fatal("restored window lost the time-disorder flag")
+	}
+	// And the sweep works post-restore: sliding to [10,20) must expire
+	// ts=7 even though it sits behind ts=12 in the active deque.
+	dst.Insert(winRow(16, 16), 0, nil)
+	// Scan order follows the permuted order slice; check content by
+	// value, not position.
+	got := activeValues(dst)
+	sum := int64(0)
+	for _, v := range got {
+		sum += v
+	}
+	if len(got) != 2 || sum != 28 {
+		t.Errorf("window content after post-restore slide = %v, want {12, 16}", got)
 	}
 }

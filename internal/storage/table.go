@@ -78,12 +78,15 @@ type storedRow struct {
 // partition and partitions execute transactions serially (§3.1), so
 // Table itself takes no locks.
 type Table struct {
-	name    string
-	kind    Kind
-	schema  *types.Schema
-	rows    map[uint64]storedRow
-	order   []uint64 // insertion order; may contain tombstoned TIDs
-	holes   int      // tombstones in order, triggers compaction
+	name   string
+	kind   Kind
+	schema *types.Schema
+	rows   map[uint64]storedRow
+	order  []uint64 // insertion order; may contain tombstoned TIDs
+	// tombs is the set of TIDs still listed in order whose rows were
+	// deleted; it makes tombstone-membership checks (RestoreRow) O(1)
+	// and its size triggers compaction of order.
+	tombs   map[uint64]struct{}
 	indexes []index.Index
 	nextTID uint64
 
@@ -102,6 +105,7 @@ func NewTable(name string, kind Kind, schema *types.Schema) *Table {
 		kind:   kind,
 		schema: schema,
 		rows:   make(map[uint64]storedRow),
+		tombs:  make(map[uint64]struct{}),
 	}
 }
 
@@ -126,7 +130,7 @@ func (t *Table) ActiveLen() int {
 	if t.window == nil {
 		return len(t.rows)
 	}
-	return len(t.rows) - t.window.stagedCount
+	return len(t.rows) - t.window.staged.Len()
 }
 
 // AddIndex attaches an index and backfills it from existing rows.
@@ -202,7 +206,7 @@ func (t *Table) Insert(row types.Row, batchID int64, undo Undo) (InsertResult, e
 	}
 	res := InsertResult{TID: tid}
 	if t.window != nil {
-		t.window.stagedCount++
+		t.window.staged.PushBack(tid)
 		res.Slid = t.maybeSlide(row, undo)
 	}
 	return res, nil
@@ -258,23 +262,24 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 	// The TID may still be listed in order as a tombstone from the
 	// earlier delete (rollback paths delete and restore the same
 	// tuple); appending again would make scans visit the row twice.
-	present := false
-	for _, tid := range t.order {
-		if tid == meta.TID {
-			present = true
-			break
-		}
-	}
-	if present {
-		t.holes--
+	if _, present := t.tombs[meta.TID]; present {
+		delete(t.tombs, meta.TID)
 	} else {
 		t.order = append(t.order, meta.TID)
 	}
 	if meta.TID > t.nextTID {
 		t.nextTID = meta.TID
 	}
-	if t.window != nil && meta.Staged {
-		t.window.stagedCount++
+	if t.window != nil {
+		if meta.Staged {
+			t.window.staged.PushSorted(meta.TID)
+		} else {
+			t.window.active.PushSorted(meta.TID)
+			t.windowAggAdd(row)
+			if t.window.Spec.TimeBased {
+				t.window.noteActivation(timeValue(row[t.window.Spec.TimeColumn]))
+			}
+		}
 	}
 	return nil
 }
@@ -290,10 +295,15 @@ func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 		idx.Delete(t.extractKey(idx, r.data), tid)
 	}
 	delete(t.rows, tid)
-	t.holes++
+	t.tombs[tid] = struct{}{}
 	t.maybeCompact()
-	if t.window != nil && r.meta.Staged {
-		t.window.stagedCount--
+	if t.window != nil {
+		if r.meta.Staged {
+			t.window.staged.Remove(tid)
+		} else {
+			t.window.active.Remove(tid)
+			t.windowAggRemove(r.data)
+		}
 	}
 	if undo != nil {
 		undo.RecordDelete(t, r.meta, r.data)
@@ -336,6 +346,31 @@ func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
 		undo.RecordInsert(t, tid)
 	}
 	t.rows[tid] = storedRow{meta: r.meta, data: newRow}
+	if t.window != nil && !r.meta.Staged {
+		t.windowAggUpdate(r.data, newRow)
+	}
+	if w := t.window; w != nil && w.Spec.TimeBased {
+		col := w.Spec.TimeColumn
+		oldTS, newTS := timeValue(r.data[col]), timeValue(newRow[col])
+		if newTS != oldTS {
+			// A rewritten time column can put this tuple anywhere
+			// relative to its deque position: prefix pops are off
+			// until the window drains.
+			w.timeDisorder = true
+			if !r.meta.Staged {
+				w.noteActivation(newTS)
+				// Re-evaluate the tuple against the window bounds: a
+				// time now below start is expired, one at or past
+				// start+Size goes back to staging until the window
+				// reaches it — in neither case may it stay visible.
+				if w.started && newTS < w.start {
+					_, _ = t.Delete(tid, undo)
+				} else if w.started && newTS >= w.start+w.Spec.Size {
+					t.setStaged(tid, true, undo)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -376,7 +411,11 @@ func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
 	}
 }
 
-// setStaged flips a tuple's staging flag.
+// setStaged flips a tuple's staging flag, moving the TID between the
+// window deques and folding the row in or out of the maintained
+// aggregates. Activation (the hot path) pops the front of staged and
+// pushes the back of active, both O(1); rollback re-staging pops the
+// back of active and pushes the front of staged, also O(1).
 func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
 	r, ok := t.rows[tid]
 	if !ok || r.meta.Staged == staged {
@@ -389,9 +428,16 @@ func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
 	t.rows[tid] = r
 	if t.window != nil {
 		if staged {
-			t.window.stagedCount++
+			t.window.active.Remove(tid)
+			t.window.staged.PushSorted(tid)
+			t.windowAggRemove(r.data)
 		} else {
-			t.window.stagedCount--
+			t.window.staged.Remove(tid)
+			t.window.active.PushSorted(tid)
+			t.windowAggAdd(r.data)
+			if t.window.Spec.TimeBased {
+				t.window.noteActivation(timeValue(r.data[t.window.Spec.TimeColumn]))
+			}
 		}
 	}
 }
@@ -402,7 +448,7 @@ func (t *Table) RestoreStaged(tid uint64, staged bool) {
 }
 
 func (t *Table) maybeCompact() {
-	if t.holes*2 < len(t.order) || len(t.order) < 64 {
+	if len(t.tombs)*2 < len(t.order) || len(t.order) < 64 {
 		return
 	}
 	live := t.order[:0]
@@ -412,17 +458,29 @@ func (t *Table) maybeCompact() {
 		}
 	}
 	t.order = live
-	t.holes = 0
+	t.tombs = make(map[uint64]struct{})
 }
 
 // Truncate removes all rows without recording undo; used by snapshot
-// load.
+// load. Window tables reset their full scalar state — fill/start
+// phase, slide count, deques, and maintained-aggregate accumulators —
+// so a truncated window resumes from scratch, not mid-phase.
 func (t *Table) Truncate() {
 	t.rows = make(map[uint64]storedRow)
 	t.order = t.order[:0]
-	t.holes = 0
+	t.tombs = make(map[uint64]struct{})
 	if t.window != nil {
-		t.window.stagedCount = 0
+		w := t.window
+		w.filled = false
+		w.started = false
+		w.start = 0
+		w.slides = 0
+		w.maxTS = 0
+		w.maxTSSet = false
+		w.timeDisorder = false
+		w.active.Clear()
+		w.staged.Clear()
+		w.resetAggregates()
 	}
 	for i, idx := range t.indexes {
 		switch ix := idx.(type) {

@@ -16,7 +16,9 @@ import (
 //   - Time-based: Size and Slide are microseconds over the values of
 //     TimeColumn, which must be monotonically non-decreasing at
 //     insertion (stream order). The window covers [start, start+Size);
-//     a tuple at or past start+Size advances start by whole Slides.
+//     a tuple at or past start+Size advances start by whole Slides. A
+//     late tuple below start (out-of-order arrival) is expired on
+//     insert — it predates the window and must never become visible.
 type WindowSpec struct {
 	TimeBased  bool
 	Size       int64
@@ -42,39 +44,85 @@ func (s WindowSpec) Validate() error {
 // notes that keeping these statistics in table metadata — rather than
 // recomputing them with queries, as the H-Store baseline must — is the
 // main source of the native-windowing speedup (§4.3).
+//
+// The active and staged deques hold the visible and not-yet-visible
+// TIDs in arrival order, so a slide touches exactly the tuples it
+// expires and activates: per-insert upkeep is O(slide) amortized
+// instead of a scan of the whole table.
 type WindowState struct {
-	Spec        WindowSpec
-	stagedCount int
-	filled      bool  // tuple-based: first full window has formed
-	start       int64 // time-based: inclusive lower bound of the window
-	started     bool  // time-based: start has been initialized
-	slides      uint64
+	Spec    WindowSpec
+	filled  bool  // tuple-based: first full window has formed
+	start   int64 // time-based: inclusive lower bound of the window
+	started bool  // time-based: start has been initialized
+	slides  uint64
+
+	active tidDeque // visible tuples, ascending TID (= arrival order)
+	staged tidDeque // invisible tuples awaiting activation, ascending TID
+
+	// Time-based windows expire as a front-pop of active, which is
+	// correct only while activation order (TID order) is also time
+	// order. maxTS tracks the largest activated time; activating below
+	// it — an out-of-order arrival that still lands inside the window,
+	// or an Update rewriting the time column — sets timeDisorder, and
+	// expiry falls back to a full sweep of the active deque until the
+	// window drains empty. Contract-conforming streams never pay this.
+	maxTS        int64
+	maxTSSet     bool
+	timeDisorder bool
+
+	aggs []*WindowAggregate // maintained aggregates, registration order
 }
 
 // StagedCount returns the number of staged (invisible) tuples.
-func (w *WindowState) StagedCount() int { return w.stagedCount }
+func (w *WindowState) StagedCount() int { return w.staged.Len() }
 
 // Slides returns the total number of slides since creation.
 func (w *WindowState) Slides() uint64 { return w.slides }
 
 // Mark captures the scalar window bookkeeping (everything except the
 // rows themselves, which physical undo restores) so a transaction abort
-// can reset it.
+// can reset it. Maintained-aggregate accumulators are part of the
+// capture: they are small value types, so copying them is O(#aggs) and
+// an abort restores aggregate state exactly — including float sums,
+// which physical undo replay alone cannot guarantee bit-for-bit.
 type WindowMark struct {
-	filled  bool
-	start   int64
-	started bool
-	slides  uint64
+	filled       bool
+	start        int64
+	started      bool
+	slides       uint64
+	maxTS        int64
+	maxTSSet     bool
+	timeDisorder bool
+	aggs         []aggState
 }
 
 // Mark returns the current scalar state.
 func (w *WindowState) Mark() WindowMark {
-	return WindowMark{filled: w.filled, start: w.start, started: w.started, slides: w.slides}
+	m := WindowMark{
+		filled: w.filled, start: w.start, started: w.started, slides: w.slides,
+		maxTS: w.maxTS, maxTSSet: w.maxTSSet, timeDisorder: w.timeDisorder,
+	}
+	if len(w.aggs) > 0 {
+		m.aggs = make([]aggState, len(w.aggs))
+		for i, a := range w.aggs {
+			m.aggs[i] = a.state
+		}
+	}
+	return m
 }
 
-// Reset restores scalar state captured by Mark.
+// Reset restores scalar state captured by Mark. It runs after physical
+// undo has restored the rows (and with them the deques), so overwriting
+// the aggregate accumulators with the marked copies leaves the window
+// exactly as it was when Mark ran.
 func (w *WindowState) Reset(m WindowMark) {
 	w.filled, w.start, w.started, w.slides = m.filled, m.start, m.started, m.slides
+	w.maxTS, w.maxTSSet, w.timeDisorder = m.maxTS, m.maxTSSet, m.timeDisorder
+	for i, a := range w.aggs {
+		if i < len(m.aggs) {
+			a.state = m.aggs[i]
+		}
+	}
 }
 
 // NewWindowTable creates a window table with the given spec.
@@ -115,7 +163,7 @@ func (t *Table) slideTuples(undo Undo) bool {
 	slid := false
 	if !w.filled {
 		// The first window forms when Size tuples have been staged.
-		if int64(w.stagedCount) >= w.Spec.Size {
+		if int64(w.staged.Len()) >= w.Spec.Size {
 			t.activateOldestStaged(int(w.Spec.Size), undo)
 			w.filled = true
 			w.slides++
@@ -123,7 +171,7 @@ func (t *Table) slideTuples(undo Undo) bool {
 		}
 		return slid
 	}
-	for int64(w.stagedCount) >= w.Spec.Slide {
+	for int64(w.staged.Len()) >= w.Spec.Slide {
 		t.expireOldestActive(int(w.Spec.Slide), undo)
 		t.activateOldestStaged(int(w.Spec.Slide), undo)
 		w.slides++
@@ -141,23 +189,35 @@ func (t *Table) slideTime(row types.Row, undo Undo) bool {
 		w.started = true
 	}
 	slid := false
-	for ts >= w.start+w.Spec.Size {
-		w.start += w.Spec.Slide
-		w.slides++
+	if ts >= w.start+w.Spec.Size {
+		// Advance by whole slides in one step: a stream resuming
+		// after an idle gap must not pay one loop iteration per
+		// elapsed slide.
+		k := (ts-(w.start+w.Spec.Size))/w.Spec.Slide + 1
+		w.start += k * w.Spec.Slide
+		w.slides += uint64(k)
 		slid = true
 	}
-	if !slid {
-		// Tuples inside the current window activate immediately: a
-		// time-based window's visible content is everything in
-		// [start, start+Size).
-		t.activateStagedBefore(w.start+w.Spec.Size, undo)
-		return false
+	if slid {
+		t.expireActiveBefore(w.start, undo)
 	}
-	// Expire actives now below start, activate staged now inside the
-	// window.
-	t.expireActiveBefore(w.start, undo)
-	t.activateStagedBefore(w.start+w.Spec.Size, undo)
-	return true
+	// Drain staged tuples against the (possibly advanced) window:
+	// tuples inside [start, start+Size) activate immediately; late
+	// tuples below start are expired, never activated — the window
+	// does not cover them.
+	t.drainStaged(undo)
+	// With at most one tuple left there is no ordering to be wrong
+	// about: disorder has drained out and prefix pops are safe again.
+	if w.timeDisorder && w.staged.Len() == 0 && w.active.Len() <= 1 {
+		w.timeDisorder = false
+		w.maxTSSet = false
+		if w.active.Len() == 1 {
+			if r, ok := t.rows[w.active.Front()]; ok {
+				w.maxTS, w.maxTSSet = timeValue(r.data[w.Spec.TimeColumn]), true
+			}
+		}
+	}
+	return slid
 }
 
 func timeValue(v types.Value) int64 {
@@ -167,72 +227,121 @@ func timeValue(v types.Value) int64 {
 	return v.Int()
 }
 
+// noteActivation records the time of a tuple entering the active set;
+// activating below the high-water mark means activation order no
+// longer matches time order and prefix expiry is unsafe.
+func (w *WindowState) noteActivation(ts int64) {
+	if !w.Spec.TimeBased {
+		return
+	}
+	if w.maxTSSet && ts < w.maxTS {
+		w.timeDisorder = true
+	}
+	if !w.maxTSSet || ts > w.maxTS {
+		w.maxTS, w.maxTSSet = ts, true
+	}
+}
+
 // activateOldestStaged clears the staging flag on the n oldest staged
-// tuples.
+// tuples: n front-pops of the staged deque, O(n) rather than a scan of
+// the whole table.
 func (t *Table) activateOldestStaged(n int, undo Undo) {
-	for _, tid := range t.order {
-		if n == 0 {
+	w := t.window
+	for ; n > 0 && w.staged.Len() > 0; n-- {
+		t.setStaged(w.staged.Front(), false, undo)
+	}
+}
+
+// expireOldestActive deletes the n oldest active tuples: n front-pops
+// of the active deque.
+func (t *Table) expireOldestActive(n int, undo Undo) {
+	w := t.window
+	for ; n > 0 && w.active.Len() > 0; n-- {
+		_, _ = t.Delete(w.active.Front(), undo)
+	}
+}
+
+// drainStaged resolves every staged tuple of a time-based window
+// against the current bounds: expire below start, activate inside
+// [start, start+Size). Staged TID order is arrival order, and the time
+// column is non-decreasing in arrival order, so front-pops see the
+// smallest timestamps first and the loop can stop at the first tuple
+// past the window's end.
+func (t *Table) drainStaged(undo Undo) {
+	w := t.window
+	col := w.Spec.TimeColumn
+	if w.timeDisorder {
+		// Staged TID order may not be time order (re-staged tuples
+		// whose time column was rewritten): sweep every staged tuple
+		// instead of stopping at the first one past the window.
+		tids := make([]uint64, 0, w.staged.Len())
+		for i := 0; i < w.staged.Len(); i++ {
+			tids = append(tids, w.staged.At(i))
+		}
+		for _, tid := range tids {
+			r, ok := t.rows[tid]
+			if !ok || !r.meta.Staged {
+				continue
+			}
+			switch ts := timeValue(r.data[col]); {
+			case ts < w.start:
+				_, _ = t.Delete(tid, undo)
+			case ts < w.start+w.Spec.Size:
+				t.setStaged(tid, false, undo)
+			}
+		}
+		return
+	}
+	for w.staged.Len() > 0 {
+		tid := w.staged.Front()
+		r, ok := t.rows[tid]
+		if !ok {
+			w.staged.PopFront()
+			continue
+		}
+		ts := timeValue(r.data[col])
+		switch {
+		case ts < w.start:
+			_, _ = t.Delete(tid, undo)
+		case ts < w.start+w.Spec.Size:
+			t.setStaged(tid, false, undo)
+		default:
 			return
 		}
-		r, ok := t.rows[tid]
-		if !ok || !r.meta.Staged {
-			continue
-		}
-		t.setStaged(tid, false, undo)
-		n--
 	}
 }
 
-// expireOldestActive deletes the n oldest active tuples.
-func (t *Table) expireOldestActive(n int, undo Undo) {
-	var victims []uint64
-	for _, tid := range t.order {
-		if len(victims) == n {
-			break
-		}
-		r, ok := t.rows[tid]
-		if !ok || r.meta.Staged {
-			continue
-		}
-		victims = append(victims, tid)
-	}
-	for _, tid := range victims {
-		_, _ = t.Delete(tid, undo)
-	}
-}
-
-// activateStagedBefore activates staged tuples with time < bound.
-func (t *Table) activateStagedBefore(bound int64, undo Undo) {
-	col := t.window.Spec.TimeColumn
-	var flips []uint64
-	for _, tid := range t.order {
-		r, ok := t.rows[tid]
-		if !ok || !r.meta.Staged {
-			continue
-		}
-		if timeValue(r.data[col]) < bound {
-			flips = append(flips, tid)
-		}
-	}
-	for _, tid := range flips {
-		t.setStaged(tid, false, undo)
-	}
-}
-
-// expireActiveBefore deletes active tuples with time < bound.
+// expireActiveBefore deletes active tuples with time < bound. Active
+// tuples are normally activated in non-decreasing time order, so the
+// expired set is a prefix of the active deque; once an out-of-order
+// activation has broken that invariant, expiry sweeps the whole
+// active deque until the window drains empty.
 func (t *Table) expireActiveBefore(bound int64, undo Undo) {
-	col := t.window.Spec.TimeColumn
-	var victims []uint64
-	for _, tid := range t.order {
+	w := t.window
+	col := w.Spec.TimeColumn
+	if w.timeDisorder {
+		var victims []uint64
+		for i := 0; i < w.active.Len(); i++ {
+			tid := w.active.At(i)
+			if r, ok := t.rows[tid]; ok && timeValue(r.data[col]) < bound {
+				victims = append(victims, tid)
+			}
+		}
+		for _, tid := range victims {
+			_, _ = t.Delete(tid, undo)
+		}
+		return
+	}
+	for w.active.Len() > 0 {
+		tid := w.active.Front()
 		r, ok := t.rows[tid]
-		if !ok || r.meta.Staged {
+		if !ok {
+			w.active.PopFront()
 			continue
 		}
-		if timeValue(r.data[col]) < bound {
-			victims = append(victims, tid)
+		if timeValue(r.data[col]) >= bound {
+			return
 		}
-	}
-	for _, tid := range victims {
 		_, _ = t.Delete(tid, undo)
 	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -205,6 +206,254 @@ func TestWindowMarkReset(t *testing.T) {
 	}
 }
 
+// TestTimeWindowLateArrivalExpired: a tuple whose time precedes the
+// window's start (an out-of-order arrival) must be expired on insert —
+// the window covers [start, start+Size), so it can never become
+// visible. The pre-fix code activated it.
+func TestTimeWindowLateArrivalExpired(t *testing.T) {
+	w, err := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{0, 7, 12} { // ts=12 slides to start=5
+		w.Insert(winRow(ts, ts), 0, nil)
+	}
+	if got := activeValues(w); len(got) != 2 || got[0] != 7 || got[1] != 12 {
+		t.Fatalf("window content = %v, want [7 12]", got)
+	}
+	// ts=3 < start=5: late. It must be expired, never visible.
+	res, err := w.Insert(winRow(3, 3), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slid {
+		t.Error("late tuple must not slide the window")
+	}
+	if got := activeValues(w); len(got) != 2 || got[0] != 7 || got[1] != 12 {
+		t.Errorf("late tuple leaked into the window: %v", got)
+	}
+	if w.Window().StagedCount() != 0 {
+		t.Errorf("late tuple left staged: %d", w.Window().StagedCount())
+	}
+	if w.Len() != 2 {
+		t.Errorf("late tuple not expired: Len = %d", w.Len())
+	}
+}
+
+// TestTimeWindowExactBoundary: a tuple exactly at start+Size lies
+// outside [start, start+Size) and must advance the window before
+// becoming visible.
+func TestTimeWindowExactBoundary(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	w.Insert(winRow(0, 0), 0, nil)
+	res, _ := w.Insert(winRow(10, 10), 0, nil) // == start+Size
+	if !res.Slid {
+		t.Error("tuple at start+Size must slide the window")
+	}
+	if w.Window().Slides() != 1 {
+		t.Errorf("slides = %d, want exactly 1", w.Window().Slides())
+	}
+	// New window is [5, 15): ts=0 expired, ts=10 active.
+	if got := activeValues(w); len(got) != 1 || got[0] != 10 {
+		t.Errorf("window content = %v, want [10]", got)
+	}
+	if w.Len() != 1 {
+		t.Errorf("expired tuple retained: Len = %d", w.Len())
+	}
+}
+
+// TestTimeWindowMultiSlideJump: a big time jump advances start by
+// whole slides in one insert and expires everything it passes.
+func TestTimeWindowMultiSlideJump(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	for _, ts := range []int64{0, 4, 9} {
+		w.Insert(winRow(ts, ts), 0, nil)
+	}
+	res, _ := w.Insert(winRow(103, 103), 0, nil)
+	if !res.Slid {
+		t.Fatal("jump should slide")
+	}
+	// start advances to 95 (19 slides of 5 > 93): window [95, 105).
+	if w.Window().Slides() != 19 {
+		t.Errorf("slides = %d, want 19", w.Window().Slides())
+	}
+	if got := activeValues(w); len(got) != 1 || got[0] != 103 {
+		t.Errorf("window content = %v, want [103]", got)
+	}
+	if w.Len() != 1 {
+		t.Errorf("jumped-over tuples retained: Len = %d", w.Len())
+	}
+}
+
+func maintainAll(t *testing.T, w *Table) {
+	t.Helper()
+	for _, fn := range []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if err := w.MaintainAggregate(fn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.MaintainAggregate(AggCount, AggStar); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scanAgg recomputes an aggregate over the visible rows the slow way.
+func scanAgg(w *Table, fn AggFunc) types.Value {
+	var vals []int64
+	w.Scan(func(_ TupleMeta, r types.Row) bool {
+		vals = append(vals, r[1].Int())
+		return true
+	})
+	if len(vals) == 0 {
+		if fn == AggCount {
+			return types.NewInt(0)
+		}
+		return types.Null
+	}
+	sum, min, max := int64(0), vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	switch fn {
+	case AggCount:
+		return types.NewInt(int64(len(vals)))
+	case AggSum:
+		return types.NewInt(sum)
+	case AggAvg:
+		return types.NewFloat(float64(sum) / float64(len(vals)))
+	case AggMin:
+		return types.NewInt(min)
+	case AggMax:
+		return types.NewInt(max)
+	}
+	return types.Null
+}
+
+func checkAggs(t *testing.T, w *Table, step string) {
+	t.Helper()
+	for _, fn := range []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		got, ok := w.MaintainedAggregate(fn, 1)
+		if !ok {
+			t.Fatalf("%s: %s not maintained", step, fn)
+		}
+		want := scanAgg(w, fn)
+		if !got.Equal(want) && !(got.IsNull() && want.IsNull()) {
+			t.Errorf("%s: maintained %s = %v, scan says %v", step, fn, got, want)
+		}
+	}
+	star, ok := w.MaintainedAggregate(AggCount, AggStar)
+	if !ok || star.Int() != int64(w.ActiveLen()) {
+		t.Errorf("%s: COUNT(*) = %v, active = %d", step, star, w.ActiveLen())
+	}
+}
+
+// TestWindowMaintainedAggregates tracks every maintained aggregate
+// against a recomputing scan through fills, slides, extremum expiry
+// (the bounded-rescan path), and deletes.
+func TestWindowMaintainedAggregates(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 1})
+	maintainAll(t, w)
+	vals := []int64{5, 1, 9, 2, 7, 7, 3, 100, -4, 6}
+	for i, v := range vals {
+		if _, err := w.Insert(winRow(int64(i), v), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		checkAggs(t, w, fmt.Sprintf("insert %d (v=%d)", i, v))
+	}
+	// Ad-hoc delete of the current maximum (an interior tuple) must
+	// flow through the maintained state too.
+	var maxTID uint64
+	var maxV int64
+	w.Scan(func(meta TupleMeta, r types.Row) bool {
+		if v := r[1].Int(); v >= maxV || maxTID == 0 {
+			maxTID, maxV = meta.TID, v
+		}
+		return true
+	})
+	if _, err := w.Delete(maxTID, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkAggs(t, w, "after deleting the maximum")
+}
+
+// TestMaintainAggregateBackfill: registration on a window that already
+// holds rows initializes from the active content.
+func TestMaintainAggregateBackfill(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 2, Slide: 1})
+	for i := int64(0); i < 5; i++ {
+		w.Insert(winRow(i, i*10), 0, nil)
+	}
+	if err := w.MaintainAggregate(AggSum, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.MaintainedAggregate(AggSum, 1)
+	if want := scanAgg(w, AggSum); !got.Equal(want) {
+		t.Errorf("backfilled SUM = %v, want %v", got, want)
+	}
+	// Duplicate registration is a no-op.
+	if err := w.MaintainAggregate(AggSum, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.MaintainedAggregates()); n != 1 {
+		t.Errorf("duplicate registration grew the set to %d", n)
+	}
+}
+
+// TestTruncateResetsWindowPhase: a truncated window must restart from
+// scratch — first-fill semantics for tuple windows, fresh start for
+// time windows — rather than resuming mid-phase with stale scalars.
+func TestTruncateResetsWindowPhase(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 3, Slide: 1})
+	maintainAll(t, w)
+	for i := int64(0); i < 7; i++ {
+		w.Insert(winRow(i, i), 0, nil)
+	}
+	if w.Window().Slides() == 0 {
+		t.Fatal("window should have slid")
+	}
+	w.Truncate()
+	if w.Window().Slides() != 0 || w.Window().StagedCount() != 0 {
+		t.Fatalf("Truncate left scalar state: slides=%d staged=%d", w.Window().Slides(), w.Window().StagedCount())
+	}
+	// Two inserts: nothing visible yet (a stale filled flag would have
+	// activated them immediately).
+	for i := int64(0); i < 2; i++ {
+		res, err := w.Insert(winRow(i, i), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slid || w.ActiveLen() != 0 {
+			t.Fatalf("truncated window resumed mid-phase at insert %d", i)
+		}
+	}
+	res, _ := w.Insert(winRow(2, 2), 0, nil)
+	if !res.Slid || w.ActiveLen() != 3 {
+		t.Errorf("truncated window did not refill: slid=%v active=%d", res.Slid, w.ActiveLen())
+	}
+	checkAggs(t, w, "after truncate and refill")
+
+	tw, _ := NewWindowTable("tw", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	for _, ts := range []int64{100, 112} {
+		tw.Insert(winRow(ts, ts), 0, nil)
+	}
+	tw.Truncate()
+	// A stale start of 105 would expire ts=3 as late; a fresh window
+	// must accept it as its first tuple.
+	res, err := tw.Insert(winRow(3, 3), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slid || tw.ActiveLen() != 1 {
+		t.Errorf("truncated time window kept its old start: slid=%v active=%d", res.Slid, tw.ActiveLen())
+	}
+}
+
 func TestWindowStagedCountTracksRestores(t *testing.T) {
 	w, _ := NewWindowTable("w", winSchema(), WindowSpec{Size: 5, Slide: 5})
 	res, _ := w.Insert(winRow(1, 1), 0, nil)
@@ -221,5 +470,145 @@ func TestWindowStagedCountTracksRestores(t *testing.T) {
 	}
 	if w.Window().StagedCount() != 1 {
 		t.Errorf("StagedCount after restore = %d", w.Window().StagedCount())
+	}
+}
+
+// TestTimeWindowOutOfOrderInWindowArrival: an out-of-order arrival
+// that still lands inside the window activates — and later expiry
+// must still remove it even though the active deque's TID order no
+// longer matches time order (the disorder fallback sweep).
+func TestTimeWindowOutOfOrderInWindowArrival(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	w.MaintainAggregate(AggSum, 1)
+	w.Insert(winRow(0, 0), 0, nil)
+	w.Insert(winRow(12, 12), 0, nil) // slides to [5,15)
+	w.Insert(winRow(7, 7), 0, nil)   // out of order but in-window: visible
+	if got := activeValues(w); len(got) != 2 || got[0] != 12 || got[1] != 7 {
+		t.Fatalf("window content = %v, want [12 7]", got)
+	}
+	w.Insert(winRow(16, 16), 0, nil) // slides to [10,20): ts=7 must expire
+	got := activeValues(w)
+	if len(got) != 2 || got[0] != 12 || got[1] != 16 {
+		t.Errorf("window content after slide = %v, want [12 16]", got)
+	}
+	if w.Len() != 2 {
+		t.Errorf("expired out-of-order tuple retained: Len = %d", w.Len())
+	}
+	if sum, _ := w.MaintainedAggregate(AggSum, 1); sum.Int() != 28 {
+		t.Errorf("SUM = %v, want 28", sum)
+	}
+	// Once the window drains, the disorder fallback clears and the
+	// prefix fast path resumes.
+	w.Insert(winRow(300, 300), 0, nil)
+	if !w.Window().timeDisorder {
+		// drained at the 300 jump: disorder must have been cleared
+	} else {
+		t.Error("disorder flag not cleared after the window drained")
+	}
+	if got := activeValues(w); len(got) != 1 || got[0] != 300 {
+		t.Errorf("window content = %v, want [300]", got)
+	}
+}
+
+// TestTimeWindowUpdateRewritesTimeColumn: rewriting the time column of
+// an active tuple breaks deque time order; expiry must still remove
+// the tuple when its new time leaves the window.
+func TestTimeWindowUpdateRewritesTimeColumn(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	w.Insert(winRow(8, 8), 0, nil)
+	w.Insert(winRow(9, 9), 0, nil)
+	// Drag the newest tuple's time backward behind its deque position.
+	var lastTID uint64
+	w.Scan(func(meta TupleMeta, r types.Row) bool {
+		lastTID = meta.TID
+		return true
+	})
+	if err := w.Update(lastTID, winRow(2, 9), nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Insert(winRow(18, 18), 0, nil) // slides to [13,23): ts=8 and the rewritten ts=2 expire
+	got := activeValues(w)
+	if len(got) != 1 || got[0] != 18 {
+		t.Errorf("window content = %v, want [18]", got)
+	}
+	if w.Len() != 1 {
+		t.Errorf("rewritten tuple retained: Len = %d", w.Len())
+	}
+}
+
+// TestTimeWindowUpdateOutOfWindow: rewriting an active tuple's time to
+// a value outside [start, start+Size) must take effect immediately —
+// below start it expires, at or past start+Size it returns to staging
+// until the window reaches it.
+func TestTimeWindowUpdateOutOfWindow(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	w.MaintainAggregate(AggSum, 1)
+	w.Insert(winRow(0, 1), 0, nil)
+	w.Insert(winRow(12, 2), 0, nil) // slides to [5,15): ts=0 expires
+	w.Insert(winRow(13, 4), 0, nil)
+	tidOf := func(v int64) uint64 {
+		var tid uint64
+		w.Scan(func(meta TupleMeta, r types.Row) bool {
+			if r[1].Int() == v {
+				tid = meta.TID
+			}
+			return true
+		})
+		return tid
+	}
+	// Drag v=2 below start: it must vanish from the window now, not at
+	// the next slide.
+	if err := w.Update(tidOf(2), winRow(1, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := activeValues(w); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("window content after expiring update = %v, want [4]", got)
+	}
+	if sum, _ := w.MaintainedAggregate(AggSum, 1); sum.Int() != 4 {
+		t.Errorf("SUM = %v, want 4", sum)
+	}
+	// Drag v=4 past start+Size: invisible immediately, staged until
+	// the window reaches ts=20.
+	if err := w.Update(tidOf(4), winRow(20, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := activeValues(w); len(got) != 0 {
+		t.Fatalf("future-dated tuple still visible: %v", got)
+	}
+	if w.Window().StagedCount() != 1 {
+		t.Fatalf("future-dated tuple not staged: %d", w.Window().StagedCount())
+	}
+	w.Insert(winRow(21, 8), 0, nil) // slides to [15,25): both visible
+	got := activeValues(w)
+	sum := int64(0)
+	for _, v := range got {
+		sum += v
+	}
+	if len(got) != 2 || sum != 12 {
+		t.Errorf("window content = %v, want {4, 8}", got)
+	}
+	if agg, _ := w.MaintainedAggregate(AggSum, 1); agg.Int() != 12 {
+		t.Errorf("SUM = %v, want 12", agg)
+	}
+}
+
+// TestTimeWindowHugeGapSingleStep: resuming after a long idle gap must
+// advance the window in O(1), not one loop iteration per slide.
+func TestTimeWindowHugeGapSingleStep(t *testing.T) {
+	w, _ := NewWindowTable("w", winSchema(), WindowSpec{TimeBased: true, Size: 10, Slide: 1, TimeColumn: 0})
+	w.Insert(winRow(0, 0), 0, nil)
+	const gap = int64(1) << 40
+	res, err := w.Insert(winRow(gap, 1), 0, nil) // would be ~10^12 loop turns pre-fix
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Slid {
+		t.Fatal("gap insert should slide")
+	}
+	if wantSlides := uint64(gap - 9); w.Window().Slides() != wantSlides {
+		t.Errorf("slides = %d, want %d", w.Window().Slides(), wantSlides)
+	}
+	if got := activeValues(w); len(got) != 1 || got[0] != 1 {
+		t.Errorf("window content = %v, want [1]", got)
 	}
 }

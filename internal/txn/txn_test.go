@@ -244,3 +244,128 @@ func TestRollbackUniqueIndexConsistency(t *testing.T) {
 		t.Errorf("count = %v", res.Rows[0][0])
 	}
 }
+
+// aggSnapshot reads every maintained aggregate of a window table.
+func aggSnapshot(t *testing.T, w *storage.Table) []types.Value {
+	t.Helper()
+	var out []types.Value
+	for _, a := range w.MaintainedAggregates() {
+		v, ok := w.MaintainedAggregate(a.Fn(), a.Col())
+		if !ok {
+			t.Fatalf("aggregate %s(%d) vanished", a.Fn(), a.Col())
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestAbortRestoresWindowAggregates: a TE that slides a window with
+// maintained aggregates and then aborts must leave the accumulators
+// exactly as they were — physical undo restores the rows and deques,
+// and the WindowMark restores the aggregate state (§2.4).
+func TestAbortRestoresWindowAggregates(t *testing.T) {
+	intSchema := types.MustSchema(
+		types.Column{Name: "ts", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+	)
+	w, err := storage.NewWindowTable("w", intSchema, storage.WindowSpec{Size: 3, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []storage.AggFunc{storage.AggCount, storage.AggSum, storage.AggAvg, storage.AggMin, storage.AggMax} {
+		if err := w.MaintainAggregate(fn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	irow := func(i int64) types.Row { return types.Row{types.NewInt(i), types.NewInt(i * 3)} }
+	for i := int64(0); i < 5; i++ {
+		if _, err := w.Insert(irow(i), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := aggSnapshot(t, w)
+	beforeSlides := w.Window().Slides()
+
+	tx := New(1)
+	tx.MarkWindow(w)
+	// Enough inserts to slide twice: activations, expiries (including
+	// the current MIN and MAX), the lot.
+	for i := int64(5); i < 10; i++ {
+		if _, err := w.Insert(irow(i), 0, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Window().Slides() == beforeSlides {
+		t.Fatal("TE should have slid the window")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Window().Slides() != beforeSlides {
+		t.Errorf("slides = %d, want %d", w.Window().Slides(), beforeSlides)
+	}
+	after := aggSnapshot(t, w)
+	for i := range before {
+		if !before[i].Equal(after[i]) && !(before[i].IsNull() && after[i].IsNull()) {
+			t.Errorf("aggregate %d: %v after abort, want %v", i, after[i], before[i])
+		}
+	}
+	// The window must keep evolving exactly like one that never saw
+	// the aborted TE.
+	ref, _ := storage.NewWindowTable("ref", intSchema, storage.WindowSpec{Size: 3, Slide: 2})
+	ref.MaintainAggregate(storage.AggSum, 1)
+	for i := int64(0); i < 5; i++ {
+		ref.Insert(irow(i), 0, nil)
+	}
+	for i := int64(20); i < 26; i++ {
+		r1, err1 := w.Insert(irow(i), 0, nil)
+		r2, err2 := ref.Insert(irow(i), 0, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if r1.Slid != r2.Slid {
+			t.Fatalf("insert %d: slid %v, reference %v", i, r1.Slid, r2.Slid)
+		}
+	}
+	got, _ := w.MaintainedAggregate(storage.AggSum, 1)
+	want, _ := ref.MaintainedAggregate(storage.AggSum, 1)
+	if !got.Equal(want) {
+		t.Errorf("post-abort SUM = %v, reference %v", got, want)
+	}
+}
+
+// TestWindowMarkResetRoundTrip: Mark before a TE, mutate, Reset after
+// physical undo — the documented abort protocol — round-trips the
+// aggregate accumulators through the undo-driven deque restores.
+func TestWindowMarkResetRoundTrip(t *testing.T) {
+	intSchema := types.MustSchema(
+		types.Column{Name: "ts", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindFloat},
+	)
+	w, err := storage.NewWindowTable("w", intSchema, storage.WindowSpec{TimeBased: true, Size: 10, Slide: 5, TimeColumn: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MaintainAggregate(storage.AggSum, 1)
+	w.MaintainAggregate(storage.AggMax, 1)
+	frow := func(ts int64, v float64) types.Row { return types.Row{types.NewInt(ts), types.NewFloat(v)} }
+	w.Insert(frow(0, 0.1), 0, nil)
+	w.Insert(frow(7, 0.2), 0, nil)
+	before := aggSnapshot(t, w)
+
+	tx := New(7)
+	tx.MarkWindow(w)
+	w.Insert(frow(13, 0.7), 0, tx) // slides, expires ts=0
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	after := aggSnapshot(t, w)
+	for i := range before {
+		if !before[i].Equal(after[i]) {
+			t.Errorf("aggregate %d: %v after Mark/Reset round-trip, want %v", i, after[i], before[i])
+		}
+	}
+	if got := tableValues(w); len(got) != 2 {
+		t.Errorf("window rows after abort = %v", got)
+	}
+}

@@ -258,6 +258,15 @@ func (e *Engine) AddEETrigger(table string, stmts ...string) error {
 	return e.pe.AddEETrigger(table, stmts...)
 }
 
+// MaintainWindowAggregate registers an incrementally maintained
+// aggregate (count/sum/avg/min/max) over a window table's column ("*"
+// for COUNT(*)): matching aggregate queries read the stored value
+// instead of scanning the window. Re-issue at boot before Recover,
+// like DDL.
+func (e *Engine) MaintainWindowAggregate(table, fn, column string) error {
+	return e.pe.MaintainWindowAggregate(table, fn, column)
+}
+
 // DeployWorkflow wires a workflow's edges into partition-engine
 // triggers and marks its border procedures for logging.
 func (e *Engine) DeployWorkflow(w *Workflow) error { return e.pe.DeployWorkflow(w) }
