@@ -76,3 +76,8 @@ func BenchmarkNetThroughput(b *testing.B) { runFigure(b, experiments.NetBench) }
 // throughput and maintained- vs scan-aggregate trigger-TE throughput
 // swept over window size at slide 1.
 func BenchmarkWindowEngine(b *testing.B) { runFigure(b, experiments.Window) }
+
+// BenchmarkReadPath runs the snapshot-read experiment: concurrent
+// readers against sustained ingest, reads served off the partition
+// loop (ISSUE 5).
+func BenchmarkReadPath(b *testing.B) { runFigure(b, experiments.Read) }

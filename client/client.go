@@ -18,6 +18,7 @@ package client
 import (
 	"bufio"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -212,6 +213,25 @@ func (c *Client) Call(sp string, params ...sstore.Value) (*Result, error) {
 	}, nil
 }
 
+// Query runs a read-only SQL statement against a consistent snapshot
+// of one partition. Queries are served off the partition loop (the
+// snapshot read path): they never occupy a scheduler slot, are never
+// rejected by queue-depth backpressure, and observe a single commit
+// boundary — committed state only, never a half-executed transaction.
+func (c *Client) Query(partition int, stmt string, params ...sstore.Value) (*Result, error) {
+	ch, err := c.send(&wire.Request{
+		Op: wire.OpQuery, Partition: partition, SQL: stmt, Params: sstore.Row(params),
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows}, nil
+}
+
 // Ingest pushes an atomic batch into a border stream and waits for the
 // border transaction to commit (exactly-once: duplicate batch IDs are
 // rejected server-side).
@@ -244,22 +264,64 @@ func (c *Client) IngestAsync(streamName string, b *sstore.Batch) (<-chan error, 
 	return out, nil
 }
 
+// RetryOptions bounds an overload-retry loop. The zero value retries
+// forever (with jitter), preserving IngestRetry's historical contract.
+type RetryOptions struct {
+	// MaxAttempts caps the total number of Ingest attempts (initial
+	// attempt included); 0 means unlimited. When the budget is
+	// exhausted the last overload error is returned (it still matches
+	// sstore.ErrOverloaded).
+	MaxAttempts int
+	// Deadline, when non-zero, stops retrying once the next backoff
+	// would end past it; the last overload error is returned.
+	Deadline time.Time
+}
+
 // IngestRetry ingests a batch, retrying after the server's hinted
 // backoff for as long as the server reports overload — the retryable
 // ingestion loop a production client runs under backpressure. Other
 // errors (duplicate, abort, transport) return immediately.
+//
+// Each backoff applies ±50% jitter to the server's hint: every
+// rejected client sleeping exactly the hint would wake the whole
+// cohort simultaneously and re-stampede the border the moment it
+// drained. Use IngestRetryOpts to bound the attempts or set a
+// deadline.
 func (c *Client) IngestRetry(streamName string, b *sstore.Batch) error {
+	return c.IngestRetryOpts(streamName, b, RetryOptions{})
+}
+
+// IngestRetryOpts is IngestRetry with a bounded retry budget.
+func (c *Client) IngestRetryOpts(streamName string, b *sstore.Batch, opts RetryOptions) error {
+	attempts := 0
 	for {
 		err := c.Ingest(streamName, b)
 		if err == nil {
 			return nil
 		}
-		wait := sstore.RetryAfter(err)
-		if wait <= 0 {
+		hint := sstore.RetryAfter(err)
+		if hint <= 0 {
 			return err
+		}
+		attempts++
+		if opts.MaxAttempts > 0 && attempts >= opts.MaxAttempts {
+			return fmt.Errorf("client: retry budget exhausted after %d attempts: %w", attempts, err)
+		}
+		wait := jitterWait(hint)
+		if !opts.Deadline.IsZero() && time.Now().Add(wait).After(opts.Deadline) {
+			return fmt.Errorf("client: retry deadline exceeded after %d attempts: %w", attempts, err)
 		}
 		time.Sleep(wait)
 	}
+}
+
+// jitterWait spreads a retry hint uniformly over [hint/2, hint*3/2) so
+// a cohort of rejected clients does not thunder back in lockstep.
+func jitterWait(hint time.Duration) time.Duration {
+	if hint <= 0 {
+		return 0
+	}
+	return hint/2 + time.Duration(rand.Int64N(int64(hint)))
 }
 
 // Stats fetches the server engine's counters.

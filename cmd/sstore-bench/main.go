@@ -50,6 +50,7 @@ var figures = []struct {
 	{"scale", "Partition scaling: workflow throughput with interior batches routed across partitions", experiments.Scale},
 	{"net", "Client/server throughput vs connections over a real loopback socket", experiments.NetBench},
 	{"window", "Incremental windows: insert and trigger-TE throughput vs window size (slide 1)", experiments.Window},
+	{"read", "Snapshot read path: concurrent readers vs sustained ingest (reads off the partition loop)", experiments.Read},
 }
 
 // benchReport is the machine-readable result of one experiment.

@@ -748,11 +748,6 @@ func (p *selectPlan) applyJoins(cat *storage.Catalog, env *evalEnv, step int, ro
 // regardless of window size — the §4.3 point that window statistics
 // live in table metadata, now extended to the aggregates themselves.
 func (p *selectPlan) runMaintained(base *storage.Table, params []types.Value) (*Result, error) {
-	res := &Result{Columns: append([]string(nil), p.colNames...)}
-	limit, err := p.resolveLimit(params)
-	if err != nil {
-		return nil, err
-	}
 	synthetic := make(types.Row, 0, len(p.maintained))
 	for _, m := range p.maintained {
 		v, ok := base.MaintainedAggregate(m.fn, m.col)
@@ -760,6 +755,18 @@ func (p *selectPlan) runMaintained(base *storage.Table, params []types.Value) (*
 			return nil, fmt.Errorf("ee: window %s no longer maintains %s", base.Name(), m.fn)
 		}
 		synthetic = append(synthetic, v)
+	}
+	return p.serveMaintainedRow(synthetic, params)
+}
+
+// serveMaintainedRow applies HAVING/projection/limit to the single
+// global group's accumulator values — shared by live-table maintained
+// reads and the snapshot read path's pin-captured values.
+func (p *selectPlan) serveMaintainedRow(synthetic types.Row, params []types.Value) (*Result, error) {
+	res := &Result{Columns: append([]string(nil), p.colNames...)}
+	limit, err := p.resolveLimit(params)
+	if err != nil {
+		return nil, err
 	}
 	env := &evalEnv{params: params, row: synthetic}
 	if p.agg.having != nil {

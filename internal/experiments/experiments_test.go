@@ -208,3 +208,48 @@ func TestScaleLoggedShape(t *testing.T) {
 		t.Errorf("logged 4-partition run should out-run 1: %.0f vs %.0f workflows/sec", four, one)
 	}
 }
+
+func TestReadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// The snapshot read path's contract: reads never occupy scheduler
+	// slots (queue depth stays 0 during a readers-only phase), read
+	// throughput is real, and ingest is not starved by attached
+	// readers. The ingest ratio is asserted loosely — CI hosts run
+	// this under -race on one core, where scheduler noise dominates —
+	// while the sstore-bench read smoke demonstrates the ~1.0x ratio.
+	// On a loaded single-core host the Go scheduler can starve the
+	// paced reader goroutines for a whole 250ms window (observed under
+	// -race with noisy neighbors), so a zero-read sample is retried a
+	// few times before it counts as a failure.
+	window := 250 * time.Millisecond
+	baseline, _, _, err := readProbe(0, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withReaders, readTPS float64
+	var queued int
+	for attempt := 1; ; attempt++ {
+		withReaders, readTPS, queued, err = readProbe(2, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if readTPS > 0 && withReaders >= baseline/2 {
+			break
+		}
+		if attempt == 3 {
+			if readTPS <= 0 {
+				t.Error("readers made no progress in 3 attempts")
+			}
+			if withReaders < baseline/2 {
+				t.Errorf("ingest collapsed with readers attached: %.0f vs baseline %.0f", withReaders, baseline)
+			}
+			break
+		}
+	}
+	t.Logf("ingest: %.0f → %.0f batches/s with 2 readers (%.2fx); reads %.0f/s", baseline, withReaders, withReaders/baseline, readTPS)
+	if queued != 0 {
+		t.Errorf("read traffic appeared in the scheduler queue: depth %d", queued)
+	}
+}

@@ -88,10 +88,9 @@ func fig10SStore(opts Options, cfg leaderboard.Config, votes int) (float64, erro
 		return 0, err
 	}
 	defer eng.Close()
-	seed := func(stmt string) error {
-		_, err := eng.AdHoc(0, stmt)
-		return err
-	}
+	// Seeds are setup state re-issued at boot, like DDL; ad-hoc writes
+	// are rejected while command logging is on.
+	seed := func(stmt string) error { return eng.ExecDDL(stmt) }
 	if err := leaderboard.SetupSchema(eng, cfg, seed); err != nil {
 		return 0, err
 	}

@@ -247,3 +247,48 @@ func (t *BTree) Max() (Key, []uint64, bool) {
 	}
 	return bestKey, bestTids, true
 }
+
+// Clone implements Index: nodes, leaf links, and tid slices are
+// copied; key values are shared (immutable).
+func (t *BTree) Clone() Index {
+	c := &BTree{
+		name:    t.name,
+		columns: append([]int(nil), t.columns...),
+		unique:  t.unique,
+		entries: t.entries,
+	}
+	var prev *leafNode
+	c.root = cloneNode(t.root, &prev)
+	return c
+}
+
+// cloneNode deep-copies a subtree, re-linking leaves left to right via
+// prev (leaves are visited in ascending key order).
+func cloneNode(n btreeNode, prev **leafNode) btreeNode {
+	switch n := n.(type) {
+	case *leafNode:
+		c := &leafNode{
+			keys: append([]Key(nil), n.keys...),
+			tids: make([][]uint64, len(n.tids)),
+		}
+		for i, tids := range n.tids {
+			c.tids[i] = append([]uint64(nil), tids...)
+		}
+		if *prev != nil {
+			(*prev).next = c
+		}
+		*prev = c
+		return c
+	case *innerNode:
+		c := &innerNode{
+			keys:     append([]Key(nil), n.keys...),
+			children: make([]btreeNode, len(n.children)),
+		}
+		for i, child := range n.children {
+			c.children[i] = cloneNode(child, prev)
+		}
+		return c
+	default:
+		panic("index: unknown btree node type")
+	}
+}

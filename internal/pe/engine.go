@@ -134,6 +134,12 @@ type Engine struct {
 	consumers map[string][]string // stream (lower-case) → PE-triggered SPs
 	spInput   map[string]string   // sp → input stream (lower-case)
 	spBorder  map[string]bool
+	// borderBy maps each border stream (lower-case) to its one
+	// consuming border SP. DeployWorkflow populates it and rejects a
+	// second border SP on the same stream — previously borderConsumer
+	// iterated the workflows map and the winner was nondeterministic
+	// per process.
+	borderBy map[string]borderReg
 
 	// logs is the sharded command log, one file per partition with a
 	// shared global commit sequence; nil when logging is off.
@@ -184,6 +190,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		consumers: make(map[string][]string),
 		spInput:   make(map[string]string),
 		spBorder:  make(map[string]bool),
+		borderBy:  make(map[string]borderReg),
 		dedup:     stream.NewShardedDedup(opts.Partitions),
 		idle:      newQuiesce(),
 	}
@@ -241,7 +248,13 @@ func (e *Engine) Partitions() int { return len(e.parts) }
 // --- Setup ---
 
 // ExecDDL runs a DDL statement on every partition (each holds the full
-// schema; data is partitioned, schema is replicated).
+// schema; data is partitioned, schema is replicated). Non-DDL
+// statements are accepted as *setup state* — seed rows an application
+// re-issues at every boot, like schema and triggers. They execute on
+// every partition and are deliberately NOT command-logged: recovery
+// replays the log against a freshly re-seeded engine, so a seed that
+// is not re-issued at boot is lost. For durable runtime writes use a
+// registered stored procedure (Call), which logs.
 func (e *Engine) ExecDDL(ddl string) error { return e.ExecDDLOwned("", ddl) }
 
 // ExecDDLOwned runs DDL attributed to a stored procedure; CREATE WINDOW
@@ -249,8 +262,14 @@ func (e *Engine) ExecDDL(ddl string) error { return e.ExecDDLOwned("", ddl) }
 func (e *Engine) ExecDDLOwned(owner, ddl string) error {
 	for _, p := range e.parts {
 		if err := e.onPartition(p, func(p *partition) error {
+			p.ddlMu.Lock()
 			_, err := p.exec.Execute(ddl, nil, &ee.ExecCtx{SP: owner})
-			return err
+			p.ddlMu.Unlock()
+			if err != nil {
+				return err
+			}
+			p.invalidateReadPlans()
+			return nil
 		}); err != nil {
 			return err
 		}
@@ -297,6 +316,8 @@ func (e *Engine) MaintainWindowAggregate(table, fn, column string) error {
 	}
 	for _, p := range e.parts {
 		if err := e.onPartition(p, func(p *partition) error {
+			p.ddlMu.Lock()
+			defer p.ddlMu.Unlock()
 			t, err := p.cat.Get(table)
 			if err != nil {
 				return err
@@ -313,8 +334,10 @@ func (e *Engine) MaintainWindowAggregate(table, fn, column string) error {
 				return err
 			}
 			// Cached plans compiled before registration still scan;
-			// recompile so they pick up the stored accumulators.
+			// recompile so they pick up the stored accumulators — the
+			// off-loop read-plan cache included.
 			p.exec.InvalidatePlans()
+			p.invalidateReadPlans()
 			return nil
 		}); err != nil {
 			return err
@@ -331,6 +354,28 @@ func (e *Engine) MaintainWindowAggregate(table, fn, column string) error {
 func (e *Engine) DeployWorkflow(w *workflow.Workflow) error {
 	if _, dup := e.workflows[w.Name]; dup {
 		return fmt.Errorf("pe: workflow %q already deployed", w.Name)
+	}
+	// Border streams must have exactly one consuming border SP across
+	// ALL deployed workflows: ingest routes a batch to the stream's
+	// border SP, and two candidates would make the winner
+	// nondeterministic per process. Check before mutating any
+	// registration state so a rejected deploy leaves no trace.
+	newBorder := make(map[string]borderReg)
+	for _, sp := range w.Border() {
+		n, ok := w.Node(sp)
+		if !ok {
+			continue
+		}
+		key := strings.ToLower(n.Input)
+		if prev, dup := e.borderBy[key]; dup {
+			return fmt.Errorf("pe: stream %q is consumed by border SP %s (workflow %s) and border SP %s (workflow %s); a border stream must have exactly one consumer",
+				n.Input, prev.sp, prev.workflow, sp, w.Name)
+		}
+		if prev, dup := newBorder[key]; dup {
+			return fmt.Errorf("pe: stream %q is consumed by border SP %s and border SP %s in workflow %s; a border stream must have exactly one consumer",
+				n.Input, prev.sp, sp, w.Name)
+		}
+		newBorder[key] = borderReg{sp: sp, workflow: w.Name}
 	}
 	for _, n := range w.Nodes() {
 		if _, ok := e.procs[n.SP]; !ok {
@@ -381,8 +426,18 @@ func (e *Engine) DeployWorkflow(w *workflow.Workflow) error {
 			}
 		}
 	}
+	for key, reg := range newBorder {
+		e.borderBy[key] = reg
+	}
 	e.workflows[w.Name] = w
 	return nil
+}
+
+// borderReg records which border SP (and workflow) consumes a border
+// stream.
+type borderReg struct {
+	sp       string
+	workflow string
 }
 
 // wrapPartition maps an arbitrary routing result into [0, n), wrapping
@@ -566,16 +621,11 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 	return reply, nil
 }
 
-// borderConsumer finds the border SP consuming a stream.
+// borderConsumer finds the border SP consuming a stream. The mapping
+// is registered (and checked unambiguous) at DeployWorkflow, so the
+// answer is deterministic — unlike the map iteration it replaced.
 func (e *Engine) borderConsumer(streamKey string) string {
-	for _, w := range e.workflows {
-		for _, sp := range w.Border() {
-			if n, ok := w.Node(sp); ok && strings.ToLower(n.Input) == streamKey {
-				return sp
-			}
-		}
-	}
-	return ""
+	return e.borderBy[streamKey].sp
 }
 
 // Drain waits until every partition's queue is empty and the last task
@@ -590,14 +640,40 @@ func (e *Engine) Drain() error {
 	return nil
 }
 
-// AdHoc runs a single SQL statement as its own transaction on the
-// given partition; intended for tests, examples, and inspection.
+// AdHoc runs a single ad-hoc SQL statement on the given partition;
+// intended for tests, examples, and inspection.
+//
+// Read-only statements (SELECTs) are served from the snapshot read
+// path: a view pinned at the current commit boundary, off the
+// partition scheduler queue, so inspection never steals throughput
+// from the streaming write path. DDL and writes still run as control
+// work on the partition goroutine — but ad-hoc writes are rejected
+// when command logging is enabled, because they would commit without a
+// log record and silently vanish on recovery; route durable writes
+// through a registered stored procedure instead.
 func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Result, error) {
 	if pid < 0 || pid >= len(e.parts) {
 		return nil, fmt.Errorf("pe: no partition %d", pid)
 	}
+	readOnly, ddl, err := ee.Classify(stmtText)
+	if err != nil {
+		return nil, err
+	}
+	if readOnly {
+		return e.Read(pid, stmtText, params...)
+	}
+	if !ddl && e.logs != nil {
+		return nil, fmt.Errorf(
+			"pe: ad-hoc write %q rejected: command logging is enabled and ad-hoc transactions are not logged, so the write would vanish on recovery; use a registered stored procedure", stmtText)
+	}
 	var out *ee.Result
-	err := e.onPartition(e.parts[pid], func(p *partition) error {
+	err = e.onPartition(e.parts[pid], func(p *partition) error {
+		if ddl {
+			// Exclude off-loop plan compilation while the catalog and
+			// index lists change.
+			p.ddlMu.Lock()
+			defer p.ddlMu.Unlock()
+		}
 		p.nextTxn++
 		tx := txn.New(p.nextTxn)
 		ectx := &ee.ExecCtx{Txn: tx}
@@ -609,15 +685,23 @@ func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Res
 		if err := tx.Commit(); err != nil {
 			return err
 		}
+		if ddl {
+			p.invalidateReadPlans()
+		}
 		out = res
 		return nil
 	})
 	return out, err
 }
 
-// QueueDepth returns the number of queued tasks on a partition.
-func (e *Engine) QueueDepth(partition int) int {
-	return e.parts[partition].sched.Len()
+// QueueDepth returns the number of queued tasks on a partition. Like
+// its siblings Tables/AdHoc it validates the partition id instead of
+// panicking on an out-of-range index.
+func (e *Engine) QueueDepth(partition int) (int, error) {
+	if partition < 0 || partition >= len(e.parts) {
+		return 0, fmt.Errorf("pe: no partition %d", partition)
+	}
+	return e.parts[partition].sched.Len(), nil
 }
 
 // TableInfo describes one catalog entry for introspection.
@@ -628,24 +712,30 @@ type TableInfo struct {
 	Schema string
 }
 
-// Tables lists a partition's catalog in name order.
+// Tables lists a partition's catalog in name order. It reads through a
+// pinned view — every row count reflects one commit boundary, and the
+// listing never enters the partition scheduler queue.
 func (e *Engine) Tables(pid int) ([]TableInfo, error) {
-	if pid < 0 || pid >= len(e.parts) {
-		return nil, fmt.Errorf("pe: no partition %d", pid)
+	v, err := e.ReadView(pid)
+	if err != nil {
+		return nil, err
 	}
+	defer v.Close()
 	var out []TableInfo
-	err := e.onPartition(e.parts[pid], func(p *partition) error {
-		for _, t := range p.cat.Tables() {
-			out = append(out, TableInfo{
-				Name:   t.Name(),
-				Kind:   t.Kind().String(),
-				Rows:   t.ActiveLen(),
-				Schema: t.Schema().String(),
-			})
+	for _, name := range v.part.cat.Names() {
+		t, release, err := v.view.Table(name)
+		if err != nil {
+			return nil, err
 		}
-		return nil
-	})
-	return out, err
+		out = append(out, TableInfo{
+			Name:   t.Name(),
+			Kind:   t.Kind().String(),
+			Rows:   t.ActiveLen(),
+			Schema: t.Schema().String(),
+		})
+		release()
+	}
+	return out, nil
 }
 
 // SPExecutions returns the number of committed TEs of one stored

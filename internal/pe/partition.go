@@ -3,6 +3,7 @@ package pe
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"sstore/internal/ee"
 	"sstore/internal/storage"
@@ -20,6 +21,19 @@ type partition struct {
 	cat   *storage.Catalog
 	exec  *ee.Executor
 	sched *scheduler
+	// views is the snapshot read path's registry: the run loop
+	// brackets every task so views pin on commit boundaries, and
+	// tables detach copy-on-write images for pinned readers.
+	views *storage.Views
+	// readMu guards the off-loop read-plan cache.
+	readMu    sync.Mutex
+	readPlans map[string]*ee.ReadPlan
+	// ddlMu serializes runtime DDL (and maintained-aggregate
+	// registration) against off-loop plan compilation: compilation
+	// reads table index lists and aggregate registrations from
+	// arbitrary goroutines, which a CREATE INDEX / CREATE TABLE task
+	// would otherwise mutate under its feet.
+	ddlMu sync.RWMutex
 
 	nextTxn  uint64
 	executed uint64
@@ -49,6 +63,8 @@ func newPartition(id int, eng *Engine) *partition {
 		cat:       cat,
 		exec:      ee.NewExecutor(cat),
 		sched:     newScheduler(),
+		views:     storage.NewViews(cat),
+		readPlans: make(map[string]*ee.ReadPlan),
 		execBySP:  make(map[string]uint64),
 		pendingGC: make(map[gcKey]int),
 		insertSQL: make(map[string]string),
@@ -68,7 +84,12 @@ func (p *partition) run() {
 		if !ok {
 			return
 		}
+		// Bracket the task for the snapshot read path: views pin only
+		// between tasks, so they never see a half-executed (or not yet
+		// rolled back) transaction.
+		p.views.BeginTask()
 		p.execute(t)
+		p.views.EndTask()
 		if p.sched.track != nil {
 			p.sched.track.done()
 		}

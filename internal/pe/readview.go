@@ -1,0 +1,153 @@
+package pe
+
+import (
+	"fmt"
+
+	"sstore/internal/ee"
+	"sstore/internal/storage"
+	"sstore/internal/types"
+)
+
+// This file is the snapshot read path (ISSUE 5): read-only statements
+// execute against a consistent per-partition read view without ever
+// entering the partition scheduler queue. A view pins at a commit
+// boundary (waiting out at most the task currently executing — never
+// the queue behind it); reads then resolve each table to the live heap
+// or a copy-on-write image (see internal/storage/views.go) and run the
+// compiled plan off-loop. Maintained window aggregates are captured at
+// pin time, so aggregate inspection is O(1) and steals nothing from
+// the streaming write path.
+
+// ReadView is a pinned, transaction-consistent snapshot of one
+// partition. It is safe for concurrent Query calls; Close releases the
+// copy-on-write images it pins. A view never observes rows committed
+// after its pin, and never observes any aborted transaction's rows —
+// pins land only on commit boundaries.
+type ReadView struct {
+	part *partition
+	view *storage.ReadView
+}
+
+// ReadView pins a read view on a partition at the current commit
+// boundary. The pin does not enqueue on the partition scheduler: it
+// waits (off-queue) for the in-flight task only, so reads stay
+// responsive even when thousands of writes are queued.
+func (e *Engine) ReadView(pid int) (*ReadView, error) {
+	if pid < 0 || pid >= len(e.parts) {
+		return nil, fmt.Errorf("pe: no partition %d", pid)
+	}
+	p := e.parts[pid]
+	return &ReadView{part: p, view: p.views.Pin()}, nil
+}
+
+// Close releases the view. Idempotent.
+func (v *ReadView) Close() { v.view.Close() }
+
+// Epoch returns the commit boundary (completed-task count) the view is
+// pinned at; later views on the same partition have equal or larger
+// epochs.
+func (v *ReadView) Epoch() uint64 { return v.view.Epoch() }
+
+// Query executes one read-only statement against the view. Statements
+// matching a maintained window aggregate are served from the values
+// captured at pin time (O(1) in window size); everything else runs the
+// compiled plan over the resolved tables. Non-SELECT statements fail
+// with an error matching ee.ErrNotReadOnly.
+func (v *ReadView) Query(stmt string, params ...types.Value) (*ee.Result, error) {
+	plan, err := v.part.readPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if table, refs, ok := plan.Maintained(); ok {
+		if t, exists := v.part.cat.Lookup(table); exists &&
+			t.Kind() == storage.KindWindow && t.OwnerSP != "" {
+			return nil, fmt.Errorf("ee: window %s is private to stored procedure %s (accessed from read view)", table, t.OwnerSP)
+		}
+		vals := make([]types.Value, len(refs))
+		for i, r := range refs {
+			val, ok := v.view.MaintainedValue(table, r.Fn, r.Col)
+			if !ok {
+				return nil, fmt.Errorf("pe: view captured no maintained %s over %s", r.Fn, table)
+			}
+			vals[i] = val
+		}
+		return plan.RunMaintained(vals, params)
+	}
+	// Resolve every referenced table to its boundary state and run the
+	// plan over an ephemeral catalog of the resolved tables.
+	cat := storage.NewCatalog()
+	releases := make([]func(), 0, len(plan.Tables()))
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	for _, name := range plan.Tables() {
+		t, release, err := v.view.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		releases = append(releases, release)
+		if err := cat.Create(t); err != nil {
+			return nil, err
+		}
+	}
+	return plan.Run(cat, params)
+}
+
+// Read pins a view, runs one read-only statement, and releases the
+// view: the one-shot form of ReadView + Query + Close. It never enters
+// the partition scheduler queue.
+func (e *Engine) Read(pid int, stmt string, params ...types.Value) (*ee.Result, error) {
+	v, err := e.ReadView(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	return v.Query(stmt, params...)
+}
+
+// readPlan compiles (or returns the cached) read-only plan for a
+// statement. The cache is per partition and guarded by readMu; plans
+// themselves are immutable and shared across concurrent readers.
+// Compilation reads catalog schemas, which — like all DDL — are fixed
+// before traffic starts.
+func (p *partition) readPlan(text string) (*ee.ReadPlan, error) {
+	// Lock order is ddlMu → readMu everywhere: the DDL paths hold
+	// ddlMu exclusively and then invalidate this cache (readMu), so
+	// taking them in the opposite order here would deadlock. Holding
+	// ddlMu across the compile also excludes runtime DDL from mutating
+	// index lists and aggregate registrations mid-compilation.
+	p.ddlMu.RLock()
+	defer p.ddlMu.RUnlock()
+	p.readMu.Lock()
+	defer p.readMu.Unlock()
+	if pl, ok := p.readPlans[text]; ok {
+		return pl, nil
+	}
+	pl, err := ee.CompileReadOnly(text, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	// The cache is keyed by raw statement text and fed by network
+	// clients (OpQuery): bound it so a client inlining literals cannot
+	// grow it without limit. Plans are cheap to recompile, so a full
+	// cache simply resets.
+	if len(p.readPlans) >= maxReadPlans {
+		p.readPlans = make(map[string]*ee.ReadPlan)
+	}
+	p.readPlans[text] = pl
+	return pl, nil
+}
+
+// maxReadPlans bounds the per-partition read-plan cache.
+const maxReadPlans = 4096
+
+// invalidateReadPlans drops the read-plan cache; DDL and maintained-
+// aggregate registration call it so stale probe/maintained decisions
+// never outlive the catalog change.
+func (p *partition) invalidateReadPlans() {
+	p.readMu.Lock()
+	p.readPlans = make(map[string]*ee.ReadPlan)
+	p.readMu.Unlock()
+}

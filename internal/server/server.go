@@ -235,6 +235,31 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 				ID: req.ID, Op: req.Op, Status: wire.StatusOK, BatchID: req.BatchID,
 			})
 		}()
+	case wire.OpQuery:
+		// The snapshot read path: the query pins a consistent view off
+		// the partition loop, so it is dispatched straight from a
+		// goroutine — it never occupies a scheduler slot and cannot be
+		// rejected by queue-depth backpressure.
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			res, err := s.eng.Read(req.Partition, req.SQL, req.Params...)
+			if err != nil {
+				out <- errFrame(req, err)
+				return
+			}
+			resp := &wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+			if res != nil {
+				resp.Columns = res.Columns
+				resp.Rows = res.Rows
+			}
+			frame := wire.AppendResponse(nil, resp)
+			if len(frame)-4 > wire.MaxFrame {
+				frame = errFrame(req, fmt.Errorf(
+					"server: result of %d bytes exceeds frame limit %d", len(frame)-4, wire.MaxFrame))
+			}
+			out <- frame
+		}()
 	case wire.OpStats:
 		st := s.eng.Stats()
 		out <- wire.AppendResponse(nil, &wire.Response{

@@ -326,3 +326,108 @@ func TestByFirstIntRouting(t *testing.T) {
 		t.Errorf("RouteCall = %d, want 2", got)
 	}
 }
+
+// TestServedQuerySnapshotReads drives the OpQuery path end to end:
+// Client.Query serves consistent reads off the partition loop while
+// ingest traffic runs, writes are refused, and bad partitions error
+// without killing the pipelined connection.
+func TestServedQuerySnapshotReads(t *testing.T) {
+	app := PipelineApp()
+	eng, err := pe.NewEngine(pe.Options{
+		Partitions:  2,
+		PartitionBy: app.PartitionBy,
+		RouteCall:   app.RouteCall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	addr := serve(t, eng)
+	c := dial(t, addr)
+
+	// Sensor 1 routes to partition 1.
+	for b := int64(1); b <= 10; b++ {
+		err := c.Ingest("raw_readings", &sstore.Batch{
+			ID:   b,
+			Rows: []sstore.Row{{sstore.Int(1), sstore.Int(b)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(1, "SELECT n, total FROM averages WHERE sensor = ?", sstore.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 10 || res.Rows[0][1].Int() != 55 {
+		t.Errorf("query read %v, want [[10 55]]", res.Rows)
+	}
+	if len(res.Columns) != 2 {
+		t.Errorf("columns %v", res.Columns)
+	}
+	// Writes are rejected on the read path...
+	if _, err := c.Query(1, "DELETE FROM averages"); err == nil {
+		t.Error("write accepted on the query path")
+	}
+	// ...and a bad partition errors without desynchronizing the
+	// connection.
+	if _, err := c.Query(99, "SELECT n FROM averages"); err == nil {
+		t.Error("query on partition 99 should error")
+	}
+	res, err = c.Query(1, "SELECT n FROM averages WHERE sensor = ?", sstore.Int(1))
+	if err != nil {
+		t.Fatalf("connection unusable after query errors: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 10 {
+		t.Errorf("follow-up query read %v", res.Rows)
+	}
+}
+
+// TestServedQueryNotRejectedByBackpressure: queries bypass the
+// scheduler queue, so a full queue rejects ingest but keeps serving
+// reads.
+func TestServedQueryNotRejectedByBackpressure(t *testing.T) {
+	app := PipelineApp()
+	eng, err := pe.NewEngine(pe.Options{
+		Partitions:    1,
+		PartitionBy:   app.PartitionBy,
+		RouteCall:     app.RouteCall,
+		MaxQueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	addr := serve(t, eng)
+	c := dial(t, addr)
+	// Saturate the queue: fire-and-forget ingests until one rejects.
+	var sawOverload atomic.Bool
+	for b := int64(1); b <= 200 && !sawOverload.Load(); b++ {
+		ch, err := c.IngestAsync("raw_readings", &sstore.Batch{
+			ID:   b,
+			Rows: []sstore.Row{{sstore.Int(0), sstore.Int(b)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			if err := <-ch; err != nil && errors.Is(err, sstore.ErrOverloaded) {
+				sawOverload.Store(true)
+			}
+		}()
+		// Reads keep working regardless of queue depth.
+		if _, err := c.Query(0, "SELECT COUNT(*) FROM averages"); err != nil {
+			t.Fatalf("query failed under backpressure: %v", err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

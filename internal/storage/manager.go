@@ -4,15 +4,25 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sstore/internal/types"
 )
 
 // Catalog owns every table of one partition. Names are
-// case-insensitive. Like Table, it is confined to its partition's
-// executor goroutine and takes no locks.
+// case-insensitive. Tables themselves are mutated only under the
+// partition discipline (serial goroutine + the read-view latch
+// protocol), but the name→table map is additionally guarded by a
+// read/write mutex: the snapshot read path resolves and compiles
+// against the catalog from arbitrary goroutines, and runtime DDL
+// (an ad-hoc CREATE) writes the map from the partition goroutine.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
+	// views, when non-nil, is the partition's read-view registry;
+	// every table created through the catalog joins its copy-on-write
+	// protocol.
+	views *Views
 }
 
 // NewCatalog returns an empty catalog.
@@ -22,17 +32,47 @@ func NewCatalog() *Catalog {
 
 // Create registers a table. It fails if the name is taken.
 func (c *Catalog) Create(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name())
 	if _, exists := c.tables[key]; exists {
 		return fmt.Errorf("storage: table %q already exists", t.Name())
+	}
+	// Adopt the catalog's view registry, but never clobber an existing
+	// hook: ephemeral catalogs (a read view's resolved tables) have no
+	// registry of their own and must not detach a live table from its
+	// partition's copy-on-write protocol.
+	if c.views != nil {
+		t.views = c.views
 	}
 	c.tables[key] = t
 	return nil
 }
 
+// setViews attaches a read-view registry; existing tables join the
+// copy-on-write protocol retroactively.
+func (c *Catalog) setViews(v *Views) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views = v
+	for _, t := range c.tables {
+		t.views = v
+	}
+}
+
+// forEach visits every table under the read lock; fn must not call
+// back into the catalog.
+func (c *Catalog) forEach(fn func(key string, t *Table)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for key, t := range c.tables {
+		fn(key, t)
+	}
+}
+
 // Get returns the named table, or an error mentioning the name.
 func (c *Catalog) Get(name string) (*Table, error) {
-	t, ok := c.tables[strings.ToLower(name)]
+	t, ok := c.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("storage: no such table %q", name)
 	}
@@ -41,12 +81,16 @@ func (c *Catalog) Get(name string) (*Table, error) {
 
 // Lookup returns the named table and whether it exists.
 func (c *Catalog) Lookup(name string) (*Table, bool) {
+	c.mu.RLock()
 	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
 	return t, ok
 }
 
 // Drop removes a table.
 func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := c.tables[key]; !ok {
 		return fmt.Errorf("storage: no such table %q", name)
@@ -57,10 +101,12 @@ func (c *Catalog) Drop(name string) error {
 
 // Names returns all table names in sorted order.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for _, t := range c.tables {
 		names = append(names, t.Name())
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }

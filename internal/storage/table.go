@@ -8,6 +8,8 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sstore/internal/index"
 	"sstore/internal/types"
@@ -96,6 +98,30 @@ type Table struct {
 	// executions of this stored procedure may touch the table
 	// (§3.2.2). Empty means unrestricted.
 	OwnerSP string
+
+	// views, when non-nil, is the partition's read-view registry
+	// (snapshot read path); mutations notify it so pinned views get a
+	// copy-on-write image before the live heap changes.
+	views *Views
+	// liveTask is the number of the task that last mutated this table:
+	// the live heap equals the boundary-E state for every E ≥ liveTask.
+	liveTask atomic.Uint64
+	// latch serializes off-loop readers of the live heap against the
+	// writer's copy-on-write detach barrier. Writers take it only on a
+	// task's first mutation of a pinned table; readers hold RLock for
+	// the duration of one statement.
+	latch sync.RWMutex
+}
+
+// beforeMutate is the copy-on-write hook called at the top of every
+// mutating operation. The fast path — same task already mutated this
+// table, or no view registry attached — is two atomic loads.
+func (t *Table) beforeMutate() {
+	v := t.views
+	if v == nil || t.liveTask.Load() == v.curTask.Load() {
+		return
+	}
+	v.beforeMutate(t)
 }
 
 // NewTable creates an empty table of the given kind.
@@ -133,8 +159,13 @@ func (t *Table) ActiveLen() int {
 	return len(t.rows) - t.window.staged.Len()
 }
 
-// AddIndex attaches an index and backfills it from existing rows.
+// AddIndex attaches an index and backfills it from existing rows. It
+// participates in the copy-on-write protocol like a row mutation:
+// open views that resolved the table live get an image (without the
+// new index — their pinned boundary predates it) before the index
+// list changes.
 func (t *Table) AddIndex(idx index.Index) error {
+	t.beforeMutate()
 	for _, name := range t.indexNames() {
 		if name == idx.Name() {
 			return fmt.Errorf("storage: table %s already has index %s", t.name, name)
@@ -195,6 +226,7 @@ func (t *Table) extractKey(idx index.Index, row types.Row) index.Key {
 // tables the row enters staged and the window may slide; the returned
 // InsertResult reports what happened so the caller can fire triggers.
 func (t *Table) Insert(row types.Row, batchID int64, undo Undo) (InsertResult, error) {
+	t.beforeMutate()
 	row, err := t.schema.Validate(row)
 	if err != nil {
 		return InsertResult{}, fmt.Errorf("storage: insert into %s: %w", t.name, err)
@@ -250,6 +282,7 @@ func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, err
 // metadata; used by transaction rollback and snapshot load. The TID
 // counter is bumped past the restored TID.
 func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
+	t.beforeMutate()
 	if _, exists := t.rows[meta.TID]; exists {
 		return fmt.Errorf("storage: restore of live tid %d in %s", meta.TID, t.name)
 	}
@@ -287,6 +320,7 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 // Delete removes the row with the given TID, returning its former
 // contents.
 func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
+	t.beforeMutate()
 	r, ok := t.rows[tid]
 	if !ok {
 		return nil, fmt.Errorf("storage: delete of missing tid %d in %s", tid, t.name)
@@ -315,6 +349,7 @@ func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 // It is implemented as delete+insert on the indexes but keeps the TID
 // stable.
 func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
+	t.beforeMutate()
 	r, ok := t.rows[tid]
 	if !ok {
 		return fmt.Errorf("storage: update of missing tid %d in %s", tid, t.name)
@@ -417,6 +452,7 @@ func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
 // pushes the back of active, both O(1); rollback re-staging pops the
 // back of active and pushes the front of staged, also O(1).
 func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
+	t.beforeMutate()
 	r, ok := t.rows[tid]
 	if !ok || r.meta.Staged == staged {
 		return
@@ -466,6 +502,7 @@ func (t *Table) maybeCompact() {
 // phase, slide count, deques, and maintained-aggregate accumulators —
 // so a truncated window resumes from scratch, not mid-phase.
 func (t *Table) Truncate() {
+	t.beforeMutate()
 	t.rows = make(map[uint64]storedRow)
 	t.order = t.order[:0]
 	t.tombs = make(map[uint64]struct{})

@@ -1,0 +1,384 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sstore/internal/types"
+)
+
+// This file is the snapshot read path's storage half: per-partition
+// read views that observe a transaction-consistent commit boundary
+// without entering the partition's scheduler queue.
+//
+// The protocol is copy-on-write at table granularity, paid by writers
+// and only while a reader is pinned:
+//
+//   - The partition goroutine brackets every task with BeginTask /
+//     EndTask; the count of completed tasks is the partition's commit
+//     boundary ("epoch"). Pin blocks — off the queue, on a condition
+//     variable — until no task is mid-flight, so a view's epoch is
+//     always a real boundary: all effects of tasks ≤ epoch, nothing
+//     from later tasks, and never a half-executed transaction.
+//   - Every table carries liveTask, the number of the task that last
+//     mutated it. The live heap is exactly the boundary-E state for
+//     any E ≥ liveTask, so a view at such an E reads the live table
+//     directly (under a short read latch).
+//   - A task's first mutation of a table (Table.beforeMutate) checks,
+//     once per table per task, whether an open view still needs the
+//     live state. If so it detaches an immutable image — a copy of the
+//     table covering boundaries [liveTask, current] — and only then
+//     mutates. With no views open the check is two atomic loads on
+//     the hot path and one uncontended mutex on the first mutation per
+//     table per task: the write path pays ~nothing when nobody reads.
+//
+// Images are shared by every view whose epoch falls in their range and
+// garbage-collected as views close. Maintained window aggregates are
+// captured by value at pin time (O(#aggregates)), so aggregate reads
+// never touch the live window at all — the O(1) read path.
+
+// tableImage is one detached copy-on-write image: the state of a table
+// for every commit boundary in [from, to].
+type tableImage struct {
+	from, to uint64
+	tbl      *Table
+}
+
+// AggCapture is one maintained window aggregate's value captured at a
+// view's pin boundary.
+type AggCapture struct {
+	Fn  AggFunc
+	Col int
+	Val types.Value
+}
+
+// Views is one partition's read-view registry. The partition goroutine
+// drives BeginTask/EndTask; Pin and view reads may run on any
+// goroutine.
+type Views struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cat  *Catalog
+
+	// epoch counts completed tasks; it is the current commit boundary.
+	epoch  uint64
+	inTask bool
+	// pinTicket/pinServed implement bounded boundary handoff: a pin
+	// takes a ticket on arrival, and BeginTask waits for every ticket
+	// issued before it to be served. Without this, back-to-back tasks
+	// re-acquire the mutex faster than a condvar waiter can wake, and
+	// pins starve; with it, a pin is served at the first commit
+	// boundary after its arrival, while pins arriving after BeginTask
+	// wait for the next boundary — so readers cannot starve the write
+	// path either.
+	pinTicket uint64
+	pinServed uint64
+
+	// curTask is epoch+1 while a task runs; Table.beforeMutate's
+	// lock-free fast path compares it against the table's liveTask.
+	curTask atomic.Uint64
+
+	views  map[*ReadView]struct{}
+	images map[string][]*tableImage
+}
+
+// NewViews creates a registry over a catalog and wires the catalog so
+// every current and future table participates in the copy-on-write
+// protocol.
+func NewViews(cat *Catalog) *Views {
+	v := &Views{
+		cat:    cat,
+		views:  make(map[*ReadView]struct{}),
+		images: make(map[string][]*tableImage),
+	}
+	v.cond = sync.NewCond(&v.mu)
+	cat.setViews(v)
+	return v
+}
+
+// BeginTask marks the start of one task on the partition goroutine,
+// first letting every pin that arrived before it take the current
+// boundary.
+func (v *Views) BeginTask() {
+	v.mu.Lock()
+	for grace := v.pinTicket; v.pinServed < grace; {
+		v.cond.Wait()
+	}
+	v.inTask = true
+	v.curTask.Store(v.epoch + 1)
+	v.mu.Unlock()
+}
+
+// EndTask publishes the task's commit boundary and wakes pinners.
+func (v *Views) EndTask() {
+	v.mu.Lock()
+	v.epoch++
+	v.inTask = false
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// Pin opens a read view at the current commit boundary. It waits — on
+// a condition variable, never in the scheduler queue — for at most the
+// task currently executing, not for the queue behind it. Maintained
+// window aggregates are captured by value so aggregate reads off this
+// view are O(1) and never touch the live window.
+func (v *Views) Pin() *ReadView {
+	v.mu.Lock()
+	v.pinTicket++
+	for v.inTask {
+		v.cond.Wait()
+	}
+	rv := &ReadView{reg: v, epoch: v.epoch}
+	v.cat.forEach(func(key string, t *Table) {
+		aggs := t.MaintainedAggregates()
+		if len(aggs) == 0 {
+			return
+		}
+		caps := make([]AggCapture, 0, len(aggs))
+		for _, a := range aggs {
+			// Safe to read (and, for a dirty MIN/MAX, rescan) here: the
+			// registry lock holds off BeginTask, so no task is mutating,
+			// and concurrent pins serialize on the same lock.
+			val, _ := t.MaintainedAggregate(a.Fn(), a.Col())
+			caps = append(caps, AggCapture{Fn: a.Fn(), Col: a.Col(), Val: val})
+		}
+		if rv.aggs == nil {
+			rv.aggs = make(map[string][]AggCapture)
+		}
+		rv.aggs[key] = caps
+	})
+	v.views[rv] = struct{}{}
+	v.pinServed++
+	v.cond.Broadcast()
+	v.mu.Unlock()
+	return rv
+}
+
+// beforeMutate runs on a task's first mutation of a table (the fast
+// path in Table.beforeMutate already filtered repeats). If an open
+// view's epoch still resolves to the live heap, the pre-mutation state
+// is detached as an immutable image first. The latch write-lock
+// barrier flushes out any reader mid-scan on the live heap: after it,
+// every reader re-resolves and lands on the image.
+func (v *Views) beforeMutate(t *Table) {
+	v.mu.Lock()
+	task := v.curTask.Load()
+	lt := t.liveTask.Load()
+	if lt == task {
+		// Another goroutine of the same task (checkpoint grounding)
+		// already handled this table.
+		v.mu.Unlock()
+		return
+	}
+	need := false
+	for rv := range v.views {
+		if rv.epoch >= lt {
+			need = true
+			break
+		}
+	}
+	if need {
+		key := lowerKey(t.name)
+		v.images[key] = append(v.images[key], &tableImage{from: lt, to: v.epoch, tbl: t.cloneForRead()})
+	}
+	t.liveTask.Store(task)
+	v.mu.Unlock()
+	// Barrier: wait out readers that resolved to the live heap before
+	// liveTask advanced. New readers see the bumped liveTask after
+	// RLock and re-resolve to the image.
+	t.latch.Lock()
+	t.latch.Unlock() //nolint:staticcheck // empty critical section is the barrier
+}
+
+func (v *Views) findImage(key string, epoch uint64) *Table {
+	for _, img := range v.images[key] {
+		if img.from <= epoch && epoch <= img.to {
+			return img.tbl
+		}
+	}
+	return nil
+}
+
+// close unregisters a view and drops images no remaining view can
+// reach.
+func (v *Views) close(rv *ReadView) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rv.closed {
+		return
+	}
+	rv.closed = true
+	delete(v.views, rv)
+	if len(v.views) == 0 {
+		v.images = make(map[string][]*tableImage)
+		return
+	}
+	min := uint64(0)
+	first := true
+	for o := range v.views {
+		if first || o.epoch < min {
+			min, first = o.epoch, false
+		}
+	}
+	for key, imgs := range v.images {
+		keep := imgs[:0]
+		for _, img := range imgs {
+			if img.to >= min {
+				keep = append(keep, img)
+			}
+		}
+		if len(keep) == 0 {
+			delete(v.images, key)
+		} else {
+			v.images[key] = keep
+		}
+	}
+}
+
+// ReadView is a pinned, transaction-consistent snapshot of one
+// partition at a commit boundary. It is safe for concurrent use; Close
+// releases the images it pins.
+type ReadView struct {
+	reg    *Views
+	epoch  uint64
+	aggs   map[string][]AggCapture
+	closed bool
+}
+
+// Epoch returns the commit boundary (completed-task count) the view is
+// pinned at.
+func (rv *ReadView) Epoch() uint64 { return rv.epoch }
+
+// Close releases the view. Idempotent.
+func (rv *ReadView) Close() { rv.reg.close(rv) }
+
+// Table resolves a table to the state at the view's boundary: the live
+// heap when nothing mutated it since the pin, else the copy-on-write
+// image detached by the first later writer. The returned release
+// function must be called when the caller is done reading (it drops
+// the live-heap read latch; a no-op for images).
+func (rv *ReadView) Table(name string) (*Table, func(), error) {
+	v := rv.reg
+	v.mu.Lock()
+	t, ok := v.cat.Lookup(name)
+	if !ok {
+		v.mu.Unlock()
+		return nil, nil, fmt.Errorf("storage: no such table %q", name)
+	}
+	for {
+		if t.liveTask.Load() <= rv.epoch {
+			v.mu.Unlock()
+			t.latch.RLock()
+			if t.liveTask.Load() <= rv.epoch {
+				latch := &t.latch
+				return t, func() { latch.RUnlock() }, nil
+			}
+			// A writer detached an image between resolve and latch;
+			// re-resolve — the image exists now.
+			t.latch.RUnlock()
+			v.mu.Lock()
+			continue
+		}
+		img := v.findImage(lowerKey(name), rv.epoch)
+		v.mu.Unlock()
+		if img == nil {
+			// Unreachable by construction: liveTask only advances past
+			// an open view's epoch after detaching an image covering it.
+			return nil, nil, fmt.Errorf("storage: view at boundary %d lost table %s", rv.epoch, name)
+		}
+		return img, func() {}, nil
+	}
+}
+
+// MaintainedValue returns the pin-time value of a maintained window
+// aggregate, or false when the (table, fn, col) aggregate is not
+// registered.
+func (rv *ReadView) MaintainedValue(table string, fn AggFunc, col int) (types.Value, bool) {
+	for _, c := range rv.aggs[lowerKey(table)] {
+		if c.Fn == fn && c.Col == col {
+			return c.Val, true
+		}
+	}
+	return types.Null, false
+}
+
+// cloneForRead detaches an immutable image of the table: rows, arrival
+// order, tombstones, indexes, and window bookkeeping are copied;
+// schema and row payloads are shared (the engine treats both as
+// immutable). The clone has no view hook and a fresh latch — nothing
+// ever mutates it.
+func (t *Table) cloneForRead() *Table {
+	c := &Table{
+		name:    t.name,
+		kind:    t.kind,
+		schema:  t.schema,
+		rows:    make(map[uint64]storedRow, len(t.rows)),
+		order:   append([]uint64(nil), t.order...),
+		tombs:   make(map[uint64]struct{}, len(t.tombs)),
+		nextTID: t.nextTID,
+		OwnerSP: t.OwnerSP,
+	}
+	for tid, r := range t.rows {
+		c.rows[tid] = r
+	}
+	for tid := range t.tombs {
+		c.tombs[tid] = struct{}{}
+	}
+	for _, idx := range t.indexes {
+		c.indexes = append(c.indexes, idx.Clone())
+	}
+	if t.window != nil {
+		c.window = t.window.cloneForRead()
+	}
+	return c
+}
+
+// cloneForRead copies a window's scalar state, deques, and maintained
+// aggregate accumulators.
+func (w *WindowState) cloneForRead() *WindowState {
+	c := &WindowState{
+		Spec:         w.Spec,
+		filled:       w.filled,
+		start:        w.start,
+		started:      w.started,
+		slides:       w.slides,
+		maxTS:        w.maxTS,
+		maxTSSet:     w.maxTSSet,
+		timeDisorder: w.timeDisorder,
+		active:       w.active.clone(),
+		staged:       w.staged.clone(),
+	}
+	for _, a := range w.aggs {
+		c.aggs = append(c.aggs, &WindowAggregate{fn: a.fn, col: a.col, state: a.state})
+	}
+	return c
+}
+
+// clone copies the deque's buffer.
+func (d *tidDeque) clone() tidDeque {
+	return tidDeque{buf: append([]uint64(nil), d.buf...), head: d.head, n: d.n}
+}
+
+// lowerKey mirrors the catalog's case-insensitive keying without
+// allocating for already-lower names.
+func lowerKey(s string) string {
+	lower := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

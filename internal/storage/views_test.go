@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"sstore/internal/index"
+	"sstore/internal/types"
+)
+
+func viewFixture(t *testing.T) (*Catalog, *Views, *Table) {
+	t.Helper()
+	cat := NewCatalog()
+	v := NewViews(cat)
+	schema, err := types.NewSchema(types.Column{Name: "v", Kind: types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("t", KindTable, schema)
+	if err := tbl.AddIndex(index.NewHashIndex("t_v", []int{0}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Create(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat, v, tbl
+}
+
+// runTask simulates one partition task executing fn.
+func runTask(v *Views, fn func()) {
+	v.BeginTask()
+	fn()
+	v.EndTask()
+}
+
+func rowCount(t *testing.T, tbl *Table) int {
+	t.Helper()
+	n := 0
+	tbl.Scan(func(TupleMeta, types.Row) bool { n++; return true })
+	return n
+}
+
+// TestViewPinsBoundaryAndDetachesImage: a pinned view keeps the
+// boundary state across later mutations; a fresh pin sees the new
+// state; closing the last view drops the images.
+func TestViewPinsBoundaryAndDetachesImage(t *testing.T) {
+	_, v, tbl := viewFixture(t)
+	runTask(v, func() {
+		if _, err := tbl.Insert(types.Row{types.NewInt(1)}, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rv := v.Pin()
+	defer rv.Close()
+	if rv.Epoch() != 1 {
+		t.Fatalf("epoch %d, want 1", rv.Epoch())
+	}
+	// Live resolution before any post-pin write.
+	got, release, err := rv.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tbl {
+		t.Error("pre-write resolution should be the live table")
+	}
+	if rowCount(t, got) != 1 {
+		t.Errorf("view rows = %d, want 1", rowCount(t, got))
+	}
+	release()
+	// A later task mutates: the view must switch to an image with the
+	// old state; a fresh view sees the new state live.
+	runTask(v, func() {
+		if _, err := tbl.Insert(types.Row{types.NewInt(2)}, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got, release, err = rv.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == tbl {
+		t.Error("post-write resolution should be an image, not the live table")
+	}
+	if rowCount(t, got) != 1 {
+		t.Errorf("image rows = %d, want 1", rowCount(t, got))
+	}
+	// The image's cloned index answers probes for the old state.
+	if ids := got.Indexes()[0].Lookup(index.Key{types.NewInt(1)}); len(ids) != 1 {
+		t.Errorf("image index lookup found %d entries, want 1", len(ids))
+	}
+	if ids := got.Indexes()[0].Lookup(index.Key{types.NewInt(2)}); len(ids) != 0 {
+		t.Errorf("image index sees post-pin row")
+	}
+	release()
+	rv2 := v.Pin()
+	got2, release2, err := rv2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != tbl || rowCount(t, got2) != 2 {
+		t.Errorf("fresh view should read live (2 rows), got %d", rowCount(t, got2))
+	}
+	release2()
+	rv2.Close()
+	rv.Close()
+	if len(v.images) != 0 {
+		t.Errorf("images leaked after last view closed: %d", len(v.images))
+	}
+}
+
+// TestViewImageSharedAcrossPins: two views at the same boundary share
+// one image; only one copy is made per (write task, pinned range).
+func TestViewImageSharedAcrossPins(t *testing.T) {
+	_, v, tbl := viewFixture(t)
+	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(1)}, 0, nil) })
+	a, b := v.Pin(), v.Pin()
+	defer a.Close()
+	defer b.Close()
+	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(2)}, 0, nil) })
+	ta, ra, err := a.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, rb, err := b.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Error("views at one boundary should share one image")
+	}
+	ra()
+	rb()
+	if n := len(v.images["t"]); n != 1 {
+		t.Errorf("%d images, want 1", n)
+	}
+	// A second write in a later task with both views still below the
+	// detach range must NOT detach again.
+	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(3)}, 0, nil) })
+	if n := len(v.images["t"]); n != 1 {
+		t.Errorf("redundant detach: %d images, want 1", n)
+	}
+}
+
+// TestViewWindowCloneCarriesState: images of window tables carry
+// staged/active bookkeeping so ActiveLen and scans behave.
+func TestViewWindowCloneCarriesState(t *testing.T) {
+	cat := NewCatalog()
+	v := NewViews(cat)
+	schema, _ := types.NewSchema(types.Column{Name: "v", Kind: types.KindInt})
+	w, err := NewWindowTable("w", schema, WindowSpec{Size: 2, Slide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Create(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MaintainAggregate(AggSum, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		runTask(v, func() { w.Insert(types.Row{types.NewInt(i)}, 0, nil) })
+	}
+	// Window of size 2 slide 1 over [1 2 3] → active {2, 3}, sum 5.
+	rv := v.Pin()
+	defer rv.Close()
+	if val, ok := rv.MaintainedValue("w", AggSum, 0); !ok || val.Int() != 5 {
+		t.Fatalf("captured sum %v ok=%v, want 5", val, ok)
+	}
+	runTask(v, func() { w.Insert(types.Row{types.NewInt(10)}, 0, nil) })
+	// Image must show the pinned window: 2 active rows, 2+3.
+	img, release, err := rv.Table("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if img == w {
+		t.Fatal("expected an image")
+	}
+	if img.ActiveLen() != 2 {
+		t.Errorf("image ActiveLen %d, want 2", img.ActiveLen())
+	}
+	sum := int64(0)
+	img.Scan(func(_ TupleMeta, row types.Row) bool { sum += row[0].Int(); return true })
+	if sum != 5 {
+		t.Errorf("image visible sum %d, want 5", sum)
+	}
+	// Captured aggregate is still the pin-time value.
+	if val, _ := rv.MaintainedValue("w", AggSum, 0); val.Int() != 5 {
+		t.Errorf("captured sum moved to %v", val)
+	}
+	// Unknown aggregate: not captured.
+	if _, ok := rv.MaintainedValue("w", AggMax, 0); ok {
+		t.Error("uncaptured aggregate reported ok")
+	}
+}
+
+// TestViewConcurrentPinsAndWrites is a registry-level stress run under
+// the race detector: a writer task loop against concurrent pin/read/
+// close loops; every read sees a full boundary (count equals the value
+// written by some completed task).
+func TestViewConcurrentPinsAndWrites(t *testing.T) {
+	_, v, tbl := viewFixture(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rv := v.Pin()
+				got, release, err := rv.Table("t")
+				if err != nil {
+					t.Error(err)
+					rv.Close()
+					return
+				}
+				n := rowCount(t, got)
+				release()
+				rv.Close()
+				if uint64(n) > rv.Epoch() {
+					t.Errorf("view at epoch %d saw %d rows", rv.Epoch(), n)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		runTask(v, func() {
+			if _, err := tbl.Insert(types.Row{types.NewInt(int64(i))}, 0, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	if n := rowCount(t, tbl); n != 500 {
+		t.Errorf("final rows %d, want 500", n)
+	}
+}
+
+// TestViewMissingTable: resolution reports unknown tables.
+func TestViewMissingTable(t *testing.T) {
+	_, v, _ := viewFixture(t)
+	rv := v.Pin()
+	defer rv.Close()
+	if _, _, err := rv.Table("nope"); err == nil {
+		t.Error("resolving a missing table should error")
+	}
+}

@@ -18,6 +18,7 @@
 //	call   := uvarint sp-len, sp, row(params)
 //	ingest := uvarint stream-len, stream, varint batch-id,
 //	          uvarint row-count, row*
+//	query  := uvarint partition, uvarint sql-len, sql, row(params)
 //	stats  := (empty)
 //	drain  := (empty)
 //
@@ -25,6 +26,8 @@
 //
 //	ok+call      := uvarint col-count, (uvarint len, name)*,
 //	                uvarint row-count, row*, varint last-batch
+//	ok+query     := uvarint col-count, (uvarint len, name)*,
+//	                uvarint row-count, row*
 //	ok+ingest    := varint batch-id
 //	ok+stats     := uvarint field-count, uvarint* (see Stats)
 //	ok+drain     := (empty)
@@ -56,6 +59,12 @@ const (
 	OpIngest
 	OpStats
 	OpDrain
+	// OpQuery runs a read-only statement against a consistent snapshot
+	// of one partition, served off the partition loop (the snapshot
+	// read path): it never occupies a scheduler slot, so read traffic
+	// does not steal streaming throughput and is never rejected by
+	// queue-depth backpressure.
+	OpQuery
 )
 
 // Response statuses.
@@ -95,6 +104,10 @@ type Request struct {
 	Stream  string
 	BatchID int64
 	Rows    []types.Row
+
+	// OpQuery
+	Partition int
+	SQL       string // params travel in Params
 }
 
 // Response is one decoded server response.
@@ -141,6 +154,10 @@ func AppendRequest(buf []byte, r *Request) []byte {
 		for _, row := range r.Rows {
 			buf = types.EncodeRow(buf, row)
 		}
+	case OpQuery:
+		buf = binary.AppendUvarint(buf, uint64(r.Partition))
+		buf = appendString(buf, r.SQL)
+		buf = types.EncodeRow(buf, r.Params)
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-p))
 	return buf
@@ -172,6 +189,15 @@ func AppendResponse(buf []byte, r *Response) []byte {
 				buf = types.EncodeRow(buf, row)
 			}
 			buf = binary.AppendVarint(buf, r.LastInsertBatch)
+		case OpQuery:
+			buf = binary.AppendUvarint(buf, uint64(len(r.Columns)))
+			for _, c := range r.Columns {
+				buf = appendString(buf, c)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+			for _, row := range r.Rows {
+				buf = types.EncodeRow(buf, row)
+			}
 		case OpIngest:
 			buf = binary.AppendVarint(buf, r.BatchID)
 		case OpStats:
@@ -234,6 +260,10 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		for i := uint64(0); i < n && d.err == nil; i++ {
 			r.Rows = append(r.Rows, d.row())
 		}
+	case OpQuery:
+		r.Partition = int(d.uvarint())
+		r.SQL = d.string()
+		r.Params = d.row()
 	case OpStats, OpDrain:
 	default:
 		if d.err == nil {
@@ -278,6 +308,21 @@ func DecodeResponse(payload []byte) (*Response, error) {
 				r.Rows = append(r.Rows, d.row())
 			}
 			r.LastInsertBatch = d.varint()
+		case OpQuery:
+			ncols := d.uvarint()
+			if d.err == nil && ncols > uint64(len(payload)) {
+				d.fail("column count %d exceeds frame", ncols)
+			}
+			for i := uint64(0); i < ncols && d.err == nil; i++ {
+				r.Columns = append(r.Columns, d.string())
+			}
+			nrows := d.uvarint()
+			if d.err == nil && nrows > uint64(len(payload)) {
+				d.fail("row count %d exceeds frame", nrows)
+			}
+			for i := uint64(0); i < nrows && d.err == nil; i++ {
+				r.Rows = append(r.Rows, d.row())
+			}
 		case OpIngest:
 			r.BatchID = d.varint()
 		case OpStats:

@@ -176,3 +176,46 @@ func TestCorruptPayloadRejected(t *testing.T) {
 		t.Error("unknown status accepted")
 	}
 }
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		ID:        9,
+		Op:        OpQuery,
+		Partition: 3,
+		SQL:       "SELECT COUNT(*) FROM w WHERE v = ?",
+		Params:    types.Row{types.NewInt(7)},
+	}
+	got := roundTripReq(t, in)
+	if got.ID != in.ID || got.Op != in.Op || got.Partition != in.Partition ||
+		got.SQL != in.SQL || !got.Params.Equal(in.Params) {
+		t.Errorf("round trip mangled query request: %+v → %+v", in, got)
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	in := &Response{
+		ID:      9,
+		Op:      OpQuery,
+		Status:  StatusOK,
+		Columns: []string{"count", "sum"},
+		Rows:    []types.Row{{types.NewInt(4), types.NewFloat(2.5)}},
+	}
+	got := roundTripResp(t, in)
+	if got.ID != in.ID || got.Op != in.Op || got.Status != in.Status {
+		t.Errorf("header mangled: %+v", got)
+	}
+	if len(got.Columns) != 2 || got.Columns[0] != "count" || got.Columns[1] != "sum" {
+		t.Errorf("columns mangled: %v", got.Columns)
+	}
+	if len(got.Rows) != 1 || !got.Rows[0].Equal(in.Rows[0]) {
+		t.Errorf("rows mangled: %v", got.Rows)
+	}
+}
+
+func TestQueryErrorResponseRoundTrip(t *testing.T) {
+	in := &Response{ID: 2, Op: OpQuery, Status: StatusErr, Msg: "ee: statement is not read-only"}
+	got := roundTripResp(t, in)
+	if got.Status != StatusErr || got.Msg != in.Msg {
+		t.Errorf("error response mangled: %+v", got)
+	}
+}

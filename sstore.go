@@ -302,10 +302,30 @@ func (e *Engine) IngestAsync(streamName string, b *Batch) (<-chan error, error) 
 // finish.
 func (e *Engine) Drain() error { return e.pe.Drain() }
 
-// Query runs one ad-hoc SQL statement as its own transaction on a
-// partition.
+// Query runs one ad-hoc SQL statement on a partition. Read-only
+// statements are served from the snapshot read path — a consistent
+// view pinned at the current commit boundary, off the partition
+// scheduler queue — so inspection queries do not steal streaming
+// throughput. Ad-hoc writes are rejected when command logging is
+// enabled (they would not be logged and would vanish on recovery).
 func (e *Engine) Query(partition int, sql string, params ...Value) (*QueryResult, error) {
 	return e.pe.AdHoc(partition, sql, params...)
+}
+
+// ReadView is a pinned, transaction-consistent read-only snapshot of
+// one partition, served off the partition loop.
+type ReadView = pe.ReadView
+
+// ReadView pins a read view on a partition at the current commit
+// boundary without entering the partition's scheduler queue. The view
+// never observes rows committed after the pin, nor any aborted
+// transaction's rows. Close it when done.
+func (e *Engine) ReadView(partition int) (*ReadView, error) { return e.pe.ReadView(partition) }
+
+// Read pins a view, runs one read-only statement against it, and
+// releases the view — the one-shot snapshot read.
+func (e *Engine) Read(partition int, sql string, params ...Value) (*QueryResult, error) {
+	return e.pe.Read(partition, sql, params...)
 }
 
 // Checkpoint writes a transaction-consistent snapshot of all
@@ -319,8 +339,9 @@ func (e *Engine) Recover() error { return e.pe.Recover() }
 // Stats returns engine counters.
 func (e *Engine) Stats() Stats { return e.pe.Stats() }
 
-// QueueDepth reports a partition's queued task count.
-func (e *Engine) QueueDepth(partition int) int { return e.pe.QueueDepth(partition) }
+// QueueDepth reports a partition's queued task count; an out-of-range
+// partition is an error, not a panic.
+func (e *Engine) QueueDepth(partition int) (int, error) { return e.pe.QueueDepth(partition) }
 
 // TableInfo describes one catalog entry.
 type TableInfo = pe.TableInfo
