@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestLintCleanOnRepo is the CI contract: the shipped binary exits 0
+// over the repository.
+func TestLintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the linter over the whole module")
+	}
+	out, err := exec.Command("go", "run", ".", "-dir", "../..", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sstore-lint not clean on the repo: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("sstore-lint emitted findings:\n%s", out)
+	}
+}

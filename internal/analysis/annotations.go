@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation directives recognized in function doc comments.
+const (
+	AnnDeterministic = "//sstore:deterministic"
+	AnnNoMalloc      = "//sstore:nomalloc"
+	AnnAllocGate     = "//sstore:allocgate"
+	annSuppress      = "//lint:allow"
+)
+
+// Annotations indexes the //sstore: directives and //lint:allow
+// suppressions of a loaded program.
+type Annotations struct {
+	// Deterministic and NoMalloc map annotated function objects.
+	Deterministic map[*types.Func]bool
+	NoMalloc      map[*types.Func]bool
+	// AllocGates maps gate-marker target names ("Table.beforeMutate")
+	// to the position of their //sstore:allocgate marker in a test file.
+	AllocGates map[string]token.Position
+
+	// suppress maps file → line → analyzer names allowed there.
+	suppress map[string]map[int]map[string]bool
+}
+
+// Suppressed reports whether a diagnostic at pos from the named
+// analyzer is covered by a //lint:allow comment on the same line or the
+// line above.
+func (a *Annotations) Suppressed(analyzer string, pos token.Position) bool {
+	lines := a.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func indexAnnotations(prog *Program) *Annotations {
+	ann := &Annotations{
+		Deterministic: make(map[*types.Func]bool),
+		NoMalloc:      make(map[*types.Func]bool),
+		AllocGates:    make(map[string]token.Position),
+		suppress:      make(map[string]map[int]map[string]bool),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					switch directiveOf(c.Text) {
+					case AnnDeterministic:
+						ann.Deterministic[obj] = true
+					case AnnNoMalloc:
+						ann.NoMalloc[obj] = true
+					}
+				}
+			}
+			ann.indexSuppressions(prog.Fset, f)
+		}
+		for _, f := range pkg.TestSyntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if directiveOf(c.Text) != AnnAllocGate {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, AnnAllocGate))
+					if name, _, _ := strings.Cut(rest, " "); name != "" {
+						// Keys are package-scoped: the gate must live in
+						// the annotated function's own package.
+						ann.AllocGates[pkg.PkgPath+"."+name] = prog.Fset.Position(c.Pos())
+					}
+				}
+			}
+			ann.indexSuppressions(prog.Fset, f)
+		}
+	}
+	return ann
+}
+
+func (a *Annotations) indexSuppressions(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if directiveOf(c.Text) != annSuppress {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, annSuppress))
+			// Everything after "--" is the (mandatory by convention,
+			// unenforced) human reason.
+			names, _, _ := strings.Cut(rest, "--")
+			pos := fset.Position(c.Pos())
+			lines := a.suppress[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				a.suppress[pos.Filename] = lines
+			}
+			set := lines[pos.Line]
+			if set == nil {
+				set = make(map[string]bool)
+				lines[pos.Line] = set
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					set[n] = true
+				}
+			}
+		}
+	}
+}
+
+// directiveOf returns the leading directive of a comment ("//sstore:…"
+// or "//lint:allow"), or "".
+func directiveOf(text string) string {
+	for _, d := range [4]string{AnnDeterministic, AnnNoMalloc, AnnAllocGate, annSuppress} {
+		if text == d || strings.HasPrefix(text, d+" ") {
+			return d
+		}
+	}
+	return ""
+}

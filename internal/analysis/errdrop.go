@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropConfig lists APIs whose error results must be consumed —
+// engine-specific errcheck, scoped to calls whose dropped errors were
+// (or would repeat) real shipped bugs rather than to every error in
+// the tree.
+type ErrDropConfig struct {
+	// MustUse maps "pkgpath.Func" / "pkgpath.Type.Func" to the reason
+	// shown when the error is dropped.
+	MustUse map[string]string
+}
+
+// EngineErrDrop covers the repo's history: PR 1 fixed nested-txn
+// commit errors swallowed on the partition loop; PR 5 gave QueueDepth
+// an error it would be a regression to ignore; a wal append that
+// "fails silently" breaks the write-ahead contract.
+var EngineErrDrop = ErrDropConfig{
+	MustUse: map[string]string{
+		"sstore/internal/txn.Txn.Commit":           "a swallowed commit error leaves the partition state diverged from the caller's view (PR-1 bug class)",
+		"sstore/internal/pe.Engine.QueueDepth":     "QueueDepth's error reports an out-of-range partition; ignoring it reads a bogus depth",
+		"sstore.Engine.QueueDepth":                 "QueueDepth's error reports an out-of-range partition; ignoring it reads a bogus depth",
+		"sstore/internal/wal.Logger.Append":        "an unchecked command-log append breaks write-ahead durability",
+		"sstore/internal/wal.LogSet.Append":        "an unchecked command-log append breaks write-ahead durability",
+		"sstore/internal/wal.Logger.Close":         "a dropped close error can hide a failed final flush",
+		"sstore/internal/wal.LogSet.Close":         "a dropped close error can hide a failed final flush",
+		"sstore/internal/wal.Logger.CompactBefore": "compaction errors can silently truncate recoverable history",
+		"sstore/internal/wal.LogSet.CompactBefore": "compaction errors can silently truncate recoverable history",
+	},
+}
+
+// ErrDrop enforces EngineErrDrop over the module.
+var ErrDrop = NewErrDrop(EngineErrDrop)
+
+// NewErrDrop builds the analyzer for a config (fixtures use their own
+// API list).
+func NewErrDrop(cfg ErrDropConfig) *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "reports dropped errors from engine APIs whose ignored errors were past bugs",
+		Run:  func(pass *Pass) { runErrDrop(pass, cfg) },
+	}
+}
+
+func runErrDrop(pass *Pass, cfg ErrDropConfig) {
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+						if key, why, ok := mustUseCall(info, call, cfg); ok {
+							pass.Reportf(call.Lparen, "result of %s dropped: %s", key, why)
+						}
+					}
+					return true
+				case *ast.AssignStmt:
+					checkErrDropAssign(pass, info, n, cfg)
+					return true
+				case *ast.GoStmt:
+					if key, why, ok := mustUseCall(info, n.Call, cfg); ok {
+						pass.Reportf(n.Call.Lparen, "result of %s dropped by go statement: %s", key, why)
+					}
+				case *ast.DeferStmt:
+					if key, why, ok := mustUseCall(info, n.Call, cfg); ok {
+						pass.Reportf(n.Call.Lparen, "result of %s dropped by defer: %s", key, why)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkErrDropAssign flags assignments that blank out the error result
+// of a must-use call: `_ = x.Commit()` and `seq, _ := log.Append(...)`.
+func checkErrDropAssign(pass *Pass, info *types.Info, as *ast.AssignStmt, cfg ErrDropConfig) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, why, ok := mustUseCall(info, call, cfg)
+	if !ok {
+		return
+	}
+	// The error is the last result by convention in every listed API.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(), "error result of %s assigned to _: %s", key, why)
+	}
+}
+
+// mustUseCall resolves a call against the config.
+func mustUseCall(info *types.Info, call *ast.CallExpr, cfg ErrDropConfig) (key, why string, ok bool) {
+	callee, _ := resolveCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return "", "", false
+	}
+	key = callee.Pkg().Path() + "." + gateName(callee)
+	why, ok = cfg.MustUse[key]
+	return key, why, ok
+}

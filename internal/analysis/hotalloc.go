@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAllocConfig parameterizes the hot-path allocation analyzer.
+type HotAllocConfig struct {
+	// BoxedTypes are named value types whose conversion to an interface
+	// is called out explicitly (the classic hidden allocation: a
+	// multi-word struct boxed into `any` escapes to the heap).
+	BoxedTypes map[string]bool
+}
+
+// EngineHotAlloc names the repo's hot boxed type.
+var EngineHotAlloc = HotAllocConfig{
+	BoxedTypes: map[string]bool{"sstore/internal/types.Value": true},
+}
+
+// HotAlloc enforces allocation discipline in functions annotated
+// //sstore:nomalloc: the Table.beforeMutate fast path, scheduler deque
+// operations, and wire encode/decode primitives. It reports the
+// constructs that force heap allocations:
+//
+//   - composite and function literals, make, new;
+//   - append outside the self-append idiom (x = append(x, ...), the
+//     caller-owned amortized buffer — actual growth is bounded by the
+//     package's //sstore:allocgate AllocsPerRun test);
+//   - string ↔ []byte/[]rune conversions;
+//   - boxing a concrete value into an interface (types.Value named
+//     explicitly);
+//   - calls to module functions not themselves //sstore:nomalloc, and
+//     to the allocating corners of the standard library.
+//
+// Deliberate slow paths (copy-on-write detach, deque growth, error
+// construction) carry //lint:allow hotalloc suppressions that document
+// why the allocation is acceptable there.
+var HotAlloc = NewHotAlloc(EngineHotAlloc)
+
+// NewHotAlloc builds the analyzer for a config (fixtures use their
+// own boxed-type list).
+func NewHotAlloc(cfg HotAllocConfig) *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "reports heap allocations in //sstore:nomalloc functions",
+		Run:  func(pass *Pass) { runHotAlloc(pass, cfg) },
+	}
+}
+
+// allocatingStdlib are standard-library packages whose every call is
+// presumed to allocate (error/formatting machinery).
+var allocatingStdlib = map[string]bool{"fmt": true, "errors": true, "sort": true}
+
+func runHotAlloc(pass *Pass, cfg HotAllocConfig) {
+	var fns []*types.Func
+	for fn := range pass.Ann.NoMalloc {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		node := pass.Graph.Nodes[fn]
+		if node == nil {
+			continue
+		}
+		checkNoMalloc(pass, cfg, node)
+	}
+}
+
+func checkNoMalloc(pass *Pass, cfg HotAllocConfig, node *CallNode) {
+	info := node.Pkg.Info
+	name := funcDisplayName(node.Fn)
+	// Append calls in the self-append idiom are exempt.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isBuiltin(info, call, "append") {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+	// Append-style APIs — `return append(buf, …)` — hand growth back to
+	// the caller, the same amortized contract as the self-append idiom.
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && len(call.Args) > 0 && isBuiltin(info, call, "append") {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(n.Lbrace, "composite literal allocates in //sstore:nomalloc function %s", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Type.Func, "function literal (closure) allocates in //sstore:nomalloc function %s", name)
+			return false
+		case *ast.CallExpr:
+			checkNoMallocCall(pass, cfg, info, name, n, selfAppend)
+		}
+		return true
+	})
+}
+
+func checkNoMallocCall(pass *Pass, cfg HotAllocConfig, info *types.Info, name string, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	// Conversions: only string ↔ byte/rune slice pairs allocate.
+	if info.Types[call.Fun].IsType() {
+		if len(call.Args) == 1 && stringSliceConversion(info, call) {
+			pass.Reportf(call.Lparen, "string conversion copies its bytes in //sstore:nomalloc function %s", name)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Lparen, "%s allocates in //sstore:nomalloc function %s", b.Name(), name)
+			case "append":
+				if !selfAppend[call] {
+					pass.Reportf(call.Lparen, "append outside the self-append idiom in //sstore:nomalloc function %s; write x = append(x, ...) over a caller-owned buffer or preallocate", name)
+				}
+			}
+			return
+		}
+	}
+	checkBoxing(pass, cfg, info, name, call)
+	callee, _ := resolveCallee(info, call)
+	if callee == nil {
+		if !isFuncValueOnStack(info, call) {
+			pass.Reportf(call.Lparen, "dynamic call in //sstore:nomalloc function %s cannot be verified allocation-free", name)
+		}
+		return
+	}
+	if callee.Pkg() == nil {
+		return
+	}
+	if pass.Graph.Nodes[callee] != nil || strings.HasPrefix(callee.Pkg().Path(), "sstore") {
+		if !pass.Ann.NoMalloc[callee] {
+			pass.Reportf(call.Lparen, "call to %s, which is not //sstore:nomalloc, in //sstore:nomalloc function %s", funcDisplayName(callee), name)
+		}
+		return
+	}
+	if allocatingStdlib[callee.Pkg().Path()] {
+		pass.Reportf(call.Lparen, "call to %s.%s allocates in //sstore:nomalloc function %s", callee.Pkg().Path(), callee.Name(), name)
+	}
+}
+
+// checkBoxing flags concrete values passed where an interface is
+// expected: the conversion heap-allocates the value's copy.
+func checkBoxing(pass *Pass, cfg HotAllocConfig, info *types.Info, name string, call *ast.CallExpr) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		label := at.String()
+		if named, ok := at.(*types.Named); ok && named.Obj().Pkg() != nil && cfg.BoxedTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+			pass.Reportf(arg.Pos(), "boxing %s into %s allocates in //sstore:nomalloc function %s", label, pt.String(), name)
+			continue
+		}
+		pass.Reportf(arg.Pos(), "boxing %s into interface %s allocates in //sstore:nomalloc function %s", label, pt.String(), name)
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// stringSliceConversion reports string(b) / []byte(s) / []rune(s)
+// style conversions, the ones that copy.
+func stringSliceConversion(info *types.Info, call *ast.CallExpr) bool {
+	to := info.TypeOf(call)
+	from := info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isFuncValueOnStack reports method-value receivers like d.fail — the
+// dynamic-call heuristic exempts calls through an identifier of
+// function type held in a local variable that was never stored: too
+// rare to model; keep nil (always verify). Currently always false.
+func isFuncValueOnStack(info *types.Info, call *ast.CallExpr) bool { return false }
+
+// AllocGate pairs every //sstore:nomalloc annotation with an
+// //sstore:allocgate marker in the owning package's tests — the marker
+// sits on the testing.AllocsPerRun gate that enforces the budget at
+// run time — so the static annotation and the runtime gate cannot
+// drift apart. A nomalloc function without a gate, or a gate marker
+// naming no annotated function, is reported.
+var AllocGate = &Analyzer{
+	Name: "allocgate",
+	Doc:  "pairs //sstore:nomalloc annotations with AllocsPerRun gate markers",
+	Run:  runAllocGate,
+}
+
+func runAllocGate(pass *Pass) {
+	covered := make(map[string]bool, len(pass.Ann.AllocGates))
+	var fns []*types.Func
+	for fn := range pass.Ann.NoMalloc {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		key := gateKey(fn)
+		covered[key] = true
+		if _, ok := pass.Ann.AllocGates[key]; !ok {
+			pos := fn.Pos()
+			if node := pass.Graph.Nodes[fn]; node != nil {
+				pos = node.Decl.Name.Pos()
+			}
+			pass.Reportf(pos, "//sstore:nomalloc function %s has no //sstore:allocgate %s marker on an AllocsPerRun gate in its package's tests", funcDisplayName(fn), gateName(fn))
+		}
+	}
+	var orphans []string
+	for key := range pass.Ann.AllocGates {
+		if !covered[key] {
+			orphans = append(orphans, key)
+		}
+	}
+	sort.Strings(orphans)
+	for _, key := range orphans {
+		pos := pass.Ann.AllocGates[key]
+		pass.report(Diagnostic{
+			Analyzer: "allocgate",
+			Pos:      pos,
+			Message:  "//sstore:allocgate marker names no //sstore:nomalloc function (" + key + "); update or remove the gate",
+		})
+	}
+}
+
+// gateName is the name used in a marker: Type.Func for methods, Func
+// otherwise.
+func gateName(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return name
+}
+
+// gateKey scopes a gate name to its package.
+func gateKey(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + gateName(fn)
+	}
+	return gateName(fn)
+}

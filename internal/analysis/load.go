@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds a type-checked program without x/tools: package
+// metadata comes from `go list -json -deps` (works offline — the whole
+// dependency closure is the standard library), sources are parsed with
+// go/parser, and packages are type-checked bottom-up with go/types.
+// Dependency packages are checked with IgnoreFuncBodies (only their API
+// matters); module packages keep full types.Info for the analyzers.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	Standard    bool
+	Error       *struct{ Err string }
+}
+
+// Load lists patterns (e.g. "./...") in dir, then parses and
+// type-checks the closure. Only non-Standard packages become Module
+// packages with bodies and full Info.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := newLoader()
+	ld.listDir = dir
+	order, err := ld.list(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// `go list -deps` emits dependencies before dependents; checking in
+	// that order means every import is already loaded.
+	for _, path := range order {
+		if _, err := ld.check(path); err != nil {
+			return nil, err
+		}
+	}
+	return ld.finish()
+}
+
+// LoadFixtureTree loads an analysistest-style fixture layout: every
+// directory under root/src holding .go files is a package whose import
+// path is its path relative to root/src. Standard-library imports are
+// resolved lazily through `go list` (API only); fixture-local imports
+// resolve within the tree.
+func LoadFixtureTree(root string) (*Program, error) {
+	src := filepath.Join(root, "src")
+	ld := newLoader()
+	ld.lazyStd = true
+	ld.listDir = root
+	var paths []string
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || !fi.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var goFiles, testFiles []string
+		for _, e := range ents {
+			switch {
+			case !strings.HasSuffix(e.Name(), ".go"):
+			case strings.HasSuffix(e.Name(), "_test.go"):
+				testFiles = append(testFiles, e.Name())
+			default:
+				goFiles = append(goFiles, e.Name())
+			}
+		}
+		if len(goFiles) == 0 && len(testFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		importPath := filepath.ToSlash(rel)
+		ld.meta[importPath] = &pkgMeta{dir: path, goFiles: goFiles, testFiles: testFiles, module: true}
+		paths = append(paths, importPath)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := ld.check(path); err != nil {
+			return nil, err
+		}
+	}
+	return ld.finish()
+}
+
+type pkgMeta struct {
+	dir       string
+	goFiles   []string
+	testFiles []string
+	imports   []string
+	module    bool
+}
+
+type loader struct {
+	fset    *token.FileSet
+	meta    map[string]*pkgMeta
+	checked map[string]*types.Package
+	pkgs    []*Package
+	// lazyStd, in fixture mode, resolves imports with no metadata entry
+	// by go-listing them (standard library); in module mode every
+	// import is already in meta.
+	lazyStd  bool
+	listDir  string
+	checking []string // cycle guard
+}
+
+func newLoader() *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		meta:    make(map[string]*pkgMeta),
+		checked: make(map[string]*types.Package),
+	}
+}
+
+// list go-lists patterns (with -deps) into the loader's metadata,
+// returning the dependency-ordered import paths it added. Packages
+// outside metadata are new; already-known paths keep their entry.
+func (l *loader) list(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,TestGoFiles,Imports,Standard,Error", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.listDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v: %s", err, errBuf.String())
+	}
+	var order []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if _, dup := l.meta[lp.ImportPath]; dup {
+			continue
+		}
+		l.meta[lp.ImportPath] = &pkgMeta{
+			dir:       lp.Dir,
+			goFiles:   lp.GoFiles,
+			testFiles: lp.TestGoFiles,
+			imports:   lp.Imports,
+			module:    !lp.Standard,
+		}
+		order = append(order, lp.ImportPath)
+	}
+	return order, nil
+}
+
+// listInto resolves one standard-library import path lazily (fixture
+// mode), forcing module=false: fixture analysis must never treat the
+// standard library as code under analysis.
+func (l *loader) listInto(path string) error {
+	added, err := l.list(path)
+	if err != nil {
+		return err
+	}
+	for _, p := range added {
+		l.meta[p].module = false
+	}
+	return nil
+}
+
+// Import implements types.Importer over the loader's cache, so packages
+// under check resolve their imports recursively.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.check(path)
+}
+
+func (l *loader) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.checked[path]; ok {
+		return tp, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		if l.lazyStd {
+			if err := l.listInto(path); err != nil {
+				return nil, err
+			}
+			m, ok = l.meta[path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("analysis: import %q not in go list closure", path)
+		}
+	}
+	for _, active := range l.checking {
+		if active == path {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+	}
+	l.checking = append(l.checking, path)
+	defer func() { l.checking = l.checking[:len(l.checking)-1] }()
+
+	files := make([]*ast.File, 0, len(m.goFiles))
+	for _, name := range m.goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := &types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: !m.module,
+		// Dependency sources may trip go/types on compiler intrinsics;
+		// module packages must check clean (the repo builds), so only
+		// tolerate errors outside the module.
+		Error: func(err error) {},
+	}
+	if m.module {
+		cfg.Error = nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tp, err := cfg.Check(path, l.fset, files, infoFor(m.module, info))
+	if err != nil && m.module {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	if tp == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s produced no package", path)
+	}
+	l.checked[path] = tp
+	pkg := &Package{PkgPath: path, Dir: m.dir, Types: tp, Syntax: files, Module: m.module}
+	if m.module {
+		pkg.Info = info
+		for _, name := range m.testFiles {
+			// Test files are parsed for annotation markers only; they
+			// are not type-checked (their extra dependencies may fall
+			// outside the closure).
+			f, err := parser.ParseFile(l.fset, filepath.Join(m.dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			pkg.TestSyntax = append(pkg.TestSyntax, f)
+		}
+	}
+	l.pkgs = append(l.pkgs, pkg)
+	return tp, nil
+}
+
+// infoFor returns info for module packages and nil for dependencies
+// (whose bodies are skipped; recording their info would only burn
+// memory).
+func infoFor(module bool, info *types.Info) *types.Info {
+	if module {
+		return info
+	}
+	return nil
+}
+
+func (l *loader) finish() (*Program, error) {
+	var modPkgs []*Package
+	for _, p := range l.pkgs {
+		if p.Module {
+			modPkgs = append(modPkgs, p)
+		}
+	}
+	sort.Slice(modPkgs, func(i, j int) bool { return modPkgs[i].PkgPath < modPkgs[j].PkgPath })
+	prog := &Program{Fset: l.fset, Pkgs: modPkgs}
+	prog.Ann = indexAnnotations(prog)
+	prog.Graph = buildCallGraph(prog)
+	return prog, nil
+}

@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ReplayDet reports nondeterminism in code reachable from the engine's
+// replay, commit, and trigger entry points (the functions annotated
+// //sstore:deterministic). S-Store's strong recovery guarantee re-runs
+// the command log and must land bit-for-bit on the pre-crash state;
+// anything schedule- or clock-dependent in that call graph breaks it.
+// Two shipped bugs motivated each check (see DESIGN.md §10): the PR-5
+// border consumer chosen by map-iteration order, and PR-2's
+// replay-order pollution.
+//
+// Reported in the deterministic call graph:
+//   - range over a map whose iteration order escapes the loop (stored,
+//     returned, dispatched, or passed to a call). Loops whose bodies
+//     are provably order-insensitive — commutative accumulation,
+//     unique-key map writes, existence flags — are allowed.
+//   - time.Now / time.Since / time.Until.
+//   - package-level math/rand and math/rand/v2 functions (seeded
+//     *rand.Rand methods are fine: a replayed run can re-seed).
+//   - select with two or more communication cases: the runtime picks
+//     among ready cases pseudo-randomly.
+//
+// Calls through function-typed values (stored procedures, control
+// thunks) are outside the static graph; SP bodies are application code
+// and carry their own determinism obligation.
+var ReplayDet = &Analyzer{
+	Name: "replaydet",
+	Doc:  "reports nondeterminism reachable from replay/commit/trigger entry points",
+	Run:  runReplayDet,
+}
+
+func runReplayDet(pass *Pass) {
+	var entries []*types.Func
+	for fn := range pass.Ann.Deterministic {
+		entries = append(entries, fn)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].FullName() < entries[j].FullName() })
+	from := pass.Graph.Reachable(entries)
+
+	var fns []*types.Func
+	for fn := range from {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	for _, fn := range fns {
+		node := pass.Graph.Nodes[fn]
+		info := node.Pkg.Info
+		chain := Chain(from, fn)
+		sinks := sortSinks(info, node.Decl.Body)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !sinks[n] && !orderInsensitiveBody(info, n) {
+						pass.Reportf(n.For, "map iteration order escapes this loop on the replay-deterministic path %s; iterate in a sorted order", chain)
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Select, "select with %d communication cases chooses pseudo-randomly when several are ready, on the replay-deterministic path %s", comm, chain)
+				}
+			case *ast.CallExpr:
+				callee, _ := resolveCallee(info, n)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				switch callee.Pkg().Path() {
+				case "time":
+					if callee.Signature().Recv() == nil {
+						switch callee.Name() {
+						case "Now", "Since", "Until":
+							pass.Reportf(n.Lparen, "time.%s on the replay-deterministic path %s; thread a logged timestamp instead", callee.Name(), chain)
+						}
+					}
+				case "math/rand", "math/rand/v2":
+					if callee.Signature().Recv() == nil && callee.Name() != "New" && callee.Name() != "NewSource" && callee.Name() != "NewPCG" && callee.Name() != "NewZipf" && callee.Name() != "NewChaCha8" {
+						pass.Reportf(n.Lparen, "global rand.%s on the replay-deterministic path %s; use a seeded *rand.Rand owned by the replayable component", callee.Name(), chain)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sortSinks maps map-range loops to true when a later statement in the
+// same block sorts a slice the loop appends to — the canonical
+// "collect keys, sort, iterate" determinism fix. The loop's arbitrary
+// iteration order is erased by the sort, so the loop is fine.
+func sortSinks(info *types.Info, body *ast.BlockStmt) map[*ast.RangeStmt]bool {
+	sinks := make(map[*ast.RangeStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			rng, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			targets := appendTargets(info, rng.Body)
+			if len(targets) == 0 {
+				continue
+			}
+			for _, later := range list[i+1:] {
+				if sortsAny(info, later, targets) {
+					sinks[rng] = true
+					break
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// appendTargets collects the objects o self-appended (o = append(o, …))
+// inside a loop body.
+func appendTargets(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	targets := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isBuiltin(info, call, "append") {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg.Name == id.Name {
+			if obj := info.Uses[id]; obj != nil {
+				targets[obj] = true
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// sortsAny reports whether a statement sorts one of the target slices
+// (a sort or slices package call naming the object).
+func sortsAny(info *types.Info, st ast.Stmt, targets map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		callee, _ := resolveCallee(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && targets[info.Uses[id]] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// orderInsensitiveBody reports whether a map-range body cannot observe
+// iteration order: every statement is commutative accumulation
+// (x += v, x++, …), a unique-key map write (m[k] = v with k derived
+// from the loop variable), delete(m, k), an idempotent flag set
+// (x = <literal>), purely local computation, or control flow composed
+// of the same. Anything else — calls, appends, sends, returns, plain
+// stores to outer variables — lets the order escape.
+func orderInsensitiveBody(info *types.Info, rng *ast.RangeStmt) bool {
+	loopVars := make(map[types.Object]bool)
+	locals := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil && rng.Tok == token.ASSIGN {
+				// for k = range m: the outer variable holds an arbitrary
+				// element after the loop.
+				return false
+			}
+		}
+	}
+	c := &insensitivity{info: info, loopVars: loopVars, locals: locals}
+	for _, s := range rng.Body.List {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+type insensitivity struct {
+	info     *types.Info
+	loopVars map[types.Object]bool
+	locals   map[types.Object]bool
+}
+
+func (c *insensitivity) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !c.stmtOK(inner) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if c.hasCall(s.Cond) {
+			return false
+		}
+		return c.stmtOK(s.Body) && c.stmtOK(s.Else)
+	case *ast.IncDecStmt:
+		return !c.hasCall(s.X)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, name := range vs.Names {
+				if obj := c.info.Defs[name]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+			for _, v := range vs.Values {
+				if c.hasCall(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.ExprStmt:
+		// Only delete(m, k) — the one builtin with an effect whose
+		// result cannot depend on visit order.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := c.info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				for _, a := range call.Args {
+					if c.hasCall(a) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (c *insensitivity) assignOK(s *ast.AssignStmt) bool {
+	for _, r := range s.Rhs {
+		if c.hasCall(r) {
+			return false
+		}
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative/associative accumulation: any interleaving of the
+		// iterations produces the same final value.
+		for _, l := range s.Lhs {
+			if c.hasCall(l) {
+				return false
+			}
+		}
+		return true
+	case token.DEFINE:
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := c.info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case token.ASSIGN:
+		for i, l := range s.Lhs {
+			if !c.storeOK(l, rhsFor(s, i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	return nil
+}
+
+// storeOK reports whether one plain-assignment target cannot leak
+// iteration order: a loop-local, a map entry keyed by a loop variable
+// (unique per iteration), or an idempotent literal store.
+func (c *insensitivity) storeOK(lhs, rhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return true
+		}
+		if obj := c.info.Uses[l]; obj != nil && c.locals[obj] {
+			return true
+		}
+		return rhs != nil && isIdempotentLiteral(rhs)
+	case *ast.IndexExpr:
+		if t := c.info.TypeOf(l.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap && c.usesLoopVar(l.Index) && !c.hasCall(l.Index) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isIdempotentLiteral reports whether an expression stores the same
+// value no matter which (or how many) iterations execute it.
+func isIdempotentLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	default:
+		return false
+	}
+}
+
+func (c *insensitivity) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.loopVars[c.info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *insensitivity) hasCall(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			// Type conversions and len/cap are pure; anything else may
+			// carry order-dependent effects.
+			if c.info.Types[call.Fun].IsType() {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}

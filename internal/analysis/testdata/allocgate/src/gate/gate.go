@@ -1,0 +1,18 @@
+// Package gate exercises the annotation/gate parity check: every
+// //sstore:nomalloc function needs an //sstore:allocgate marker on an
+// AllocsPerRun test in its package, and every marker needs a function.
+package gate
+
+type ring struct{ buf []int }
+
+// covered has a matching gate marker in gate_test.go: no findings.
+//
+//sstore:nomalloc
+func (r *ring) covered() int {
+	return len(r.buf)
+}
+
+//sstore:nomalloc
+func uncovered() int { // want "has no //sstore:allocgate uncovered marker"
+	return 0
+}

@@ -1,0 +1,14 @@
+package gate
+
+import "testing"
+
+//sstore:allocgate ring.covered
+func TestCoveredAllocs(t *testing.T) {
+	r := &ring{}
+	if n := testing.AllocsPerRun(100, func() { _ = r.covered() }); n != 0 {
+		t.Fatalf("covered allocates %v/op", n)
+	}
+}
+
+//sstore:allocgate ghost // want "names no //sstore:nomalloc function"
+func TestGhostAllocs(t *testing.T) {}

@@ -1,0 +1,56 @@
+// Package errs exercises the engine-specific errcheck: Txn.Commit and
+// Log.Append stand in for the configured must-use APIs.
+package errs
+
+import "errors"
+
+type Txn struct{ open bool }
+
+func (t *Txn) Commit() error {
+	if !t.open {
+		return errors.New("closed")
+	}
+	return nil
+}
+
+type Log struct{ seq int64 }
+
+func (l *Log) Append(rec []byte) (int64, error) {
+	l.seq++
+	return l.seq, nil
+}
+
+func dropExpr(t *Txn) {
+	t.Commit() // want "result of errs.Txn.Commit dropped"
+}
+
+func dropBlank(t *Txn) {
+	_ = t.Commit() // want "error result of errs.Txn.Commit assigned to _"
+}
+
+func dropLast(l *Log) int64 {
+	seq, _ := l.Append(nil) // want "error result of errs.Log.Append assigned to _"
+	return seq
+}
+
+func dropGo(t *Txn) {
+	go t.Commit() // want "result of errs.Txn.Commit dropped by go statement"
+}
+
+func dropDefer(t *Txn) {
+	defer t.Commit() // want "result of errs.Txn.Commit dropped by defer"
+}
+
+func checked(t *Txn, l *Log) error {
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	seq, err := l.Append(nil)
+	_ = seq
+	return err
+}
+
+func allowedDrop(t *Txn) {
+	//lint:allow errdrop -- advisory on this teardown path
+	t.Commit()
+}

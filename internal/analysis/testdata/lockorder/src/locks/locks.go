@@ -1,0 +1,101 @@
+// Package locks exercises the lock-order analyzer against a miniature
+// of the engine's lock hierarchy: ddlMu (rank 1) → readMu (rank 2) →
+// latch (rank 3, leaf).
+package locks
+
+import "sync"
+
+type engine struct {
+	ddlMu  sync.RWMutex
+	readMu sync.Mutex
+	st     *store
+}
+
+type store struct {
+	latch sync.RWMutex
+	rows  int
+}
+
+// goodOrder acquires in documented order: no findings.
+func (e *engine) goodOrder() {
+	e.ddlMu.RLock()
+	e.readMu.Lock()
+	e.st.latch.RLock()
+	e.st.rows++
+	e.st.latch.RUnlock()
+	e.readMu.Unlock()
+	e.ddlMu.RUnlock()
+}
+
+// badOrder inverts ddlMu and readMu.
+func (e *engine) badOrder() {
+	e.readMu.Lock()
+	e.ddlMu.RLock() // want "RLock of locks.engine.ddlMu \\(rank 1\\) while holding locks.engine.readMu \\(rank 2\\)"
+	e.ddlMu.RUnlock()
+	e.readMu.Unlock()
+}
+
+// underLeaf acquires a lock while holding the leaf latch.
+func (e *engine) underLeaf() {
+	e.st.latch.RLock()
+	e.readMu.Lock() // want "Lock of locks.engine.readMu while holding leaf lock locks.store.latch"
+	e.readMu.Unlock()
+	e.st.latch.RUnlock()
+}
+
+// lockDDL gives transitiveBad something to call.
+func (e *engine) lockDDL() {
+	e.ddlMu.Lock()
+	e.ddlMu.Unlock()
+}
+
+// transitiveBad holds readMu across a call that acquires ddlMu.
+func (e *engine) transitiveBad() {
+	e.readMu.Lock()
+	e.lockDDL() // want "call to locks.engine.lockDDL may acquire a rank-1 lock while holding locks.engine.readMu \\(rank 2\\)"
+	e.readMu.Unlock()
+}
+
+// released drops readMu before taking ddlMu: no findings.
+func (e *engine) released() {
+	e.readMu.Lock()
+	e.readMu.Unlock()
+	e.ddlMu.Lock()
+	e.ddlMu.Unlock()
+}
+
+// deferredHold keeps readMu held to exit via defer, so the helper call
+// that re-acquires it is a self-deadlock.
+func (e *engine) deferredHold() {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	e.helperRead() // want "call to locks.engine.helperRead may acquire a rank-2 lock while holding locks.engine.readMu \\(rank 2\\)"
+}
+
+func (e *engine) helperRead() {
+	e.readMu.Lock()
+	e.readMu.Unlock()
+}
+
+// branches union held sets: the latch is held on only one arm, but a
+// conservative checker must still flag the acquisition after the join.
+func (e *engine) branches(cond bool) {
+	if cond {
+		e.st.latch.RLock()
+	}
+	e.readMu.Lock() // want "Lock of locks.engine.readMu while holding leaf lock locks.store.latch"
+	e.readMu.Unlock()
+	if cond {
+		e.st.latch.RUnlock()
+	}
+}
+
+// spawned goroutines start with an empty lock set: no findings.
+func (e *engine) spawns() {
+	e.readMu.Lock()
+	go func() {
+		e.ddlMu.Lock()
+		e.ddlMu.Unlock()
+	}()
+	e.readMu.Unlock()
+}

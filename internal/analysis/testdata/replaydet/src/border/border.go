@@ -1,0 +1,25 @@
+// Package border reproduces the PR-5 bug class: the engine's border
+// picked a stream consumer by map-iteration order, so two replays of
+// the same command log could route the same tuple to different
+// consumers. replaydet must catch this shape.
+package border
+
+type consumer struct {
+	name  string
+	queue []int
+}
+
+type registry struct {
+	consumers map[string]*consumer
+}
+
+// Dispatch routes a border tuple to the "first" downstream consumer —
+// which, ranging over a map, is a different consumer on every run.
+//
+//sstore:deterministic
+func (r *registry) Dispatch(tuple int) {
+	for _, c := range r.consumers { // want "map iteration order escapes"
+		c.queue = append(c.queue, tuple)
+		break
+	}
+}

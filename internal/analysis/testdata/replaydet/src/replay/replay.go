@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type batch struct {
+	id  int
+	val int
+}
+
+type engine struct {
+	out     []batch
+	pending map[int]batch
+	total   int
+	seen    map[int]bool
+}
+
+// Replay is an annotated replay entry point.
+//
+//sstore:deterministic
+func (e *engine) Replay() {
+	for _, b := range e.pending { // want "map iteration order escapes"
+		e.out = append(e.out, b)
+	}
+	for id, b := range e.pending { // order-insensitive: accumulation + keyed writes
+		e.total += b.val
+		e.seen[id] = true
+	}
+	ids := make([]int, 0, len(e.pending))
+	for id := range e.pending { // collected then sorted: erased order, no finding
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	e.helper()
+	e.total += int(stamp())
+}
+
+func (e *engine) helper() {
+	if rand.Intn(2) == 0 { // want "global rand.Intn"
+		e.total++
+	}
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// waitTwo blocks on whichever channel is ready first — the runtime
+// picks pseudo-randomly when both are.
+//
+//sstore:deterministic
+func waitTwo(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// notOnPath is unannotated and unreachable from any entry point, so its
+// nondeterminism is not this analyzer's business.
+func notOnPath(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v * int(time.Now().Unix())
+	}
+	return total
+}

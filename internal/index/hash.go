@@ -108,6 +108,7 @@ func (h *HashIndex) Clone() Index {
 		buckets: make(map[uint64][]hashEntry, len(h.buckets)),
 		entries: h.entries,
 	}
+	//lint:allow replaydet -- each iteration builds a fresh bucket keyed by the loop var; the output map is identical under any visit order
 	for hash, bucket := range h.buckets {
 		nb := make([]hashEntry, len(bucket))
 		for i, e := range bucket {

@@ -58,7 +58,9 @@ func Delay(d time.Duration) {
 		time.Sleep(d)
 		return
 	}
+	//lint:allow replaydet -- wall-clock use only paces the simulated RTT; no engine state depends on it
 	deadline := time.Now().Add(d)
+	//lint:allow replaydet -- wall-clock use only paces the simulated RTT; no engine state depends on it
 	for time.Now().Before(deadline) {
 		runtime.Gosched()
 	}

@@ -1,0 +1,31 @@
+package pe
+
+import "testing"
+
+// The //sstore:allocgate markers below pair with //sstore:nomalloc
+// annotations; the allocgate analyzer fails the build if either side
+// exists without the other.
+
+//sstore:allocgate deque.pushBack
+//sstore:allocgate deque.pushFront
+//sstore:allocgate deque.popFront
+func TestDequeOpsAllocFree(t *testing.T) {
+	var d deque
+	// Grow once to steady-state capacity; the gate measures the ring
+	// operations, not the amortized growth.
+	for i := 0; i < 16; i++ {
+		d.pushBack(&task{})
+	}
+	for d.len() > 0 {
+		d.popFront()
+	}
+	probe := &task{}
+	if n := testing.AllocsPerRun(1000, func() {
+		d.pushBack(probe)
+		d.pushFront(probe)
+		d.popFront()
+		d.popFront()
+	}); n != 0 {
+		t.Fatalf("deque ops allocate %v/op at steady state; the scheduler queues every TE through them", n)
+	}
+}

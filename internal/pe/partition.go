@@ -96,6 +96,13 @@ func (p *partition) run() {
 	}
 }
 
+// execute runs one queued task on the partition goroutine. Everything
+// below here — SP bodies, commit, trigger dispatch — must compute the
+// same state on a live run and on a serial replay of the command log;
+// control thunks (t.control) are engine plumbing that runs outside the
+// logged schedule and carries its own obligations.
+//
+//sstore:deterministic
 func (p *partition) execute(t *task) {
 	switch {
 	case t.control != nil:

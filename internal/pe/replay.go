@@ -105,13 +105,30 @@ func (s *replayStash) sweepOnce(stream string) bool {
 	return true
 }
 
-// drain empties the stash, returning every parked batch.
-func (s *replayStash) drain() map[stashKey]stashedBatch {
+// drainedBatch is one stash entry surfaced by drain.
+type drainedBatch struct {
+	key   stashKey
+	batch stashedBatch
+}
+
+// drain empties the stash, returning every parked batch in (stream,
+// batchID) order: drain feeds replay's re-fire pass, and the stash
+// map's iteration order must not leak into the replayed schedule.
+func (s *replayStash) drain() []drainedBatch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.m
+	out := make([]drainedBatch, 0, len(s.m))
+	for k, b := range s.m {
+		out = append(out, drainedBatch{key: k, batch: b})
+	}
 	s.m = make(map[stashKey]stashedBatch)
-	return m
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.stream != out[j].key.stream {
+			return out[i].key.stream < out[j].key.stream
+		}
+		return out[i].key.batchID < out[j].key.batchID
+	})
+	return out
 }
 
 // LoadSnapshot implements recovery.Engine: it restores the latest
@@ -121,6 +138,8 @@ func (s *replayStash) drain() map[stashKey]stashedBatch {
 // writes can never load partitions at mixed stamps; without a
 // manifest (pre-manifest checkpoints) the legacy plain files load as
 // before.
+//
+//sstore:deterministic
 func (e *Engine) LoadSnapshot() (uint64, error) {
 	stamp, committed, err := wal.ReadSnapshotManifest(e.opts.SnapshotDir)
 	if err != nil {
@@ -169,6 +188,8 @@ func (e *Engine) SetPETriggersEnabled(enabled bool) { e.peTriggersOn.Store(enabl
 // record pays one client round trip. TEs re-derived inside the engine
 // by PE triggers (weak recovery's interior work) pay none, which is
 // why weak recovery also *recovers* faster (Figure 9b).
+//
+//sstore:deterministic
 func (e *Engine) ReplayRecord(rec *wal.Record) error {
 	if e.link != nil {
 		e.link.RoundTrip()
@@ -324,6 +345,8 @@ func makeConsumerTasks(consumers []string, streamKey string, batchID int64, rows
 // partition that owns it. For a fan-out batch whose records partially
 // survived the crash, only the consumers that did NOT already replay
 // are fired; re-firing a replayed one would double-apply it.
+//
+//sstore:deterministic
 func (e *Engine) FirePendingStreamTriggers() error {
 	type pending struct {
 		stream  string
@@ -334,8 +357,8 @@ func (e *Engine) FirePendingStreamTriggers() error {
 	}
 	var all []pending
 	if e.stash != nil {
-		for k, b := range e.stash.drain() {
-			all = append(all, pending{stream: k.stream, batchID: k.batchID, rows: b.rows, pid: b.pid, taken: b.taken})
+		for _, d := range e.stash.drain() {
+			all = append(all, pending{stream: d.key.stream, batchID: d.key.batchID, rows: d.batch.rows, pid: d.batch.pid, taken: d.batch.taken})
 		}
 	}
 	for _, p := range e.parts {
@@ -412,15 +435,29 @@ func (e *Engine) FirePendingStreamTriggers() error {
 		}
 	}
 	// Keep each destination's exactly-once ledger shard ahead of the
-	// batches fired onto it.
-	for lk, hi := range ledgerHi {
-		if hi > e.dedup.High(lk.pid, lk.stream) {
+	// batches fired onto it. Ledger resets and task pushes happen in
+	// sorted key / partition-index order: both loops sit on the replay
+	// path, where map-iteration order must never reach an effect.
+	lks := make([]ledgerKey, 0, len(ledgerHi))
+	for lk := range ledgerHi {
+		lks = append(lks, lk)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].pid != lks[j].pid {
+			return lks[i].pid < lks[j].pid
+		}
+		return lks[i].stream < lks[j].stream
+	})
+	for _, lk := range lks {
+		if hi := ledgerHi[lk]; hi > e.dedup.High(lk.pid, lk.stream) {
 			e.dedup.Reset(lk.pid, lk.stream)
 			e.dedup.Admit(lk.pid, lk.stream, hi)
 		}
 	}
-	for pid, ts := range perPart {
-		e.parts[pid].sched.PushFrontBatch(ts)
+	for pid := range e.parts {
+		if ts := perPart[pid]; len(ts) > 0 {
+			e.parts[pid].sched.PushFrontBatch(ts)
+		}
 	}
 	return e.Drain()
 }
@@ -428,6 +465,8 @@ func (e *Engine) FirePendingStreamTriggers() error {
 // Recover runs crash recovery per the configured mode over the
 // sharded command logs, then re-arms the global commit sequence past
 // everything already logged. Call before admitting traffic.
+//
+//sstore:deterministic
 func (e *Engine) Recover() error {
 	e.loggingOn.Store(false)
 	e.stash = newReplayStash()

@@ -105,19 +105,24 @@ func (d *deque) grow(need int) {
 	d.head = 0
 }
 
+//sstore:nomalloc
 func (d *deque) pushBack(t *task) {
+	//lint:allow hotalloc -- grow is the amortized slow path; steady-state pushes stay inside the ring
 	d.grow(1)
 	d.buf[(d.head+d.n)&(len(d.buf)-1)] = t
 	d.n++
 }
 
+//sstore:nomalloc
 func (d *deque) pushFront(t *task) {
+	//lint:allow hotalloc -- grow is the amortized slow path; steady-state pushes stay inside the ring
 	d.grow(1)
 	d.head = (d.head - 1) & (len(d.buf) - 1)
 	d.buf[d.head] = t
 	d.n++
 }
 
+//sstore:nomalloc
 func (d *deque) popFront() *task {
 	t := d.buf[d.head]
 	d.buf[d.head] = nil // release for GC

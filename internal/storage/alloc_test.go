@@ -1,0 +1,17 @@
+package storage
+
+import "testing"
+
+// The //sstore:allocgate markers below pair with //sstore:nomalloc
+// annotations; the allocgate analyzer fails the build if either side
+// exists without the other.
+
+//sstore:allocgate Table.beforeMutate
+func TestBeforeMutateAllocFree(t *testing.T) {
+	tbl := NewTable("t", KindTable, nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		tbl.beforeMutate()
+	}); n != 0 {
+		t.Fatalf("Table.beforeMutate fast path allocates %v/op; the copy-on-write hook runs at the top of every mutation", n)
+	}
+}

@@ -8,6 +8,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -116,11 +117,14 @@ type Table struct {
 // beforeMutate is the copy-on-write hook called at the top of every
 // mutating operation. The fast path — same task already mutated this
 // table, or no view registry attached — is two atomic loads.
+//
+//sstore:nomalloc
 func (t *Table) beforeMutate() {
 	v := t.views
 	if v == nil || t.liveTask.Load() == v.curTask.Load() {
 		return
 	}
+	//lint:allow hotalloc -- the copy-on-write detach is the deliberate slow path; the annotation guards the loads above it
 	v.beforeMutate(t)
 }
 
@@ -171,8 +175,16 @@ func (t *Table) AddIndex(idx index.Index) error {
 			return fmt.Errorf("storage: table %s already has index %s", t.name, name)
 		}
 	}
-	for tid, r := range t.rows {
-		if err := idx.Insert(t.extractKey(idx, r.data), tid); err != nil {
+	// Backfill in tid order: hash buckets accumulate entries in insert
+	// order, so a map-order backfill would give a replayed run different
+	// bucket layouts (and different scan orders) than the live run.
+	tids := make([]uint64, 0, len(t.rows))
+	for tid := range t.rows {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		if err := idx.Insert(t.extractKey(idx, t.rows[tid].data), tid); err != nil {
 			return fmt.Errorf("storage: backfilling index %s: %w", idx.Name(), err)
 		}
 	}

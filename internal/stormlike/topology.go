@@ -85,6 +85,7 @@ type Topology struct {
 	bolts    []BoltFunc
 	acker    *acker
 	nextID   uint64
+	idRand   *rand.Rand
 	idMu     sync.Mutex
 	replayTO time.Duration
 
@@ -94,14 +95,27 @@ type Topology struct {
 	processed uint64
 }
 
-// NewTopology builds a chain topology over the bolt functions.
+// NewTopology builds a chain topology over the bolt functions. Tuple
+// IDs draw from a topology-owned generator seeded to a fixed default,
+// so two runs over the same input produce the same ID stream; use
+// SeedIDs to vary (or reproduce) a particular run.
 func NewTopology(bolts ...BoltFunc) *Topology {
 	return &Topology{
 		bolts:    bolts,
 		acker:    newAcker(),
+		idRand:   rand.New(rand.NewSource(1)),
 		replayTO: 100 * time.Millisecond,
 		pending:  make(map[uint64]types.Row),
 	}
+}
+
+// SeedIDs re-seeds the topology's tuple-ID generator. Call before
+// Run: a topology replayed with the same seed and input emits the
+// same tuple IDs, which makes ack-tree failures reproducible.
+func (t *Topology) SeedIDs(seed int64) {
+	t.idMu.Lock()
+	defer t.idMu.Unlock()
+	t.idRand = rand.New(rand.NewSource(seed))
 }
 
 func (t *Topology) newID() uint64 {
@@ -109,8 +123,10 @@ func (t *Topology) newID() uint64 {
 	defer t.idMu.Unlock()
 	t.nextID++
 	// Storm uses random 64-bit IDs; mix in randomness so XORs of
-	// sequential IDs don't accidentally cancel.
-	return t.nextID<<20 ^ rand.Uint64()>>44 | t.nextID
+	// sequential IDs don't accidentally cancel. The randomness comes
+	// from the topology's seeded generator, never the global source:
+	// a fixed seed must reproduce a run exactly.
+	return t.nextID<<20 ^ t.idRand.Uint64()>>44 | t.nextID
 }
 
 // Replays returns how many root tuples were replayed after failures.

@@ -66,6 +66,7 @@ func OpenSet(opts SetOptions) (*LogSet, error) {
 			Seq:         &s.seq,
 		})
 		if err != nil {
+			//lint:allow errdrop -- best-effort cleanup; the open error is what the caller needs
 			s.Close()
 			return nil, err
 		}

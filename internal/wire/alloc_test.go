@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The //sstore:allocgate markers below pair with //sstore:nomalloc
+// annotations; the allocgate analyzer fails the build if either side
+// exists without the other.
+
+//sstore:allocgate appendString
+func TestAppendStringAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = appendString(buf[:0], "sp_ingest")
+	}); n != 0 {
+		t.Fatalf("appendString allocates %v/op with spare capacity; it encodes every request and response", n)
+	}
+}
+
+//sstore:allocgate decoder.byte
+//sstore:allocgate decoder.uvarint
+//sstore:allocgate decoder.varint
+func TestDecoderPrimitivesAllocFree(t *testing.T) {
+	var payload []byte
+	payload = append(payload, 7)
+	payload = binary.AppendUvarint(payload, 123456)
+	payload = binary.AppendVarint(payload, -987654)
+	if n := testing.AllocsPerRun(1000, func() {
+		d := decoder{buf: payload}
+		if d.byte() != 7 || d.uvarint() != 123456 || d.varint() != -987654 || d.err != nil {
+			panic("decoder round-trip broke")
+		}
+	}); n != 0 {
+		t.Fatalf("decoder primitives allocate %v/op on the valid path", n)
+	}
+}

@@ -351,6 +351,9 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	return r, nil
 }
 
+// appendString is on the encode hot path of every request and response.
+//
+//sstore:nomalloc
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
@@ -369,11 +372,13 @@ func (d *decoder) fail(format string, args ...any) {
 	}
 }
 
+//sstore:nomalloc
 func (d *decoder) byte() uint8 {
 	if d.err != nil {
 		return 0
 	}
 	if len(d.buf) == 0 {
+		//lint:allow hotalloc -- sticky-error construction; runs at most once per payload
 		d.fail("truncated")
 		return 0
 	}
@@ -382,12 +387,14 @@ func (d *decoder) byte() uint8 {
 	return b
 }
 
+//sstore:nomalloc
 func (d *decoder) uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.buf)
 	if n <= 0 {
+		//lint:allow hotalloc -- sticky-error construction; runs at most once per payload
 		d.fail("truncated uvarint")
 		return 0
 	}
@@ -395,12 +402,14 @@ func (d *decoder) uvarint() uint64 {
 	return v
 }
 
+//sstore:nomalloc
 func (d *decoder) varint() int64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Varint(d.buf)
 	if n <= 0 {
+		//lint:allow hotalloc -- sticky-error construction; runs at most once per payload
 		d.fail("truncated varint")
 		return 0
 	}
