@@ -21,19 +21,24 @@ type LockOrderConfig struct {
 }
 
 // EngineLockOrder is the repo's documented acquisition order
-// (internal/pe/readview.go): ddlMu → readMu → Views.mu → Table.latch,
-// with the table latch as a leaf — it is the storage.Views read latch
+// (internal/pe/readview.go): ddlMu → readMu → Executor.mu → Views.mu →
+// Table.latch. Executor.mu is the executor's plan-cache lock, taken by
+// worker goroutines preparing statements during a parallel wave; it is
+// a leaf (its critical sections are map operations only), ranked under
+// ddlMu because runtime DDL holds ddlMu while invalidating the cache.
+// The table latch is also a leaf — it is the storage.Views read latch
 // held across one statement's scan, and taking anything under it can
 // deadlock against the copy-on-write detach barrier.
 var EngineLockOrder = LockOrderConfig{
 	Ranks: map[string]int{
 		"sstore/internal/pe.partition.ddlMu":  1,
 		"sstore/internal/pe.partition.readMu": 2,
-		"sstore/internal/storage.Views.mu":    3,
-		"sstore/internal/storage.Table.latch": 4,
+		"sstore/internal/ee.Executor.mu":      3,
+		"sstore/internal/storage.Views.mu":    4,
+		"sstore/internal/storage.Table.latch": 5,
 	},
-	Leaf:     map[int]bool{4: true},
-	OrderDoc: "ddlMu → readMu → Views.mu → Table.latch",
+	Leaf:     map[int]bool{3: true, 5: true},
+	OrderDoc: "ddlMu → readMu → Executor.mu → Views.mu → Table.latch",
 }
 
 // LockOrder enforces EngineLockOrder over the module.

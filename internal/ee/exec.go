@@ -2,6 +2,7 @@ package ee
 
 import (
 	"fmt"
+	"sync"
 
 	"sstore/internal/index"
 	"sstore/internal/sql"
@@ -54,6 +55,13 @@ type ExecCtx struct {
 	// Txn records undo information; nil disables rollback support
 	// (used only by tests and recovery internals).
 	Txn TxnState
+	// Allowed, when non-nil, is the enclosing stored procedure's
+	// declared access set: every statement's compiled access must be
+	// covered by it or the statement fails before touching any table.
+	// The partition engine sets it for procedures with declared
+	// accesses (in both serial and parallel execution, so behavior
+	// does not depend on the worker count); nil disables enforcement.
+	Allowed *AccessSet
 	// Appends accumulates stream appends for PE-trigger dispatch.
 	Appends []StreamAppend
 	depth   int
@@ -77,11 +85,18 @@ type Trigger struct {
 	Stmts []string
 }
 
-// Executor runs SQL statements against one partition's catalog. It is
-// confined to the partition's goroutine; plans are cached per statement
-// text.
+// Executor runs SQL statements against one partition's catalog.
+// Statement execution runs on the partition's goroutine or, for
+// non-conflicting transactions, on its worker pool; the plan cache is
+// the one piece of state those goroutines share, guarded by mu.
+// Triggers and peConsumed are registered at setup time and read-only
+// afterwards.
 type Executor struct {
-	cat        *storage.Catalog
+	cat *storage.Catalog
+	// mu guards plans: worker goroutines executing a parallel wave
+	// prepare statements concurrently. Compilation happens outside
+	// the lock; the critical sections are map operations only.
+	mu         sync.RWMutex
 	plans      map[string]*prepared
 	triggers   map[string][]*Trigger
 	peConsumed map[string]bool // streams consumed by PE triggers: no EE-level GC
@@ -130,7 +145,11 @@ func (e *Executor) SetPEConsumed(table string) {
 }
 
 // InvalidatePlans drops the plan cache; call after DDL.
-func (e *Executor) InvalidatePlans() { e.plans = make(map[string]*prepared) }
+func (e *Executor) InvalidatePlans() {
+	e.mu.Lock()
+	e.plans = make(map[string]*prepared)
+	e.mu.Unlock()
+}
 
 func lowerName(s string) string {
 	b := []byte(s)
@@ -149,6 +168,9 @@ type prepared struct {
 	upd *updatePlan
 	del *deletePlan
 	ddl sql.Statement
+	// access is the statement's table-granularity read/write
+	// footprint, emitted at compile time; nil for DDL (unbounded).
+	access *AccessSet
 }
 
 type insertPlan struct {
@@ -175,21 +197,68 @@ type deletePlan struct {
 	filter compiledExpr
 }
 
-// Prepare parses and plans a statement, caching by text.
+// Prepare parses and plans a statement, caching by text. Safe for
+// concurrent use: on a cache miss the statement compiles outside the
+// lock and the first finished compilation wins.
 func (e *Executor) Prepare(text string) (*prepared, error) {
-	if p, ok := e.plans[text]; ok {
+	e.mu.RLock()
+	p, ok := e.plans[text]
+	e.mu.RUnlock()
+	if ok {
 		return p, nil
 	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	p, err := e.compile(stmt)
+	p, err = e.compile(stmt)
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
+	if prev, ok := e.plans[text]; ok {
+		e.mu.Unlock()
+		return prev, nil
+	}
 	e.plans[text] = p
+	e.mu.Unlock()
 	return p, nil
+}
+
+// StatementAccess compiles a statement (caching its plan) and returns
+// its table-granularity access set; nil for DDL, whose footprint the
+// planner does not bound.
+func (e *Executor) StatementAccess(text string) (*AccessSet, error) {
+	p, err := e.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return p.access, nil
+}
+
+// accessSet builds a statement's access set, reclassifying window
+// tables as writes (maintained-aggregate reads mutate lazily; see
+// AccessSet).
+func (e *Executor) accessSet(readTables, writeTables []string) *AccessSet {
+	var reads, writes []string
+	for _, n := range readTables {
+		if t, err := e.cat.Get(n); err == nil && t.Kind() == storage.KindWindow {
+			writes = append(writes, n)
+		} else {
+			reads = append(reads, n)
+		}
+	}
+	writes = append(writes, writeTables...)
+	return NewAccessSet(reads, writes)
+}
+
+// selTables lists every table a select plan touches.
+func selTables(p *selectPlan) []string {
+	tbls := []string{p.baseTable}
+	for _, j := range p.joins {
+		tbls = append(tbls, j.table)
+	}
+	return tbls
 }
 
 func (e *Executor) compile(stmt sql.Statement) (*prepared, error) {
@@ -199,26 +268,32 @@ func (e *Executor) compile(stmt sql.Statement) (*prepared, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &prepared{sel: plan}, nil
+		return &prepared{sel: plan, access: e.accessSet(selTables(plan), nil)}, nil
 	case *sql.Insert:
 		plan, err := e.compileInsert(s)
 		if err != nil {
 			return nil, err
 		}
-		return &prepared{ins: plan}, nil
+		var queryReads []string
+		if plan.query != nil {
+			queryReads = selTables(plan.query)
+		}
+		return &prepared{ins: plan, access: e.accessSet(queryReads, []string{plan.table})}, nil
 	case *sql.Update:
 		plan, err := e.compileUpdate(s)
 		if err != nil {
 			return nil, err
 		}
-		return &prepared{upd: plan}, nil
+		return &prepared{upd: plan, access: e.accessSet(nil, []string{plan.table})}, nil
 	case *sql.Delete:
 		plan, err := e.compileDelete(s)
 		if err != nil {
 			return nil, err
 		}
-		return &prepared{del: plan}, nil
+		return &prepared{del: plan, access: e.accessSet(nil, []string{plan.table})}, nil
 	case *sql.CreateTable, *sql.CreateWindow, *sql.CreateIndex:
+		// DDL's footprint is unbounded at plan time: access stays nil,
+		// which Check rejects for declared procedures.
 		return &prepared{ddl: stmt}, nil
 	default:
 		return nil, fmt.Errorf("ee: unsupported statement %T", stmt)
@@ -350,6 +425,16 @@ func (e *Executor) Execute(text string, params []types.Value, ctx *ExecCtx) (*Re
 }
 
 func (e *Executor) run(p *prepared, params []types.Value, ctx *ExecCtx) (*Result, error) {
+	// Declared-access enforcement: every statement — the body's and any
+	// EE trigger's, which recurses through Execute with the same ctx —
+	// must stay inside the procedure's declared footprint. The check
+	// runs before the statement touches any table, so a wrong
+	// declaration aborts the TE instead of racing a concurrent one.
+	if ctx.Allowed != nil {
+		if err := ctx.Allowed.Check(p.access); err != nil {
+			return nil, err
+		}
+	}
 	switch {
 	case p.sel != nil:
 		if err := e.checkWindowAccess(p.sel.baseTable, ctx); err != nil {

@@ -253,3 +253,47 @@ func TestReadShape(t *testing.T) {
 		t.Errorf("read traffic appeared in the scheduler queue: depth %d", queued)
 	}
 }
+
+func TestSkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// The point of intra-partition parallelism: fully-skewed routing
+	// (zipf s=8 puts ~99.6% of calls on partition 0) with disjoint
+	// writes must run well ahead of the serial loop on 4 workers,
+	// while a fully-conflicting workload — every adjacent pair shares
+	// a table — must degrade to serial order at near-zero cost. Both
+	// probes are boundary-wait dominated, so the shape holds on a
+	// single-CPU host. Timing noise gets a bounded retry.
+	routes := skewRoutes(8, 300)
+	for attempt := 1; ; attempt++ {
+		serial, _, _, _, err := skewProbe(false, 0, routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, _, _, parTasks, err := skewProbe(false, 4, routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conSerial, _, _, _, err := skewProbe(true, 0, routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conPar, _, _, _, err := skewProbe(true, 4, routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parTasks == 0 {
+			t.Fatalf("disjoint workload formed no waves")
+		}
+		if par >= 2*serial && conPar >= 0.9*conSerial {
+			t.Logf("disjoint %.0f → %.0f calls/s (%.1fx); conflicting %.0f → %.0f (%.2fx)",
+				serial, par, par/serial, conSerial, conPar, conPar/conSerial)
+			return
+		}
+		if attempt == 3 {
+			t.Fatalf("skew shape off: disjoint %.0f → %.0f (want ≥2x), conflicting %.0f → %.0f (want ≥0.9x)",
+				serial, par, conSerial, conPar)
+		}
+	}
+}

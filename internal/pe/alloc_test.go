@@ -1,6 +1,10 @@
 package pe
 
-import "testing"
+import (
+	"testing"
+
+	"sstore/internal/ee"
+)
 
 // The //sstore:allocgate markers below pair with //sstore:nomalloc
 // annotations; the allocgate analyzer fails the build if either side
@@ -27,5 +31,22 @@ func TestDequeOpsAllocFree(t *testing.T) {
 		d.popFront()
 	}); n != 0 {
 		t.Fatalf("deque ops allocate %v/op at steady state; the scheduler queues every TE through them", n)
+	}
+}
+
+//sstore:allocgate conflictsAny
+func TestConflictOpsAllocFree(t *testing.T) {
+	accs := []*ee.AccessSet{
+		ee.NewAccessSet([]string{"a"}, []string{"b"}),
+		ee.NewAccessSet(nil, []string{"c"}),
+	}
+	clash := ee.NewAccessSet(nil, []string{"b"})
+	clear := ee.NewAccessSet([]string{"d"}, []string{"e"})
+	if n := testing.AllocsPerRun(1000, func() {
+		if !conflictsAny(accs, clash) || conflictsAny(accs, clear) {
+			t.Fatal("conflict answers changed")
+		}
+	}); n != 0 {
+		t.Fatalf("conflictsAny allocates %v/op; the dispatcher runs it per queued task", n)
 	}
 }

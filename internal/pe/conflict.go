@@ -1,0 +1,92 @@
+package pe
+
+import (
+	"sstore/internal/ee"
+)
+
+// This file is the conflict-analysis half of intra-partition
+// parallelism (Options.Workers): deciding which queued tasks may
+// execute concurrently. The execution half lives in partition.go.
+//
+// A task is wave-eligible when its stored procedure declared an access
+// set (StoredProc.Access) and none of its effective writes can fire a
+// PE trigger. The second condition preserves the serial engine's
+// schedule: a committing TE pushes its triggered children to the FRONT
+// of the queue, ahead of everything queued behind it — but the
+// dispatcher pops a run of tasks before executing any of them, so a
+// run containing a trigger-producing TE would let later-queued tasks
+// bypass the children. Keeping such TEs serial-only (popped one at a
+// time) makes the dispatcher's admission order identical to the serial
+// engine's execution order.
+
+// declaredAccess resolves (and caches) a stored procedure's declared
+// access set: the registration-time declaration plus the consumed
+// input stream, which the engine itself writes on the procedure's
+// behalf (batch placement and post-commit GC). Nil means undeclared —
+// the procedure is serial-only and statement enforcement is off, the
+// pre-parallelism behavior. Dispatcher-goroutine only.
+func (p *partition) declaredAccess(name string) *ee.AccessSet {
+	if acc, ok := p.spAccess[name]; ok {
+		return acc
+	}
+	var acc *ee.AccessSet
+	if sp := p.eng.procs[name]; sp != nil && sp.Access != nil {
+		writes := sp.Access.Writes
+		if in := p.eng.spInput[name]; in != "" {
+			writes = append(append([]string(nil), writes...), in)
+		}
+		acc = ee.NewAccessSet(sp.Access.Reads, writes)
+	}
+	p.spAccess[name] = acc
+	return acc
+}
+
+// waveSafe reports (and caches) whether a stored procedure's TEs may
+// join a parallel wave: declared accesses, none of whose write tables
+// is a PE-consumed stream. Dispatcher-goroutine only.
+func (p *partition) waveSafe(name string) bool {
+	if ok, cached := p.spWave[name]; cached {
+		return ok
+	}
+	acc := p.declaredAccess(name)
+	ok := acc != nil
+	if ok {
+		for _, w := range acc.Writes {
+			if len(p.eng.consumers[w]) > 0 {
+				ok = false
+				break
+			}
+		}
+	}
+	p.spWave[name] = ok
+	return ok
+}
+
+// waveEligible is the scheduler PopRun predicate: control tasks,
+// nested transactions, unknown procedures, and serial-only procedures
+// end a run. It must not call back into the scheduler (it runs under
+// the scheduler lock); it only reads engine registration maps and the
+// partition-local caches.
+func (p *partition) waveEligible(t *task) bool {
+	if t.control != nil || len(t.nested) > 0 || t.sp == "" {
+		return false
+	}
+	if _, known := p.eng.procs[t.sp]; !known {
+		return false
+	}
+	return p.waveSafe(t.sp)
+}
+
+// conflictsAny reports whether a candidate access set conflicts with
+// any of the sets already admitted to the wave under construction.
+// Runs once per queued task on the dispatcher's fast path.
+//
+//sstore:nomalloc
+func conflictsAny(accs []*ee.AccessSet, cand *ee.AccessSet) bool {
+	for _, a := range accs {
+		if cand.ConflictsWith(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,19 @@ type Options struct {
 	// Partitions is the number of execution sites; one core each
 	// (§3.1). Defaults to 1.
 	Partitions int
+	// Workers, when > 1, enables dependency-aware intra-partition
+	// parallelism: each partition's goroutine becomes a dispatcher
+	// that pops a run of queued tasks and executes the bodies of
+	// mutually non-conflicting TEs (by declared access sets; see
+	// StoredProc.Access) concurrently on a pool of this many workers,
+	// retiring them in admission order. Committed state, command-log
+	// order, replay, and snapshot read views are identical to serial
+	// execution; only the interleaving of TE bodies changes.
+	// Procedures without a declared access set, conflicting TEs,
+	// nested transactions, and TEs that can fire PE triggers fall back
+	// to in-order serial execution. 0 or 1 keeps the classic serial
+	// loop (the default).
+	Workers int
 	// ClientRTT is the simulated client↔engine round-trip latency
 	// applied to Call (and to Ingest acknowledgement when used
 	// synchronously). Zero disables the simulation.
@@ -218,6 +231,9 @@ func NewEngine(opts Options) (*Engine, error) {
 		p := newPartition(i, e)
 		p.sched.track = e.idle
 		p.sched.bound = opts.MaxQueueDepth
+		if opts.Workers > 1 {
+			p.startWorkers(opts.Workers)
+		}
 		e.parts = append(e.parts, p)
 		go p.run()
 	}
@@ -753,7 +769,9 @@ func (e *Engine) SPExecutions(sp string) uint64 {
 
 // TriggerErr returns (and clears) the most recent error from a
 // PE-triggered TE, which has no caller to report to. Nil when every
-// triggered TE succeeded. Call after Drain.
+// triggered TE succeeded. Call after Drain. Clearing affects only the
+// remembered error; Stats.TriggerErrors counts every such failure
+// cumulatively.
 func (e *Engine) TriggerErr() error {
 	for _, p := range e.parts {
 		var err error
@@ -780,6 +798,20 @@ type Stats struct {
 	// Overloaded counts border submissions (Calls and ingested
 	// batches) rejected by the MaxQueueDepth backpressure bound.
 	Overloaded uint64
+	// TriggerErrors counts reply-less TE failures (PE-triggered
+	// interior TEs and trigger-dispatch misses) cumulatively, across
+	// all partitions; unlike TriggerErr it is never cleared.
+	TriggerErrors uint64
+	// TasksParallel and TasksSerial split dispatcher-executed tasks
+	// by path under Options.Workers: wave members whose bodies ran
+	// concurrently vs serial fallbacks (conflicting, undeclared,
+	// trigger-producing, nested, control, or lone tasks). Both stay
+	// zero on a classic serial engine.
+	TasksParallel uint64
+	TasksSerial   uint64
+	// PeakConcurrent is the maximum number of TE bodies any partition
+	// had in flight at once (1 when never parallel).
+	PeakConcurrent int
 }
 
 // Stats returns a snapshot of engine counters. Executed/Aborted are
@@ -790,6 +822,12 @@ func (e *Engine) Stats() Stats {
 	for _, p := range e.parts {
 		s.Executed += p.executed
 		s.Aborted += p.aborted
+		s.TriggerErrors += p.triggerErrs.Load()
+		s.TasksParallel += p.tasksParallel.Load()
+		s.TasksSerial += p.tasksSerial.Load()
+		if pc := int(p.peakConcurrent.Load()); pc > s.PeakConcurrent {
+			s.PeakConcurrent = pc
+		}
 	}
 	s.Overloaded = e.overloaded.Load()
 	if e.logs != nil {

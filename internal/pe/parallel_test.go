@@ -1,0 +1,373 @@
+package pe
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sstore/internal/recovery"
+	"sstore/internal/stream"
+	"sstore/internal/types"
+	"sstore/internal/wal"
+	"sstore/internal/workflow"
+)
+
+// Equivalence property tests for the dependency-aware parallel
+// dispatcher: with Workers > 1 a partition may execute non-conflicting
+// TE bodies concurrently, but the committed state, the command-log
+// record sequence, and the state recovered from that log must all be
+// byte-identical to the serial (Workers=0) execution of the same
+// admission order. The tests drive both engines with one seeded
+// op sequence and compare everything observable.
+
+// parallelMixDDL is the shared schema for the equivalence workload:
+// four independently-writable tables (wave candidates), one shared
+// table (all writers conflict), and a border→interior workflow (its
+// SPs are serial-only: undeclared access plus PE-consumed streams).
+func parallelMixSetup(t *testing.T, e *Engine) {
+	t.Helper()
+	ddls := []string{
+		"CREATE TABLE shared (k BIGINT, v BIGINT)",
+		"CREATE STREAM f_in (v BIGINT)",
+		"CREATE STREAM f_mid (v BIGINT)",
+		"CREATE TABLE sink_a (v BIGINT)",
+	}
+	for i := 0; i < 4; i++ {
+		ddls = append(ddls, fmt.Sprintf("CREATE TABLE t%d (k BIGINT, v BIGINT)", i))
+	}
+	for _, ddl := range ddls {
+		if err := e.ExecDDL(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		tbl := fmt.Sprintf("t%d", i)
+		err := e.RegisterProc(&StoredProc{
+			Name:   fmt.Sprintf("Upd%d", i),
+			Access: &ProcAccess{Writes: []string{tbl}},
+			Func: func(ctx *ProcCtx) error {
+				if ctx.Params()[1].Int() < 0 {
+					return fmt.Errorf("negative delta rejected")
+				}
+				_, err := ctx.Query(
+					fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", tbl),
+					ctx.Params()[0], ctx.Params()[1])
+				return err
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RegisterProc(&StoredProc{
+		Name:   "Shared",
+		Access: &ProcAccess{Reads: []string{"shared"}, Writes: []string{"shared"}},
+		Func: func(ctx *ProcCtx) error {
+			_, err := ctx.Query("INSERT INTO shared SELECT ?, 1 + COUNT(*) FROM shared",
+				ctx.Params()[0])
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mystery has no declared access set: the dispatcher must treat it
+	// as serial-only even though its body only touches t0.
+	if err := e.RegisterProc(&StoredProc{
+		Name: "Mystery",
+		Func: func(ctx *ProcCtx) error {
+			_, err := ctx.Query("INSERT INTO t0 VALUES (?, ?)",
+				ctx.Params()[0], ctx.Params()[1])
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProc(&StoredProc{Name: "Produce", Func: func(ctx *ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO f_mid SELECT v FROM f_in")
+		return err
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProc(&StoredProc{Name: "ConsumerA", Func: func(ctx *ProcCtx) error {
+		_, err := ctx.Query("INSERT INTO sink_a SELECT v FROM f_mid")
+		return err
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workflow.New("fan", []workflow.Node{
+		{SP: "Produce", Input: "f_in", Outputs: []string{"f_mid"}},
+		{SP: "ConsumerA", Input: "f_mid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeployWorkflow(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var parallelMixTables = []string{"t0", "t1", "t2", "t3", "shared", "sink_a"}
+
+// tableDump renders a table's full contents in storage order; the
+// committed row order must match between serial and parallel runs,
+// not just the multiset of rows.
+func tableDump(t *testing.T, e *Engine, tbl string) string {
+	t.Helper()
+	res, err := e.AdHoc(0, "SELECT * FROM "+tbl)
+	if err != nil {
+		t.Fatalf("dump %s: %v", tbl, err)
+	}
+	s := tbl + ":"
+	for _, row := range res.Rows {
+		s += fmt.Sprintf(" %v", row)
+	}
+	return s
+}
+
+func engineState(t *testing.T, e *Engine) []string {
+	t.Helper()
+	var out []string
+	for _, tbl := range parallelMixTables {
+		out = append(out, tableDump(t, e, tbl))
+	}
+	return out
+}
+
+// recordKey renders the replay-relevant fields of a log record. LSN is
+// included: the commit sequence itself must be identical, not merely
+// the order.
+func recordKey(r *wal.Record) string {
+	return fmt.Sprintf("lsn=%d kind=%d sp=%s batch=%d params=%v rows=%v",
+		r.LSN, r.Kind, r.SP, r.BatchID, r.Params, r.Batch)
+}
+
+// driveParallelMix submits a seeded op sequence to the engine from a
+// single goroutine, so admission order is a pure function of the seed.
+// It returns the per-op error strings (empty string for success).
+func driveParallelMix(t *testing.T, e *Engine, seed int64, nops int) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	chans := make([]<-chan CallResult, 0, nops)
+	opOf := make([]int, 0, nops)
+	errs := make([]string, nops)
+	batchID := int64(0)
+	for i := 0; i < nops; i++ {
+		switch c := rng.Intn(10); {
+		case c < 6: // non-conflicting declared writer, ~10% aborting
+			tbl := rng.Intn(4)
+			delta := int64(rng.Intn(100))
+			if rng.Intn(10) == 0 {
+				delta = -delta - 1
+			}
+			chans = append(chans, e.CallAsync(fmt.Sprintf("Upd%d", tbl),
+				types.Row{types.NewInt(int64(i)), types.NewInt(delta)}))
+			opOf = append(opOf, i)
+		case c < 8: // all-conflicting declared writer
+			chans = append(chans, e.CallAsync("Shared",
+				types.Row{types.NewInt(int64(i))}))
+			opOf = append(opOf, i)
+		case c < 9: // undeclared: serial-only barrier
+			chans = append(chans, e.CallAsync("Mystery",
+				types.Row{types.NewInt(int64(i)), types.NewInt(int64(rng.Intn(100)))}))
+			opOf = append(opOf, i)
+		default: // border ingest through the workflow
+			batchID++
+			err := e.Ingest("f_in", &stream.Batch{
+				ID:   batchID,
+				Rows: []types.Row{{types.NewInt(int64(i))}},
+			})
+			if err != nil {
+				errs[i] = err.Error()
+			}
+		}
+	}
+	for j, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			errs[opOf[j]] = r.Err.Error()
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TriggerErr(); err != nil {
+		t.Fatal(err)
+	}
+	return errs
+}
+
+// TestParallelSerialEquivalence runs the same seeded workload on a
+// serial engine and a parallel one (Workers=4) under strong command
+// logging, then asserts identical per-op outcomes, identical committed
+// state, an identical command-log record sequence, and identical state
+// after strong recovery from each log.
+func TestParallelSerialEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const nops = 160
+			dirs := [2]string{t.TempDir(), t.TempDir()}
+			workers := [2]int{0, 4}
+			var states [2][]string
+			var errs [2][]string
+			var recs [2][]*wal.Record
+			for i := 0; i < 2; i++ {
+				e, err := NewEngine(Options{
+					Workers:   workers[i],
+					Recovery:  recovery.ModeStrong,
+					LogPath:   dirs[i] + "/cmd.log",
+					LogPolicy: wal.SyncEachCommit,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parallelMixSetup(t, e)
+				errs[i] = driveParallelMix(t, e, seed, nops)
+				states[i] = engineState(t, e)
+				if i == 1 {
+					if s := e.Stats(); s.TasksParallel == 0 {
+						t.Errorf("parallel engine never formed a wave (serial=%d)", s.TasksSerial)
+					}
+				}
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				recs[i], err = wal.ReadSetMerged(dirs[i] + "/cmd.log")
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for op := range errs[0] {
+				if errs[0][op] != errs[1][op] {
+					t.Errorf("op %d outcome diverged: serial=%q parallel=%q",
+						op, errs[0][op], errs[1][op])
+				}
+			}
+			for j, line := range states[0] {
+				if line != states[1][j] {
+					t.Errorf("state diverged:\nserial:   %s\nparallel: %s", line, states[1][j])
+				}
+			}
+			if len(recs[0]) != len(recs[1]) {
+				t.Fatalf("log length diverged: serial=%d parallel=%d", len(recs[0]), len(recs[1]))
+			}
+			for j := range recs[0] {
+				if recordKey(recs[0][j]) != recordKey(recs[1][j]) {
+					t.Errorf("log record %d diverged:\nserial:   %s\nparallel: %s",
+						j, recordKey(recs[0][j]), recordKey(recs[1][j]))
+				}
+			}
+			// Strong recovery from the parallel-produced log must land on
+			// the same state as from the serial log (and as the live run).
+			for i := 0; i < 2; i++ {
+				r, err := NewEngine(Options{
+					Workers:   workers[i],
+					Recovery:  recovery.ModeStrong,
+					LogPath:   dirs[i] + "/cmd.log",
+					LogPolicy: wal.SyncEachCommit,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parallelMixSetup(t, r)
+				if err := r.Recover(); err != nil {
+					t.Fatalf("recover from %s log: %v", map[int]string{0: "serial", 1: "parallel"}[i], err)
+				}
+				got := engineState(t, r)
+				for j, line := range got {
+					if line != states[0][j] {
+						t.Errorf("recovered state (workers=%d) diverged:\nlive:      %s\nrecovered: %s",
+							workers[i], states[0][j], line)
+					}
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReadersRaceStress hammers a Workers=4 partition with
+// non-conflicting calls while snapshot readers pin and query views
+// concurrently. It exists for the race detector (CI runs the package
+// under -race); the assertions are secondary.
+func TestParallelReadersRaceStress(t *testing.T) {
+	e := newEngine(t, Options{Workers: 4})
+	for i := 0; i < 4; i++ {
+		if err := e.ExecDDL(fmt.Sprintf("CREATE TABLE r%d (k BIGINT, v BIGINT)", i)); err != nil {
+			t.Fatal(err)
+		}
+		tbl := fmt.Sprintf("r%d", i)
+		if err := e.RegisterProc(&StoredProc{
+			Name:   fmt.Sprintf("Put%d", i),
+			Access: &ProcAccess{Writes: []string{tbl}},
+			Func: func(ctx *ProcCtx) error {
+				_, err := ctx.Query(fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", tbl),
+					ctx.Params()[0], ctx.Params()[1])
+				return err
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			tbl := fmt.Sprintf("r%d", g)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := e.Read(0, "SELECT COUNT(*) FROM "+tbl); err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+				v, err := e.ReadView(0)
+				if err != nil {
+					t.Errorf("ReadView: %v", err)
+					return
+				}
+				if _, err := v.Query("SELECT COUNT(*) FROM " + tbl); err != nil {
+					t.Errorf("view query: %v", err)
+					v.Close()
+					return
+				}
+				v.Close()
+			}
+		}(g)
+	}
+	const nops = 400
+	chans := make([]<-chan CallResult, 0, nops)
+	for i := 0; i < nops; i++ {
+		chans = append(chans, e.CallAsync(fmt.Sprintf("Put%d", i%4),
+			types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 3))}))
+	}
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("call: %v", r.Err)
+		}
+	}
+	close(done)
+	readers.Wait()
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		res, err := e.AdHoc(0, fmt.Sprintf("SELECT COUNT(*) FROM r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].Int(); got != nops/4 {
+			t.Errorf("r%d has %d rows, want %d", i, got, nops/4)
+		}
+	}
+	if s := e.Stats(); s.TasksParallel == 0 {
+		t.Errorf("no parallel waves formed under stress (serial=%d)", s.TasksSerial)
+	}
+}

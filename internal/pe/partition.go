@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sstore/internal/ee"
 	"sstore/internal/storage"
@@ -35,19 +36,75 @@ type partition struct {
 	// would otherwise mutate under its feet.
 	ddlMu sync.RWMutex
 
+	// par, when non-nil, holds the intra-partition worker pool and the
+	// dispatcher's reusable buffers (Options.Workers > 1); nil keeps
+	// the classic serial pop-execute loop.
+	par *parallel
+	// spAccess caches each SP's declared access set (nil entry =
+	// cached "undeclared"); spWave caches wave eligibility. Both are
+	// dispatcher-goroutine only.
+	spAccess map[string]*ee.AccessSet
+	spWave   map[string]bool
+
 	nextTxn  uint64
 	executed uint64
 	aborted  uint64
 	// lastTriggerErr remembers the most recent error of a TE that had
 	// no reply channel (PE-triggered interior TEs); surfaced through
 	// Engine.TriggerErr so workflow failures are not silent.
+	// triggerErrs counts every such error cumulatively — TriggerErr
+	// clears the last error on read, so intermediate failures would
+	// otherwise vanish from the stats.
 	lastTriggerErr error
+	triggerErrs    atomic.Uint64
+	// tasksParallel/tasksSerial split dispatcher-executed tasks by
+	// path: wave members vs serial fallback (conflicting, serial-only,
+	// control, or lone tasks). Zero on a classic serial partition.
+	// peakConcurrent is the maximum number of TE bodies in flight at
+	// once. All three are written by the dispatcher goroutine only but
+	// are atomics because they tick after a task's reply is sent, so a
+	// client reading Stats right after a Call would otherwise race.
+	tasksParallel  atomic.Uint64
+	tasksSerial    atomic.Uint64
+	peakConcurrent atomic.Int64
 	execBySP       map[string]uint64
 	pendingGC      map[gcKey]int // (stream, batch) → consumers yet to commit
 
 	insertSQL map[string]string // cached INSERT statement per stream
 
 	done chan struct{}
+}
+
+// maxRun bounds how many queued tasks the dispatcher pops per run; it
+// also sizes the preallocated spRun entries, so the no-conflict fast
+// path allocates nothing per task beyond what serial execution does.
+const maxRun = 32
+
+// parallel is a partition's worker pool plus the dispatcher's
+// preallocated run buffers.
+type parallel struct {
+	workers int
+	// work feeds wave members to the worker goroutines; the dispatcher
+	// blocks on wg until the whole wave's bodies finished.
+	work chan *spRun
+	wg   sync.WaitGroup
+
+	runBuf  []*task         // PopRun destination, len maxRun
+	accBuf  []*ee.AccessSet // access sets of the wave under construction
+	entries []spRun         // per-wave execution state, len maxRun
+}
+
+// spRun is one transaction execution's state, split so a wave's bodies
+// can run on workers while begin (txn-ID assignment) and retirement
+// (log, commit, trigger dispatch, reply) stay on the dispatcher in
+// admission order.
+type spRun struct {
+	t    *task
+	sp   *StoredProc
+	tx   *txn.Txn
+	ectx *ee.ExecCtx
+	pc   *ProcCtx
+	err  error
 }
 
 type gcKey struct {
@@ -65,10 +122,36 @@ func newPartition(id int, eng *Engine) *partition {
 		sched:     newScheduler(),
 		views:     storage.NewViews(cat),
 		readPlans: make(map[string]*ee.ReadPlan),
+		spAccess:  make(map[string]*ee.AccessSet),
+		spWave:    make(map[string]bool),
 		execBySP:  make(map[string]uint64),
 		pendingGC: make(map[gcKey]int),
 		insertSQL: make(map[string]string),
 		done:      make(chan struct{}),
+	}
+}
+
+// startWorkers arms the partition's parallel dispatcher with a worker
+// pool of the given size.
+func (p *partition) startWorkers(workers int) {
+	p.par = &parallel{
+		workers: workers,
+		work:    make(chan *spRun, maxRun),
+		runBuf:  make([]*task, maxRun),
+		accBuf:  make([]*ee.AccessSet, 0, maxRun),
+		entries: make([]spRun, maxRun),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+}
+
+// worker executes wave members' bodies; everything else about the TE
+// stays on the dispatcher goroutine.
+func (p *partition) worker() {
+	for r := range p.par.work {
+		p.runSPBody(r)
+		p.par.wg.Done()
 	}
 }
 
@@ -77,30 +160,144 @@ func newPartition(id int, eng *Engine) *partition {
 // execute returns, i.e. after the TE committed (or aborted) and its
 // triggered children were enqueued — so Drain cannot observe a
 // momentarily-empty queue while a workflow is still unfolding.
+//
+// With Options.Workers > 1 the goroutine is a dispatcher instead: it
+// pops a run of queued tasks, partitions the run into waves of
+// mutually non-conflicting TEs (by declared access sets), executes
+// each wave's bodies concurrently on the worker pool, and retires them
+// in admission order — txn-ID assignment, command log, Commit, trigger
+// dispatch, reply, and views bracketing all stay here, so the logged
+// schedule, replay, and snapshot read views are identical to serial
+// execution.
 func (p *partition) run() {
 	defer close(p.done)
+	if p.par == nil {
+		for {
+			t, ok := p.sched.Pop()
+			if !ok {
+				return
+			}
+			// Bracket the task for the snapshot read path: views pin only
+			// between tasks, so they never see a half-executed (or not yet
+			// rolled back) transaction.
+			p.views.BeginTask()
+			p.execute(t)
+			p.views.EndTask()
+			if p.sched.track != nil {
+				p.sched.track.done()
+			}
+		}
+	}
+	defer close(p.par.work)
 	for {
-		t, ok := p.sched.Pop()
+		n, wave, ok := p.sched.PopRun(p.par.runBuf, p.waveEligible)
 		if !ok {
 			return
 		}
-		// Bracket the task for the snapshot read path: views pin only
-		// between tasks, so they never see a half-executed (or not yet
-		// rolled back) transaction.
-		p.views.BeginTask()
-		p.execute(t)
-		p.views.EndTask()
-		if p.sched.track != nil {
-			p.sched.track.done()
+		if !wave || n == 1 {
+			p.runSerialTask(p.par.runBuf[0])
+			continue
 		}
+		p.runParallel(p.par.runBuf[:n])
 	}
 }
 
-// execute runs one queued task on the partition goroutine. Everything
-// below here — SP bodies, commit, trigger dispatch — must compute the
-// same state on a live run and on a serial replay of the command log;
-// control thunks (t.control) are engine plumbing that runs outside the
-// logged schedule and carries its own obligations.
+// runSerialTask executes one task exactly as the classic serial loop
+// does: the in-order fallback for conflicting, serial-only, control,
+// and lone tasks.
+func (p *partition) runSerialTask(t *task) {
+	p.views.BeginTask()
+	p.execute(t)
+	p.views.EndTask()
+	p.tasksSerial.Add(1)
+	if p.sched.track != nil {
+		p.sched.track.done()
+	}
+}
+
+// runParallel executes a popped run: greedy consecutive waves of
+// mutually non-conflicting TEs. A wave ends at the first task whose
+// declared access set conflicts with any wave member — it starts the
+// next wave — so tasks never reorder across a conflict and the commit
+// order is exactly admission order.
+func (p *partition) runParallel(ts []*task) {
+	i := 0
+	for i < len(ts) {
+		accs := p.par.accBuf[:0]
+		j := i
+		for j < len(ts) {
+			acc := p.declaredAccess(ts[j].sp)
+			if conflictsAny(accs, acc) {
+				break
+			}
+			accs = append(accs, acc)
+			j++
+		}
+		if j-i == 1 {
+			p.runSerialTask(ts[i])
+		} else {
+			p.executeWave(ts[i:j])
+		}
+		i = j
+	}
+}
+
+// executeWave runs a wave of mutually non-conflicting TEs: bodies
+// concurrent on the worker pool, everything else on the dispatcher in
+// admission order. The whole wave sits inside one BeginTask/EndTask
+// bracket with AdvanceTask between retirements, so snapshot reads can
+// never pin an interior boundary (wave bodies interleave their
+// mutations, so interior boundaries never exist as physical states)
+// while the completed-task count stays identical to serial execution.
+func (p *partition) executeWave(ts []*task) {
+	// Prefill the INSERT statement cache on the dispatcher: workers
+	// only read it. A miss here surfaces in the body, which fails with
+	// the same error serial execution would report.
+	for _, t := range ts {
+		if len(t.batch) > 0 && t.inputStream != "" && t.kind != wal.KindInterior {
+			_, _ = p.insertStmtFor(t.inputStream)
+		}
+	}
+	p.views.BeginTask()
+	entries := p.par.entries[:len(ts)]
+	for i, t := range ts {
+		// Txn IDs are assigned here, in admission order, exactly as the
+		// serial loop would.
+		p.beginSP(&entries[i], t, p.eng.procs[t.sp], p.declaredAccess(t.sp))
+	}
+	p.par.wg.Add(len(entries))
+	for i := range entries {
+		p.par.work <- &entries[i]
+	}
+	p.par.wg.Wait()
+	if c := int64(min(len(entries), p.par.workers)); c > p.peakConcurrent.Load() {
+		p.peakConcurrent.Store(c)
+	}
+	for i := range entries {
+		p.retireSP(&entries[i])
+		entries[i] = spRun{} // release task/txn references
+		p.tasksParallel.Add(1)
+		if p.sched.track != nil {
+			p.sched.track.done()
+		}
+		if i < len(entries)-1 {
+			p.views.AdvanceTask()
+		}
+	}
+	p.views.EndTask()
+}
+
+// execute runs one queued task on the partition goroutine (or, for a
+// parallel partition, on the dispatcher as the serial fallback).
+// Everything below here — SP bodies, commit, trigger dispatch — must
+// compute the same state on a live run and on a serial replay of the
+// command log; that obligation extends to the beginSP / runSPBody /
+// retireSP pieces executeSP splits into, because the parallel
+// dispatcher runs the same pieces — bodies on workers, begin and
+// retirement on the dispatcher in admission order — and its result
+// must be byte-identical to this serial path. Control thunks
+// (t.control) are engine plumbing that runs outside the logged
+// schedule and carries its own obligations.
 //
 //sstore:deterministic
 func (p *partition) execute(t *task) {
@@ -121,24 +318,58 @@ func (p *partition) replyTo(t *task, res *Result, err error) {
 		return
 	}
 	if err != nil {
-		p.lastTriggerErr = err
+		p.noteTriggerErr(err)
 	}
 }
 
+// noteTriggerErr records a reply-less failure: the cumulative counter
+// for stats, the last error for Engine.TriggerErr.
+func (p *partition) noteTriggerErr(err error) {
+	p.triggerErrs.Add(1)
+	p.lastTriggerErr = err
+}
+
 // executeSP runs one transaction execution end to end: body, command
-// log, commit, PE-trigger dispatch, stream GC.
+// log, commit, PE-trigger dispatch, stream GC. The pieces — beginSP,
+// runSPBody, retireSP — are shared with the parallel dispatcher, which
+// runs bodies of non-conflicting TEs concurrently; here they run
+// back-to-back on the partition goroutine.
 func (p *partition) executeSP(t *task) {
 	sp, ok := p.eng.procs[t.sp]
 	if !ok {
 		p.replyTo(t, nil, fmt.Errorf("pe: unknown stored procedure %q", t.sp))
 		return
 	}
+	var r spRun
+	p.beginSP(&r, t, sp, p.declaredAccess(t.sp))
+	p.runSPBody(&r)
+	p.retireSP(&r)
+}
+
+// beginSP assigns the transaction ID and builds the execution state.
+// Dispatcher-goroutine only, in admission order — so txn IDs are
+// identical to serial execution regardless of how bodies interleave.
+func (p *partition) beginSP(r *spRun, t *task, sp *StoredProc, allowed *ee.AccessSet) {
 	p.nextTxn++
 	tx := txn.New(p.nextTxn)
-	ectx := &ee.ExecCtx{SP: t.sp, BatchID: t.batchID, Txn: tx}
-	pc := &ProcCtx{part: p, ectx: ectx, params: t.params, batch: t.batch, batchID: t.batchID}
+	ectx := &ee.ExecCtx{SP: t.sp, BatchID: t.batchID, Txn: tx, Allowed: allowed}
+	*r = spRun{
+		t:    t,
+		sp:   sp,
+		tx:   tx,
+		ectx: ectx,
+		pc:   &ProcCtx{part: p, ectx: ectx, params: t.params, batch: t.batch, batchID: t.batchID},
+	}
+}
 
-	err := func() error {
+// runSPBody executes the TE's body — batch placement plus the
+// procedure function — recording the outcome in r.err. This is the
+// only piece that runs off the dispatcher goroutine (on a worker, for
+// wave members); it touches only tables inside the TE's declared
+// access set, r's own state, and the executor's locked plan cache.
+func (p *partition) runSPBody(r *spRun) {
+	t := r.t
+	r.err = func() error {
 		// Border TEs ingest their batch: the tuples are appended to
 		// the input stream inside the TE, so batch arrival and its
 		// processing commit atomically (§2.1). Interior TEs whose
@@ -148,18 +379,27 @@ func (p *partition) executeSP(t *task) {
 		// producing partition.
 		if len(t.batch) > 0 && t.inputStream != "" {
 			if t.kind == wal.KindInterior {
-				if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, tx); err != nil {
+				if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, r.tx); err != nil {
 					return err
 				}
-			} else if err := p.insertBatch(t.inputStream, t.batch, ectx); err != nil {
+			} else if err := p.insertBatch(t.inputStream, t.batch, r.ectx); err != nil {
 				return err
 			}
 		}
-		return sp.Func(pc)
+		return r.sp.Func(r.pc)
 	}()
+}
+
+// retireSP finishes the TE in admission order on the dispatcher
+// goroutine: rollback on failure, else command log, commit, trigger
+// dispatch, GC, and reply. An aborted wave member rolls back here —
+// safe after other bodies ran, because wave write sets are disjoint.
+func (p *partition) retireSP(r *spRun) {
+	t := r.t
+	err := r.err
 	if err != nil {
 		p.aborted++
-		if rbErr := tx.Rollback(); rbErr != nil {
+		if rbErr := r.tx.Rollback(); rbErr != nil {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
 		p.retainRelocatedBatch(t)
@@ -169,7 +409,7 @@ func (p *partition) executeSP(t *task) {
 	}
 	if err := p.logCommit(t); err != nil {
 		p.aborted++
-		if rbErr := tx.Rollback(); rbErr != nil {
+		if rbErr := r.tx.Rollback(); rbErr != nil {
 			err = fmt.Errorf("%w (rollback: %v)", err, rbErr)
 		}
 		p.retainRelocatedBatch(t)
@@ -182,14 +422,14 @@ func (p *partition) executeSP(t *task) {
 		p.replyTo(t, nil, fmt.Errorf("pe: command log: %w", err))
 		return
 	}
-	if err := tx.Commit(); err != nil {
+	if err := r.tx.Commit(); err != nil {
 		p.replyTo(t, nil, err)
 		return
 	}
 	p.executed++
 	p.execBySP[t.sp]++
-	p.afterCommit(t, ectx.Appends)
-	res := pc.result
+	p.afterCommit(t, r.ectx.Appends)
+	res := r.pc.result
 	if res == nil {
 		res = &Result{}
 	}
@@ -197,21 +437,33 @@ func (p *partition) executeSP(t *task) {
 	p.replyTo(t, res, nil)
 }
 
+// insertStmtFor returns (caching on success) the INSERT statement for
+// a stream. The cache is written only by the dispatcher goroutine; the
+// parallel dispatcher prefills it before launching a wave, so worker
+// bodies only read it.
+func (p *partition) insertStmtFor(streamName string) (string, error) {
+	if stmt, ok := p.insertSQL[streamName]; ok {
+		return stmt, nil
+	}
+	tbl, err := p.cat.Get(streamName)
+	if err != nil {
+		return "", err
+	}
+	ph := make([]string, tbl.Schema().Len())
+	for i := range ph {
+		ph[i] = "?"
+	}
+	stmt := "INSERT INTO " + streamName + " VALUES (" + strings.Join(ph, ", ") + ")"
+	p.insertSQL[streamName] = stmt
+	return stmt, nil
+}
+
 // insertBatch appends a batch's tuples to a stream table through the
 // executor so EE triggers fire exactly as they would for any insert.
 func (p *partition) insertBatch(streamName string, rows []types.Row, ectx *ee.ExecCtx) error {
-	stmt, ok := p.insertSQL[streamName]
-	if !ok {
-		tbl, err := p.cat.Get(streamName)
-		if err != nil {
-			return err
-		}
-		ph := make([]string, tbl.Schema().Len())
-		for i := range ph {
-			ph[i] = "?"
-		}
-		stmt = "INSERT INTO " + streamName + " VALUES (" + strings.Join(ph, ", ") + ")"
-		p.insertSQL[streamName] = stmt
+	stmt, err := p.insertStmtFor(streamName)
+	if err != nil {
+		return err
 	}
 	for _, row := range rows {
 		if _, err := p.exec.Execute(stmt, row, ectx); err != nil {
@@ -280,7 +532,7 @@ func (p *partition) retainRelocatedBatch(t *task) {
 		return
 	}
 	if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, nil); err != nil {
-		p.lastTriggerErr = fmt.Errorf("pe: retain relocated batch %d on %s: %w", t.batchID, t.inputStream, err)
+		p.noteTriggerErr(fmt.Errorf("pe: retain relocated batch %d on %s: %w", t.batchID, t.inputStream, err))
 		return
 	}
 	if t.gcRefs > 1 {
@@ -490,8 +742,8 @@ func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 		// Destination closed mid-shutdown: keep the committed batch in
 		// the local stream table rather than dropping it, and surface
 		// the miss like any other trigger failure.
-		p.lastTriggerErr = fmt.Errorf("pe: partition %d closed; batch %d on %s not dispatched",
-			remoteTo[i], group[0].batchID, group[0].inputStream)
+		p.noteTriggerErr(fmt.Errorf("pe: partition %d closed; batch %d on %s not dispatched",
+			remoteTo[i], group[0].batchID, group[0].inputStream))
 	}
 }
 

@@ -12,6 +12,19 @@ import (
 // context; returning an error aborts and rolls back the TE.
 type ProcFunc func(ctx *ProcCtx) error
 
+// ProcAccess declares a stored procedure's table-granularity access
+// footprint: every table its body (including any EE trigger its
+// statements fire) may read or write. The planner cannot see a Go
+// body, so the declaration is the per-SP aggregation of statement
+// access sets — and it is enforced: each statement's compiled access
+// must be covered by the declaration or the statement errors, aborting
+// the TE, so a wrong declaration fails loudly instead of racing.
+// The consumed input stream is added automatically.
+type ProcAccess struct {
+	Reads  []string
+	Writes []string
+}
+
 // StoredProc is a registered transaction definition (§2): procedures
 // are defined once and instantiated many times, by client pull (OLTP)
 // or data push (streaming).
@@ -20,6 +33,12 @@ type StoredProc struct {
 	Name string
 	// Func is the procedure body.
 	Func ProcFunc
+	// Access, when non-nil, declares the body's read/write footprint,
+	// making the procedure a candidate for intra-partition parallel
+	// execution (Options.Workers): TEs whose declared sets do not
+	// conflict may run concurrently. Nil means the accesses are
+	// unknown and the procedure is serial-only.
+	Access *ProcAccess
 }
 
 // ProcCtx is a transaction execution's view of the engine: parameter

@@ -20,7 +20,11 @@ import (
 //     boundary ("epoch"). Pin blocks — off the queue, on a condition
 //     variable — until no task is mid-flight, so a view's epoch is
 //     always a real boundary: all effects of tasks ≤ epoch, nothing
-//     from later tasks, and never a half-executed transaction.
+//     from later tasks, and never a half-executed transaction. A
+//     parallel dispatcher brackets a whole run of concurrently-executed
+//     tasks in one BeginTask/EndTask pair, advancing interior
+//     boundaries with AdvanceTask; pins wait out the full run, since
+//     its interior boundaries never exist as physical states.
 //   - Every table carries liveTask, the number of the task that last
 //     mutated it. The live heap is exactly the boundary-E state for
 //     any E ≥ liveTask, so a view at such an E reads the live table
@@ -116,6 +120,22 @@ func (v *Views) EndTask() {
 	v.epoch++
 	v.inTask = false
 	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// AdvanceTask publishes one task's boundary inside a parallel run
+// WITHOUT admitting pins: the parallel dispatcher brackets a whole run
+// of concurrently-executed tasks in one BeginTask/EndTask pair and
+// calls AdvanceTask between retirements, so the completed-task count
+// matches serial execution while pins can never land on an interior
+// boundary. Interior boundaries are not real states — the run's bodies
+// interleaved their mutations, and tables were stamped with the run's
+// first task number — so a pin must wait for the run's final EndTask,
+// which it does because inTask stays true throughout.
+func (v *Views) AdvanceTask() {
+	v.mu.Lock()
+	v.epoch++
+	v.curTask.Store(v.epoch + 1)
 	v.mu.Unlock()
 }
 

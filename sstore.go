@@ -178,6 +178,16 @@ type Config struct {
 	// workflow dispatch is never blocked, so the bound cannot
 	// deadlock. Zero means unbounded.
 	MaxQueueDepth int
+	// Workers, when > 1, arms each partition with a worker pool: the
+	// partition loop becomes a conflict-aware dispatcher that runs
+	// the bodies of queued non-conflicting stored procedures
+	// concurrently (by declared access sets, see
+	// RegisterProcAccess) while commits, logging, and triggers
+	// retire in admission order — externally indistinguishable from
+	// serial execution, including the command log and recovery.
+	// Procedures without a declared access set always run serially.
+	// See DESIGN.md §11.
+	Workers int
 }
 
 // ErrOverloaded is the sentinel matched by errors.Is when a Call or
@@ -224,6 +234,7 @@ func Open(cfg Config) (*Engine, error) {
 		PartitionBy:   cfg.PartitionBy,
 		RouteCall:     cfg.RouteCall,
 		MaxQueueDepth: cfg.MaxQueueDepth,
+		Workers:       cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +261,23 @@ func (e *Engine) RegisterProc(name string, fn ProcFunc) error {
 	return e.pe.RegisterProc(&pe.StoredProc{Name: name, Func: fn})
 }
 
+// RegisterProcAccess registers a stored procedure together with its
+// declared table access footprint: the tables the body reads and
+// writes (the procedure's workflow input stream, if any, is added to
+// the writes automatically). The declaration is enforced — a
+// statement touching an undeclared table fails with an error, under
+// serial and parallel execution alike — and makes the procedure
+// eligible for intra-partition parallelism (Config.Workers): calls
+// whose declared sets don't conflict may run their bodies
+// concurrently. See DESIGN.md §11.
+func (e *Engine) RegisterProcAccess(name string, reads, writes []string, fn ProcFunc) error {
+	return e.pe.RegisterProc(&pe.StoredProc{
+		Name:   name,
+		Access: &pe.ProcAccess{Reads: reads, Writes: writes},
+		Func:   fn,
+	})
+}
+
 // AddEETrigger attaches an execution-engine trigger: SQL statements
 // that run, inside the firing transaction, whenever an atomic batch is
 // inserted into the stream (or a window slides). Statements receive the
@@ -274,6 +302,18 @@ func (e *Engine) DeployWorkflow(w *Workflow) error { return e.pe.DeployWorkflow(
 // Call invokes a stored procedure as an OLTP transaction and waits.
 func (e *Engine) Call(sp string, params ...Value) (*Result, error) {
 	return e.pe.Call(sp, Row(params))
+}
+
+// CallResult is the outcome delivered by CallAsync.
+type CallResult = pe.CallResult
+
+// CallAsync invokes a stored procedure without waiting; the returned
+// channel receives the outcome. Pipelining calls this way is also what
+// lets a Workers-armed engine form waves of concurrent non-conflicting
+// procedures — a strictly synchronous caller never queues more than
+// one task at a time.
+func (e *Engine) CallAsync(sp string, params ...Value) <-chan CallResult {
+	return e.pe.CallAsync(sp, Row(params))
 }
 
 // CallNested executes children as one nested transaction (§2.3).
