@@ -79,8 +79,13 @@ func (c *Client) Close() error {
 // connection dies, then fails everything still pending.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
+	// One grow-only frame buffer for the connection's lifetime:
+	// DecodeResponse copies everything it keeps, so each frame may
+	// overwrite the last.
+	var scratch []byte
 	for {
-		payload, err := wire.ReadFrame(br)
+		payload, err := wire.ReadFrameBuf(br, scratch)
+		scratch = payload
 		if err != nil {
 			c.fail(fmt.Errorf("client: connection lost: %w", err))
 			return

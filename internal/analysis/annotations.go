@@ -12,6 +12,7 @@ const (
 	AnnDeterministic = "//sstore:deterministic"
 	AnnNoMalloc      = "//sstore:nomalloc"
 	AnnAllocGate     = "//sstore:allocgate"
+	AnnPooled        = "//sstore:pooled"
 	annSuppress      = "//lint:allow"
 )
 
@@ -21,7 +22,12 @@ type Annotations struct {
 	// Deterministic and NoMalloc map annotated function objects.
 	Deterministic map[*types.Func]bool
 	NoMalloc      map[*types.Func]bool
-	// AllocGates maps gate-marker target names ("Table.beforeMutate")
+	// Pooled marks free-list constructors and recyclers (pe.getTask /
+	// pe.putTask style): functions that hand out recycled structs and
+	// so are legal to call from //sstore:nomalloc code even though a
+	// cold pool may allocate inside them.
+	Pooled map[*types.Func]bool
+	// AllocGates maps gate-marker target names ("Table.beginMutate")
 	// to the position of their //sstore:allocgate marker in a test file.
 	AllocGates map[string]token.Position
 
@@ -49,6 +55,7 @@ func indexAnnotations(prog *Program) *Annotations {
 	ann := &Annotations{
 		Deterministic: make(map[*types.Func]bool),
 		NoMalloc:      make(map[*types.Func]bool),
+		Pooled:        make(map[*types.Func]bool),
 		AllocGates:    make(map[string]token.Position),
 		suppress:      make(map[string]map[int]map[string]bool),
 	}
@@ -69,6 +76,8 @@ func indexAnnotations(prog *Program) *Annotations {
 						ann.Deterministic[obj] = true
 					case AnnNoMalloc:
 						ann.NoMalloc[obj] = true
+					case AnnPooled:
+						ann.Pooled[obj] = true
 					}
 				}
 			}
@@ -127,7 +136,7 @@ func (a *Annotations) indexSuppressions(fset *token.FileSet, f *ast.File) {
 // directiveOf returns the leading directive of a comment ("//sstore:…"
 // or "//lint:allow"), or "".
 func directiveOf(text string) string {
-	for _, d := range [4]string{AnnDeterministic, AnnNoMalloc, AnnAllocGate, annSuppress} {
+	for _, d := range [5]string{AnnDeterministic, AnnNoMalloc, AnnAllocGate, AnnPooled, annSuppress} {
 		if text == d || strings.HasPrefix(text, d+" ") {
 			return d
 		}

@@ -21,7 +21,7 @@ var EngineHotAlloc = HotAllocConfig{
 }
 
 // HotAlloc enforces allocation discipline in functions annotated
-// //sstore:nomalloc: the Table.beforeMutate fast path, scheduler deque
+// //sstore:nomalloc: the Table.beginMutate fast path, scheduler deque
 // operations, and wire encode/decode primitives. It reports the
 // constructs that force heap allocations:
 //
@@ -32,8 +32,13 @@ var EngineHotAlloc = HotAllocConfig{
 //   - string ↔ []byte/[]rune conversions;
 //   - boxing a concrete value into an interface (types.Value named
 //     explicitly);
-//   - calls to module functions not themselves //sstore:nomalloc, and
-//     to the allocating corners of the standard library.
+//   - calls to module functions not themselves //sstore:nomalloc or
+//     //sstore:pooled (pooled get/put constructors hand out recycled
+//     structs — amortized allocation-free, like self-append), and to
+//     the allocating corners of the standard library.
+//
+// It also checks that //sstore:pooled annotations come in pairs per
+// package: a lone pooled function recycles nothing.
 //
 // Deliberate slow paths (copy-on-write detach, deque growth, error
 // construction) carry //lint:allow hotalloc suppressions that document
@@ -66,6 +71,31 @@ func runHotAlloc(pass *Pass, cfg HotAllocConfig) {
 			continue
 		}
 		checkNoMalloc(pass, cfg, node)
+	}
+	checkPooledPairs(pass)
+}
+
+// checkPooledPairs reports packages annotating only one side of a
+// get/put pool: recycling needs both a constructor that pops the free
+// list and a recycler that pushes retired structs back.
+func checkPooledPairs(pass *Pass) {
+	byPkg := make(map[*types.Package][]*types.Func)
+	for fn := range pass.Ann.Pooled {
+		byPkg[fn.Pkg()] = append(byPkg[fn.Pkg()], fn)
+	}
+	var lone []*types.Func
+	for _, fns := range byPkg {
+		if len(fns) == 1 {
+			lone = append(lone, fns[0])
+		}
+	}
+	sort.Slice(lone, func(i, j int) bool { return lone[i].FullName() < lone[j].FullName() })
+	for _, fn := range lone {
+		node := pass.Graph.Nodes[fn]
+		if node == nil {
+			continue
+		}
+		pass.Reportf(node.Decl.Name.Pos(), "//sstore:pooled function %s has no pooled counterpart in its package; pools recycle through get/put pairs", funcDisplayName(fn))
 	}
 }
 
@@ -150,7 +180,10 @@ func checkNoMallocCall(pass *Pass, cfg HotAllocConfig, info *types.Info, name st
 		return
 	}
 	if pass.Graph.Nodes[callee] != nil || strings.HasPrefix(callee.Pkg().Path(), "sstore") {
-		if !pass.Ann.NoMalloc[callee] {
+		// Pooled get/put constructors are allowed: they hand out
+		// recycled structs, the pool's steady state allocation-free by
+		// the same amortized contract as self-append.
+		if !pass.Ann.NoMalloc[callee] && !pass.Ann.Pooled[callee] {
 			pass.Reportf(call.Lparen, "call to %s, which is not //sstore:nomalloc, in //sstore:nomalloc function %s", funcDisplayName(callee), name)
 		}
 		return
@@ -186,6 +219,12 @@ func checkBoxing(pass *Pass, cfg HotAllocConfig, info *types.Info, name string, 
 			continue
 		}
 		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		// Pointer-shaped values (pointers, channels, maps, funcs) are
+		// stored directly in the interface word: no allocation.
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
 			continue
 		}
 		label := at.String()

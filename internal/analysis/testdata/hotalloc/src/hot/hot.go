@@ -98,3 +98,23 @@ func allowed() *ring {
 	//lint:allow hotalloc -- construction path, not the hot loop
 	return &ring{}
 }
+
+// getNode / putNode form a pooled pair: calling them from nomalloc
+// code is allowed even though a cold pool allocates inside.
+//
+//sstore:pooled
+func getNode() *ring {
+	//lint:allow hotalloc -- cold-pool miss; steady state recycles
+	return &ring{}
+}
+
+//sstore:pooled
+func putNode(r *ring) {
+	_ = r
+}
+
+//sstore:nomalloc
+func recycles() {
+	r := getNode() // pooled callee: no finding
+	putNode(r)     // pooled callee: no finding
+}

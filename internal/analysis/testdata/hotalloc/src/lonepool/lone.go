@@ -1,0 +1,10 @@
+// Package lonepool exercises the pooled-pair check: a package
+// annotating only one side of a get/put pool recycles nothing.
+package lonepool
+
+type node struct{ next *node }
+
+//sstore:pooled
+func getOnly() *node { // want "has no pooled counterpart"
+	return &node{}
+}

@@ -74,6 +74,13 @@ func (ctx *ExecCtx) undo() storage.Undo {
 	return ctx.Txn
 }
 
+// Reset re-arms a recycled context for a new transaction execution,
+// keeping the appends buffer's capacity. The partition engine pools
+// contexts per partition so steady-state TEs allocate none.
+func (ctx *ExecCtx) Reset(sp string, batchID int64, tx TxnState, allowed *AccessSet) {
+	*ctx = ExecCtx{SP: sp, BatchID: batchID, Txn: tx, Allowed: allowed, Appends: ctx.Appends[:0]}
+}
+
 // Trigger is an EE trigger (§3.2.3): SQL statements attached to a
 // stream or window table, executed in the same transaction as the
 // insert that fired them. For stream tables the trigger fires on every

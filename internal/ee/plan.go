@@ -632,18 +632,28 @@ func (p *selectPlan) run(cat *storage.Catalog, params []types.Value) (*Result, e
 			}
 			key[i] = v
 		}
-		idx := findIndex(base, p.probe.indexName)
-		if idx == nil {
-			return nil, fmt.Errorf("ee: plan references missing index %s", p.probe.indexName)
-		}
-		for _, tid := range idx.Lookup(key) {
-			meta, row, ok := base.Get(tid)
-			if !ok || meta.Staged {
-				continue
+		if idx := findIndex(base, p.probe.indexName); idx != nil {
+			for _, tid := range idx.Lookup(key) {
+				meta, row, ok := base.Get(tid)
+				if !ok || meta.Staged {
+					continue
+				}
+				if !emit(row) {
+					break
+				}
 			}
-			if !emit(row) {
-				break
-			}
+		} else {
+			// Versioned shims carry no indexes: re-apply the probe's key
+			// equalities (lifted out of the residual filter at plan time)
+			// over a scan instead.
+			base.Scan(func(_ storage.TupleMeta, row types.Row) bool {
+				for i, c := range p.probe.cols {
+					if !row[c].Equal(key[i]) {
+						return true
+					}
+				}
+				return emit(row)
+			})
 		}
 	} else {
 		base.Scan(func(_ storage.TupleMeta, row types.Row) bool {
@@ -719,7 +729,19 @@ func (p *selectPlan) applyJoins(cat *storage.Catalog, env *evalEnv, step int, ro
 		}
 		idx := findIndex(inner, js.probe.indexName)
 		if idx == nil {
-			return false, fmt.Errorf("ee: plan references missing index %s", js.probe.indexName)
+			// Versioned shim: filtered scan re-applying the probe keys.
+			var loopErr error
+			cont := true
+			inner.Scan(func(_ storage.TupleMeta, innerRow types.Row) bool {
+				for i, c := range js.probe.cols {
+					if !innerRow[c].Equal(key[i]) {
+						return true
+					}
+				}
+				cont, loopErr = tryRow(innerRow)
+				return cont && loopErr == nil
+			})
+			return cont, loopErr
 		}
 		for _, tid := range idx.Lookup(key) {
 			meta, innerRow, ok := inner.Get(tid)

@@ -3,6 +3,7 @@ package ee
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"sstore/internal/sql"
 	"sstore/internal/storage"
@@ -48,6 +49,7 @@ type MaintainedRef struct {
 type ReadPlan struct {
 	sel    *selectPlan
 	tables []string // referenced tables, lower-case, base first, deduped
+	sorted []string // same set in sorted order — the latch acquisition order
 }
 
 // CompileReadOnly parses and plans a read-only statement against the
@@ -79,12 +81,21 @@ func CompileReadOnly(text string, cat *storage.Catalog) (*ReadPlan, error) {
 	for _, j := range plan.joins {
 		add(j.table)
 	}
+	rp.sorted = append([]string(nil), rp.tables...)
+	sort.Strings(rp.sorted)
 	return rp, nil
 }
 
 // Tables returns the referenced table names (lower-case, base table
 // first).
 func (p *ReadPlan) Tables() []string { return p.tables }
+
+// TablesSorted returns the same names in sorted order. Callers that
+// acquire per-table read latches while resolving a view MUST do so in
+// this order: concurrent readers of overlapping table sets would
+// otherwise form an acquisition cycle with the writer latches queued
+// between them (an RWMutex with a pending writer blocks new readers).
+func (p *ReadPlan) TablesSorted() []string { return p.sorted }
 
 // Maintained reports whether the plan is served entirely from
 // maintained window aggregates (detectMaintained matched at compile

@@ -297,3 +297,28 @@ func TestSkewShape(t *testing.T) {
 		}
 	}
 }
+
+func TestAllocShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// Alloc itself fails if any gated hot path allocates; the shape
+	// check here is the end-to-end row staying bounded — steady-state
+	// ingest through pooled tasks and version chains should cost tens
+	// of allocations per batch (scheduler + SQL layer), never hundreds.
+	table, err := Alloc(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, table)
+	if !strings.Contains(out, "ingest_steady") {
+		t.Fatalf("missing end-to-end row:\n%s", out)
+	}
+	for _, row := range table.Rows() {
+		if row[0] == "ingest_steady" {
+			if per, ok := row[1].(float64); !ok || per > 200 {
+				t.Fatalf("ingest_steady = %v allocs/batch, want a bounded (< 200) number", row[1])
+			}
+		}
+	}
+}

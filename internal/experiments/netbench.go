@@ -205,9 +205,11 @@ func netSimRTTProbe(conns, n int) (float64, error) {
 	return float64(conns*n) / elapsed.Seconds(), nil
 }
 
-// frameReader decodes wire responses off a connection.
+// frameReader decodes wire responses off a connection, reusing one
+// grow-only frame buffer.
 type frameReader struct {
-	br *bufio.Reader
+	br      *bufio.Reader
+	scratch []byte
 }
 
 func newFrameReader(conn net.Conn) *frameReader {
@@ -215,7 +217,8 @@ func newFrameReader(conn net.Conn) *frameReader {
 }
 
 func (f *frameReader) next() (*wire.Response, error) {
-	payload, err := wire.ReadFrame(f.br)
+	payload, err := wire.ReadFrameBuf(f.br, f.scratch)
+	f.scratch = payload
 	if err != nil {
 		return nil, err
 	}

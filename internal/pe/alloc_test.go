@@ -34,6 +34,37 @@ func TestDequeOpsAllocFree(t *testing.T) {
 	}
 }
 
+// TestTaskPoolSteadyState: the task pool and the per-partition free
+// lists make the per-TE struct traffic allocation-free once warm
+// (ISSUE 8 layer 2). No allocgate marker — sync.Pool internals are not
+// //sstore:nomalloc territory — but the behavior is load-bearing: every
+// queued TE passes through getTask/putTask.
+func TestTaskPoolSteadyState(t *testing.T) {
+	putTask(getTask()) // warm the per-P pool cache
+	if n := testing.AllocsPerRun(1000, func() {
+		putTask(getTask())
+	}); n != 0 {
+		t.Fatalf("steady-state task get/put allocates %v/op", n)
+	}
+	p := &partition{}
+	tx := p.beginTxn()
+	_ = tx.Commit()
+	p.recycleTxn(tx)
+	pc := p.getProcCtx()
+	p.recycleProcCtx(pc)
+	ec := p.getECtx()
+	p.recycleECtx(ec)
+	if n := testing.AllocsPerRun(1000, func() {
+		tx := p.beginTxn()
+		_ = tx.Commit()
+		p.recycleTxn(tx)
+		p.recycleProcCtx(p.getProcCtx())
+		p.recycleECtx(p.getECtx())
+	}); n != 0 {
+		t.Fatalf("steady-state txn/ctx recycling allocates %v/op", n)
+	}
+}
+
 //sstore:allocgate conflictsAny
 func TestConflictOpsAllocFree(t *testing.T) {
 	accs := []*ee.AccessSet{

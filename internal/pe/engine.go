@@ -14,7 +14,6 @@ import (
 	"sstore/internal/recovery"
 	"sstore/internal/storage"
 	"sstore/internal/stream"
-	"sstore/internal/txn"
 	"sstore/internal/types"
 	"sstore/internal/wal"
 	"sstore/internal/workflow"
@@ -58,6 +57,11 @@ type Options struct {
 	LogPolicy wal.SyncPolicy
 	// GroupWindow is the group-commit window under SyncGroup.
 	GroupWindow time.Duration
+	// LogSegmentBytes rotates each partition's log into sealed
+	// segments of roughly this size, letting checkpoint truncation
+	// age out whole files O(1) instead of rewriting the log. Zero
+	// keeps one file per partition. See DESIGN.md §12.
+	LogSegmentBytes int64
 	// SnapshotDir is where checkpoints are written (one file per
 	// partition).
 	SnapshotDir string
@@ -217,10 +221,11 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	if opts.Recovery != recovery.ModeNone {
 		ls, err := wal.OpenSet(wal.SetOptions{
-			Path:        opts.LogPath,
-			Partitions:  opts.Partitions,
-			Policy:      opts.LogPolicy,
-			GroupWindow: opts.GroupWindow,
+			Path:         opts.LogPath,
+			Partitions:   opts.Partitions,
+			Policy:       opts.LogPolicy,
+			GroupWindow:  opts.GroupWindow,
+			SegmentBytes: opts.LogSegmentBytes,
 		})
 		if err != nil {
 			return nil, err
@@ -463,7 +468,11 @@ func wrapPartition(i, n int) int { return ((i % n) + n) % n }
 // onPartition runs fn inside the partition goroutine and waits.
 func (e *Engine) onPartition(p *partition, fn func(p *partition) error) error {
 	reply := make(chan callResult, 1)
-	if !p.sched.PushBack(&task{control: fn, reply: reply}) {
+	t := getTask()
+	t.control = fn
+	t.reply = reply
+	if !p.sched.PushBack(t) {
+		putTask(t)
 		return fmt.Errorf("pe: engine closed")
 	}
 	return (<-reply).err
@@ -518,9 +527,14 @@ func (e *Engine) CallAsync(sp string, params types.Row) <-chan CallResult {
 		e.link.RoundTrip()
 	}
 	reply := make(chan callResult, 1)
-	t := &task{sp: sp, params: params, kind: wal.KindOLTP, reply: reply}
+	t := getTask()
+	t.sp = sp
+	t.params = params
+	t.kind = wal.KindOLTP
+	t.reply = reply
 	p := e.parts[e.routeCall(sp, params)]
 	if err := e.pushBorder(p, t); err != nil {
+		putTask(t)
 		out <- CallResult{Err: err}
 		return out
 	}
@@ -551,9 +565,13 @@ func (e *Engine) CallNested(children []NestedCall) (*Result, error) {
 		nested[i] = nestedChild{sp: c.SP, params: c.Params}
 	}
 	reply := make(chan callResult, 1)
-	t := &task{nested: nested, kind: wal.KindOLTP, reply: reply}
+	t := getTask()
+	t.nested = nested
+	t.kind = wal.KindOLTP
+	t.reply = reply
 	p := e.parts[e.routeCall(children[0].SP, children[0].Params)]
 	if err := e.pushBorder(p, t); err != nil {
+		putTask(t)
 		return nil, err
 	}
 	r := <-reply
@@ -618,19 +636,19 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 	if sync {
 		reply = make(chan callResult, 1)
 	}
-	t := &task{
-		sp:          sp,
-		params:      types.Row{types.NewInt(b.ID)},
-		batchID:     b.ID,
-		batch:       b.Rows,
-		kind:        wal.KindBorder,
-		inputStream: key,
-		reply:       reply,
-	}
+	t := getTask()
+	t.sp = sp
+	t.params = types.Row{types.NewInt(b.ID)}
+	t.batchID = b.ID
+	t.batch = b.Rows
+	t.kind = wal.KindBorder
+	t.inputStream = key
+	t.reply = reply
 	if err := e.pushBorder(e.parts[pid], t); err != nil {
 		// The batch never entered the engine (queue full or engine
 		// closed): release the admission so a retry is not rejected as
 		// a duplicate.
+		putTask(t)
 		e.dedup.Release(pid, key, b.ID)
 		return nil, err
 	}
@@ -690,17 +708,18 @@ func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Res
 			p.ddlMu.Lock()
 			defer p.ddlMu.Unlock()
 		}
-		p.nextTxn++
-		tx := txn.New(p.nextTxn)
+		tx := p.beginTxn()
 		ectx := &ee.ExecCtx{Txn: tx}
 		res, err := p.exec.Execute(stmtText, params, ectx)
 		if err != nil {
 			_ = tx.Rollback()
+			p.recycleTxn(tx)
 			return err
 		}
 		if err := tx.Commit(); err != nil {
 			return err
 		}
+		p.recycleTxn(tx)
 		if ddl {
 			p.invalidateReadPlans()
 		}
@@ -892,12 +911,14 @@ func (e *Engine) Checkpoint() error {
 	for _, p := range e.parts {
 		p := p
 		errCh := make(chan error, 1)
-		ok := p.sched.PushBack(&task{control: func(p *partition) error {
+		t := getTask()
+		t.control = func(p *partition) error {
 			ready <- readyPart{p: p, err: errCh}
 			<-release
 			return <-errCh
-		}})
-		if !ok {
+		}
+		if !p.sched.PushBack(t) {
+			putTask(t)
 			close(release)
 			return fmt.Errorf("pe: engine closed")
 		}

@@ -49,6 +49,11 @@ type partition struct {
 	nextTxn  uint64
 	executed uint64
 	aborted  uint64
+	// txnFree/ectxFree/pcFree recycle partition-confined hot structs
+	// (see pool.go); dispatcher-goroutine only.
+	txnFree  []*txn.Txn
+	ectxFree []*ee.ExecCtx
+	pcFree   []*ProcCtx
 	// lastTriggerErr remembers the most recent error of a TE that had
 	// no reply channel (PE-triggered interior TEs); surfaced through
 	// Engine.TriggerErr so workflow failures are not silent.
@@ -186,6 +191,7 @@ func (p *partition) run() {
 			if p.sched.track != nil {
 				p.sched.track.done()
 			}
+			putTask(t)
 		}
 	}
 	defer close(p.par.work)
@@ -213,6 +219,7 @@ func (p *partition) runSerialTask(t *task) {
 	if p.sched.track != nil {
 		p.sched.track.done()
 	}
+	putTask(t)
 }
 
 // runParallel executes a popped run: greedy consecutive waves of
@@ -275,7 +282,9 @@ func (p *partition) executeWave(ts []*task) {
 	}
 	for i := range entries {
 		p.retireSP(&entries[i])
-		entries[i] = spRun{} // release task/txn references
+		t := entries[i].t
+		p.recycleRun(&entries[i]) // zeroes the entry, releasing references
+		putTask(t)
 		p.tasksParallel.Add(1)
 		if p.sched.track != nil {
 			p.sched.track.done()
@@ -344,22 +353,19 @@ func (p *partition) executeSP(t *task) {
 	p.beginSP(&r, t, sp, p.declaredAccess(t.sp))
 	p.runSPBody(&r)
 	p.retireSP(&r)
+	p.recycleRun(&r)
 }
 
 // beginSP assigns the transaction ID and builds the execution state.
 // Dispatcher-goroutine only, in admission order — so txn IDs are
 // identical to serial execution regardless of how bodies interleave.
 func (p *partition) beginSP(r *spRun, t *task, sp *StoredProc, allowed *ee.AccessSet) {
-	p.nextTxn++
-	tx := txn.New(p.nextTxn)
-	ectx := &ee.ExecCtx{SP: t.sp, BatchID: t.batchID, Txn: tx, Allowed: allowed}
-	*r = spRun{
-		t:    t,
-		sp:   sp,
-		tx:   tx,
-		ectx: ectx,
-		pc:   &ProcCtx{part: p, ectx: ectx, params: t.params, batch: t.batch, batchID: t.batchID},
-	}
+	tx := p.beginTxn()
+	ectx := p.getECtx()
+	ectx.Reset(t.sp, t.batchID, tx, allowed)
+	pc := p.getProcCtx()
+	*pc = ProcCtx{part: p, ectx: ectx, params: t.params, batch: t.batch, batchID: t.batchID}
+	*r = spRun{t: t, sp: sp, tx: tx, ectx: ectx, pc: pc}
 }
 
 // runSPBody executes the TE's body — batch placement plus the
@@ -712,13 +718,13 @@ func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 		if target == p.id {
 			p.pendingGC[key] = len(consumers)
 			for _, c := range consumers {
-				local = append(local, &task{
-					sp:          c,
-					params:      types.Row{types.NewInt(ap.BatchID)},
-					batchID:     ap.BatchID,
-					kind:        wal.KindInterior,
-					inputStream: ap.Table,
-				})
+				ct := getTask()
+				ct.sp = c
+				ct.params = types.Row{types.NewInt(ap.BatchID)}
+				ct.batchID = ap.BatchID
+				ct.kind = wal.KindInterior
+				ct.inputStream = ap.Table
+				local = append(local, ct)
 			}
 			continue
 		}

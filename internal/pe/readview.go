@@ -74,7 +74,10 @@ func (v *ReadView) Query(stmt string, params ...types.Value) (*ee.Result, error)
 		return plan.RunMaintained(vals, params)
 	}
 	// Resolve every referenced table to its boundary state and run the
-	// plan over an ephemeral catalog of the resolved tables.
+	// plan over an ephemeral catalog of the resolved tables. Resolution
+	// takes table read latches in sorted name order — see TablesSorted —
+	// so concurrent multi-table readers cannot deadlock through a
+	// writer's pending latch.
 	cat := storage.NewCatalog()
 	releases := make([]func(), 0, len(plan.Tables()))
 	defer func() {
@@ -82,7 +85,7 @@ func (v *ReadView) Query(stmt string, params ...types.Value) (*ee.Result, error)
 			r()
 		}
 	}()
-	for _, name := range plan.Tables() {
+	for _, name := range plan.TablesSorted() {
 		t, release, err := v.view.Table(name)
 		if err != nil {
 			return nil, err

@@ -198,14 +198,16 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 	if pid >= len(e.parts) {
 		return fmt.Errorf("pe: log record for partition %d, engine has %d", pid, len(e.parts))
 	}
-	t := &task{
-		sp:      rec.SP,
-		params:  rec.Params,
-		batchID: rec.BatchID,
-		kind:    rec.Kind,
-		noLog:   true,
-		reply:   make(chan callResult, 1),
-	}
+	// The reply channel stays in a local: the partition recycles the
+	// task the moment it retires, so t must not be touched after push.
+	reply := make(chan callResult, 1)
+	t := getTask()
+	t.sp = rec.SP
+	t.params = rec.Params
+	t.batchID = rec.BatchID
+	t.kind = rec.Kind
+	t.noLog = true
+	t.reply = reply
 	switch rec.Kind {
 	case wal.KindBorder:
 		t.batch = rec.Batch
@@ -226,9 +228,10 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 		}
 	}
 	if !e.parts[pid].sched.PushBack(t) {
+		putTask(t)
 		return fmt.Errorf("pe: engine closed")
 	}
-	r := <-t.reply
+	r := <-reply
 	return r.err
 }
 
@@ -318,13 +321,12 @@ func (e *Engine) consumersOf(streamKey string) []string {
 func makeConsumerTasks(consumers []string, streamKey string, batchID int64, rows []types.Row) []*task {
 	ts := make([]*task, 0, len(consumers))
 	for i, c := range consumers {
-		ct := &task{
-			sp:          c,
-			params:      types.Row{types.NewInt(batchID)},
-			batchID:     batchID,
-			kind:        wal.KindInterior,
-			inputStream: streamKey,
-		}
+		ct := getTask()
+		ct.sp = c
+		ct.params = types.Row{types.NewInt(batchID)}
+		ct.batchID = batchID
+		ct.kind = wal.KindInterior
+		ct.inputStream = streamKey
 		if i == 0 {
 			ct.batch = rows
 			ct.gcRefs = len(consumers)

@@ -165,8 +165,12 @@ func (s *Server) handle(c net.Conn) {
 
 	var inflight sync.WaitGroup
 	br := bufio.NewReader(c)
+	// One grow-only frame buffer per connection: DecodeRequest copies
+	// everything it keeps, so each frame may overwrite the last.
+	var scratch []byte
 	for {
-		payload, err := wire.ReadFrame(br)
+		payload, err := wire.ReadFrameBuf(br, scratch)
+		scratch = payload
 		if err != nil {
 			break
 		}

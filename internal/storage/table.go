@@ -71,15 +71,22 @@ type Undo interface {
 	RecordStage(t *Table, tid uint64, prev bool)
 }
 
+// storedRow is the live (newest) version of one tuple. installedAt is
+// the number of the task that installed this version; a pinned reader
+// at commit boundary B sees it iff installedAt ≤ B, and otherwise
+// walks the table's version chain for the tuple (see rowVer in
+// views.go).
 type storedRow struct {
-	meta TupleMeta
-	data types.Row
+	meta        TupleMeta
+	data        types.Row
+	installedAt uint64
 }
 
 // Table is an in-memory heap of rows plus secondary indexes. All access
 // is single-threaded by construction: a table belongs to exactly one
 // partition and partitions execute transactions serially (§3.1), so
-// Table itself takes no locks.
+// Table itself takes no locks on the write path unless a reader is
+// pinned (see beginMutate).
 type Table struct {
 	name   string
 	kind   Kind
@@ -100,43 +107,154 @@ type Table struct {
 	// (§3.2.2). Empty means unrestricted.
 	OwnerSP string
 
-	// views, when non-nil, is the partition's read-view registry
-	// (snapshot read path); mutations notify it so pinned views get a
-	// copy-on-write image before the live heap changes.
+	// views, when non-nil, is the partition's epoch registry (snapshot
+	// read path); mutations preserve superseded row versions for pinned
+	// readers instead of mutating state they can still see.
 	views *Views
 	// liveTask is the number of the task that last mutated this table:
 	// the live heap equals the boundary-E state for every E ≥ liveTask.
 	liveTask atomic.Uint64
-	// latch serializes off-loop readers of the live heap against the
-	// writer's copy-on-write detach barrier. Writers take it only on a
-	// task's first mutation of a pinned table; readers hold RLock for
-	// the duration of one statement.
+	// latch serializes off-loop readers against mutations. Writers take
+	// it per outermost mutation, and only while a reader is pinned;
+	// readers hold RLock for the duration of one statement.
 	latch sync.RWMutex
+	// releaseRead is the read-latch release handed to resolved readers;
+	// built once so the read path does not allocate a closure per
+	// resolve.
+	releaseRead func()
+	// mutDepth counts nested mutations (a window slide inside an
+	// insert, a re-evaluation delete inside an update) so only the
+	// outermost mutation takes the latch.
+	mutDepth int
+	// latched records whether the current mutation bracket holds the
+	// write latch.
+	latched bool
+
+	// olds holds per-tuple version chains: superseded row versions kept
+	// alive for pinned readers, newest first. Nil or empty whenever no
+	// reader has pinned across a mutation. Guarded by latch while
+	// readers exist.
+	olds map[uint64]*rowVer
+	// truncImages are whole-table fallback images detached by Truncate
+	// while readers were pinned: truncation invalidates every version
+	// chain at once, so the rare truncate-under-pin keeps the old copy
+	// engine. Entry i serves every boundary ≤ its to.
+	truncImages []*tableImage
+
+	// src/asOf turn a Table value into a read-only versioned shim:
+	// when src is non-nil, Get/Scan resolve src's row versions at
+	// boundary asOf instead of reading own state. Shims carry no
+	// indexes (index probes fall back to filtered scans).
+	src  *Table
+	asOf uint64
 }
 
-// beforeMutate is the copy-on-write hook called at the top of every
-// mutating operation. The fast path — same task already mutated this
-// table, or no view registry attached — is two atomic loads.
+// beginMutate opens a mutation bracket. The fast path — no registry, or
+// no reader pinned — is two atomic loads; with a pinned reader the
+// outermost bracket takes the write latch so off-loop readers never
+// observe a half-applied mutation or a version chain mid-splice.
 //
 //sstore:nomalloc
-func (t *Table) beforeMutate() {
+func (t *Table) beginMutate() {
 	v := t.views
-	if v == nil || t.liveTask.Load() == v.curTask.Load() {
+	if v == nil {
 		return
 	}
-	//lint:allow hotalloc -- the copy-on-write detach is the deliberate slow path; the annotation guards the loads above it
-	v.beforeMutate(t)
+	if t.mutDepth == 0 && v.pinCount.Load() > 0 {
+		t.latch.Lock()
+		t.latched = true
+	}
+	t.mutDepth++
+	if task := v.curTask.Load(); t.liveTask.Load() != task {
+		t.liveTask.Store(task)
+	}
+}
+
+// endMutate closes a mutation bracket, releasing the write latch at the
+// outermost level if beginMutate took it.
+//
+//sstore:nomalloc
+func (t *Table) endMutate() {
+	if t.views == nil {
+		return
+	}
+	t.mutDepth--
+	if t.mutDepth == 0 && t.latched {
+		t.latched = false
+		t.latch.Unlock()
+	}
+}
+
+// preserveVersion pushes the pre-image of a row about to be mutated
+// onto its version chain when a pinned reader can still see it. The
+// version covers commit boundaries [installedAt, curTask-1] and is
+// queued on the registry's retire ring for reclamation once the oldest
+// pin advances past it. Callers hold the mutation bracket.
+func (t *Table) preserveVersion(tid uint64, r storedRow) {
+	v := t.views
+	if v == nil || v.pinCount.Load() == 0 || v.maxPinned.Load() < r.installedAt {
+		return
+	}
+	task := v.curTask.Load()
+	if task == 0 {
+		// No task has ever run: there is no commit boundary a version
+		// could cover.
+		return
+	}
+	n := v.getVer()
+	n.meta, n.data = r.meta, r.data
+	n.from, n.to = r.installedAt, task-1
+	if t.olds == nil {
+		t.olds = make(map[uint64]*rowVer)
+	}
+	n.older = t.olds[tid]
+	t.olds[tid] = n
+	v.retireVer(t, tid, n)
+}
+
+// versionAt resolves the tuple's state at commit boundary b: the live
+// row when it was installed at or before b, else the newest chained
+// version covering b, else not-present. Chains are newest-first with
+// strictly decreasing ranges, so the walk stops at the first node whose
+// range has fallen below b.
+//
+//sstore:nomalloc
+func (t *Table) versionAt(tid, b uint64) (TupleMeta, types.Row, bool) {
+	if r, ok := t.rows[tid]; ok && r.installedAt <= b {
+		return r.meta, r.data, true
+	}
+	for n := t.olds[tid]; n != nil; n = n.older {
+		if b > n.to {
+			break
+		}
+		if n.from <= b {
+			return n.meta, n.data, true
+		}
+	}
+	var none TupleMeta
+	return none, nil, false
+}
+
+// stampInstalled returns the task number to stamp on a freshly
+// installed row version.
+func (t *Table) stampInstalled() uint64 {
+	if t.views == nil {
+		return 0
+	}
+	return t.views.curTask.Load()
 }
 
 // NewTable creates an empty table of the given kind.
 func NewTable(name string, kind Kind, schema *types.Schema) *Table {
-	return &Table{
+	t := &Table{
 		name:   name,
 		kind:   kind,
 		schema: schema,
 		rows:   make(map[uint64]storedRow),
 		tombs:  make(map[uint64]struct{}),
 	}
+	t.releaseRead = func() { t.latch.RUnlock() }
+	return t
 }
 
 // Name returns the table name.
@@ -149,27 +267,52 @@ func (t *Table) Kind() Kind { return t.kind }
 func (t *Table) Schema() *types.Schema { return t.schema }
 
 // Window returns the sliding-window state for window tables, or nil.
-func (t *Table) Window() *WindowState { return t.window }
+func (t *Table) Window() *WindowState {
+	if t.src != nil {
+		return t.src.window
+	}
+	return t.window
+}
 
 // Len returns the number of live rows, including staged window rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	if t.src != nil {
+		n := 0
+		for _, tid := range t.src.order {
+			if _, _, ok := t.src.versionAt(tid, t.asOf); ok {
+				n++
+			}
+		}
+		return n
+	}
+	return len(t.rows)
+}
 
 // ActiveLen returns the number of rows visible to queries (live rows
 // minus staged window rows).
 func (t *Table) ActiveLen() int {
+	if t.src != nil {
+		n := 0
+		for _, tid := range t.src.order {
+			if meta, _, ok := t.src.versionAt(tid, t.asOf); ok && !meta.Staged {
+				n++
+			}
+		}
+		return n
+	}
 	if t.window == nil {
 		return len(t.rows)
 	}
 	return len(t.rows) - t.window.staged.Len()
 }
 
-// AddIndex attaches an index and backfills it from existing rows. It
-// participates in the copy-on-write protocol like a row mutation:
-// open views that resolved the table live get an image (without the
-// new index — their pinned boundary predates it) before the index
-// list changes.
+// AddIndex attaches an index and backfills it from existing rows. Row
+// data is unchanged, so pinned readers on the live heap keep reading
+// it; the mutation bracket only fences the index-list append against a
+// reader mid-probe.
 func (t *Table) AddIndex(idx index.Index) error {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	for _, name := range t.indexNames() {
 		if name == idx.Name() {
 			return fmt.Errorf("storage: table %s already has index %s", t.name, name)
@@ -222,7 +365,9 @@ func (t *Table) IndexOn(cols []int) index.Index {
 	return nil
 }
 
-// Indexes returns the attached indexes.
+// Indexes returns the attached indexes. Versioned shims carry none:
+// the live indexes reflect the newest versions, so probes against an
+// older boundary fall back to filtered scans.
 func (t *Table) Indexes() []index.Index { return t.indexes }
 
 func (t *Table) extractKey(idx index.Index, row types.Row) index.Key {
@@ -238,7 +383,8 @@ func (t *Table) extractKey(idx index.Index, row types.Row) index.Key {
 // tables the row enters staged and the window may slide; the returned
 // InsertResult reports what happened so the caller can fire triggers.
 func (t *Table) Insert(row types.Row, batchID int64, undo Undo) (InsertResult, error) {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	row, err := t.schema.Validate(row)
 	if err != nil {
 		return InsertResult{}, fmt.Errorf("storage: insert into %s: %w", t.name, err)
@@ -265,7 +411,9 @@ type InsertResult struct {
 	Slid bool
 }
 
-// insertRaw appends a row with explicit metadata, assigning a TID.
+// insertRaw appends a row with explicit metadata, assigning a TID. A
+// fresh insert has no pre-image: readers at older boundaries simply do
+// not see the tuple (versionAt's not-present default).
 func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, error) {
 	t.nextTID++
 	meta.TID = t.nextTID
@@ -282,7 +430,7 @@ func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, err
 			return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
 		}
 	}
-	t.rows[meta.TID] = storedRow{meta: meta, data: row}
+	t.rows[meta.TID] = storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}
 	t.order = append(t.order, meta.TID)
 	if undo != nil {
 		undo.RecordInsert(t, meta.TID)
@@ -294,7 +442,8 @@ func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, err
 // metadata; used by transaction rollback and snapshot load. The TID
 // counter is bumped past the restored TID.
 func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	if _, exists := t.rows[meta.TID]; exists {
 		return fmt.Errorf("storage: restore of live tid %d in %s", meta.TID, t.name)
 	}
@@ -303,7 +452,7 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 			return fmt.Errorf("storage: restore into %s: %w", t.name, err)
 		}
 	}
-	t.rows[meta.TID] = storedRow{meta: meta, data: row}
+	t.rows[meta.TID] = storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}
 	// The TID may still be listed in order as a tombstone from the
 	// earlier delete (rollback paths delete and restore the same
 	// tuple); appending again would make scans visit the row twice.
@@ -330,13 +479,17 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 }
 
 // Delete removes the row with the given TID, returning its former
-// contents.
+// contents. If a pinned reader can still see the row, its last version
+// is preserved on the chain; readers at later boundaries see the
+// absence (no chain node covers them).
 func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	r, ok := t.rows[tid]
 	if !ok {
 		return nil, fmt.Errorf("storage: delete of missing tid %d in %s", tid, t.name)
 	}
+	t.preserveVersion(tid, r)
 	for _, idx := range t.indexes {
 		idx.Delete(t.extractKey(idx, r.data), tid)
 	}
@@ -361,7 +514,8 @@ func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 // It is implemented as delete+insert on the indexes but keeps the TID
 // stable.
 func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	r, ok := t.rows[tid]
 	if !ok {
 		return fmt.Errorf("storage: update of missing tid %d in %s", tid, t.name)
@@ -392,7 +546,8 @@ func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
 		undo.RecordDelete(t, r.meta, r.data)
 		undo.RecordInsert(t, tid)
 	}
-	t.rows[tid] = storedRow{meta: r.meta, data: newRow}
+	t.preserveVersion(tid, r)
+	t.rows[tid] = storedRow{meta: r.meta, data: newRow, installedAt: t.stampInstalled()}
 	if t.window != nil && !r.meta.Staged {
 		t.windowAggUpdate(r.data, newRow)
 	}
@@ -421,18 +576,38 @@ func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
 	return nil
 }
 
-// Get returns the row and metadata for a TID.
+// Get returns the row and metadata for a TID. On a versioned shim it
+// resolves the version visible at the shim's boundary.
+//
+//sstore:nomalloc
 func (t *Table) Get(tid uint64) (TupleMeta, types.Row, bool) {
+	if t.src != nil {
+		return t.src.versionAt(tid, t.asOf)
+	}
 	r, ok := t.rows[tid]
 	if !ok {
-		return TupleMeta{}, nil, false
+		var none TupleMeta
+		return none, nil, false
 	}
 	return r.meta, r.data, true
 }
 
 // Scan calls fn for every visible (non-staged) row in arrival order.
-// fn returning false stops the scan. The row must not be mutated.
+// fn returning false stops the scan. The row must not be mutated. On a
+// versioned shim each tuple resolves through its version chain.
 func (t *Table) Scan(fn func(meta TupleMeta, row types.Row) bool) {
+	if t.src != nil {
+		for _, tid := range t.src.order {
+			meta, row, ok := t.src.versionAt(tid, t.asOf)
+			if !ok || meta.Staged {
+				continue
+			}
+			if !fn(meta, row) {
+				return
+			}
+		}
+		return
+	}
 	for _, tid := range t.order {
 		r, ok := t.rows[tid]
 		if !ok || r.meta.Staged {
@@ -447,6 +622,18 @@ func (t *Table) Scan(fn func(meta TupleMeta, row types.Row) bool) {
 // ScanAll is Scan including staged rows; used by window management and
 // snapshotting.
 func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
+	if t.src != nil {
+		for _, tid := range t.src.order {
+			meta, row, ok := t.src.versionAt(tid, t.asOf)
+			if !ok {
+				continue
+			}
+			if !fn(meta, row) {
+				return
+			}
+		}
+		return
+	}
 	for _, tid := range t.order {
 		r, ok := t.rows[tid]
 		if !ok {
@@ -464,7 +651,8 @@ func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
 // pushes the back of active, both O(1); rollback re-staging pops the
 // back of active and pushes the front of staged, also O(1).
 func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
 	r, ok := t.rows[tid]
 	if !ok || r.meta.Staged == staged {
 		return
@@ -472,7 +660,9 @@ func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
 	if undo != nil {
 		undo.RecordStage(t, tid, r.meta.Staged)
 	}
+	t.preserveVersion(tid, r)
 	r.meta.Staged = staged
+	r.installedAt = t.stampInstalled()
 	t.rows[tid] = r
 	if t.window != nil {
 		if staged {
@@ -495,7 +685,13 @@ func (t *Table) RestoreStaged(tid uint64, staged bool) {
 	t.setStaged(tid, staged, nil)
 }
 
+// maybeCompact rewrites order to drop tombstones. It is suppressed
+// while version chains exist: a chained (deleted) tuple must stay
+// listed in order or versioned scans would skip it.
 func (t *Table) maybeCompact() {
+	if len(t.olds) > 0 {
+		return
+	}
 	if len(t.tombs)*2 < len(t.order) || len(t.order) < 64 {
 		return
 	}
@@ -513,8 +709,22 @@ func (t *Table) maybeCompact() {
 // load. Window tables reset their full scalar state — fill/start
 // phase, slide count, deques, and maintained-aggregate accumulators —
 // so a truncated window resumes from scratch, not mid-phase.
+//
+// Truncation invalidates every version chain at once, so if a reader
+// is pinned the whole pre-truncate table is detached as a fallback
+// image (the one case that still pays a table-granularity copy; it is
+// a snapshot-load event, never the ingest hot path).
 func (t *Table) Truncate() {
-	t.beforeMutate()
+	t.beginMutate()
+	defer t.endMutate()
+	if v := t.views; v != nil && v.pinCount.Load() > 0 {
+		if task := v.curTask.Load(); task > 0 {
+			img := t.cloneForRead()
+			t.truncImages = append(t.truncImages, &tableImage{to: task - 1, tbl: img})
+			v.noteTruncImage(t)
+		}
+	}
+	t.olds = nil
 	t.rows = make(map[uint64]storedRow)
 	t.order = t.order[:0]
 	t.tombs = make(map[uint64]struct{})
@@ -539,4 +749,17 @@ func (t *Table) Truncate() {
 			t.indexes[i] = index.NewBTree(ix.Name(), ix.Columns(), ix.Unique())
 		}
 	}
+}
+
+// imageAt returns the oldest truncate-fallback image covering boundary
+// b, or nil. Images are appended in truncation order, so the first
+// image with to ≥ b is the state the boundary saw. Callers hold the
+// read latch.
+func (t *Table) imageAt(b uint64) *Table {
+	for _, img := range t.truncImages {
+		if b <= img.to {
+			return img.tbl
+		}
+	}
+	return nil
 }

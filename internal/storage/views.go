@@ -12,8 +12,8 @@ import (
 // read views that observe a transaction-consistent commit boundary
 // without entering the partition's scheduler queue.
 //
-// The protocol is copy-on-write at table granularity, paid by writers
-// and only while a reader is pinned:
+// The protocol is multi-versioning at row granularity with epoch-based
+// reclamation, paid by writers only while a reader is pinned:
 //
 //   - The partition goroutine brackets every task with BeginTask /
 //     EndTask; the count of completed tasks is the partition's commit
@@ -25,28 +25,60 @@ import (
 //     tasks in one BeginTask/EndTask pair, advancing interior
 //     boundaries with AdvanceTask; pins wait out the full run, since
 //     its interior boundaries never exist as physical states.
-//   - Every table carries liveTask, the number of the task that last
-//     mutated it. The live heap is exactly the boundary-E state for
-//     any E ≥ liveTask, so a view at such an E reads the live table
-//     directly (under a short read latch).
-//   - A task's first mutation of a table (Table.beforeMutate) checks,
-//     once per table per task, whether an open view still needs the
-//     live state. If so it detaches an immutable image — a copy of the
-//     table covering boundaries [liveTask, current] — and only then
-//     mutates. With no views open the check is two atomic loads on
-//     the hot path and one uncontended mutex on the first mutation per
-//     table per task: the write path pays ~nothing when nobody reads.
+//   - Every live row is stamped with installedAt, the task that
+//     installed it. While a pinned reader can still see a row's
+//     current state (maxPinned ≥ installedAt), a mutation first pushes
+//     the pre-image onto the tuple's version chain (Table.olds) as a
+//     rowVer covering boundaries [installedAt, curTask-1]. The live
+//     heap is always the newest version — with no reader pinned the
+//     write path pushes nothing and mutates in place, allocation-free.
+//   - A view resolves a table to the live heap when nothing mutated it
+//     since the pin (liveTask ≤ epoch: full speed, indexes included)
+//     and otherwise to a versioned shim that resolves each tuple
+//     through its chain at the pinned boundary. Readers never trigger
+//     a table copy; writers never wait for readers beyond the
+//     per-mutation latch.
+//   - Every pushed version enters the retire ring. At each BeginTask
+//     the partition drains the ring's prefix whose versions no open
+//     pin can reach (to < minPinned, or no pins at all), unlinking
+//     them under a try-lock and recycling the nodes through a free
+//     list. Readers walk chains newest-first and stop before any node
+//     older than their boundary, so a drained node is unreachable
+//     before it is recycled.
 //
-// Images are shared by every view whose epoch falls in their range and
-// garbage-collected as views close. Maintained window aggregates are
-// captured by value at pin time (O(#aggregates)), so aggregate reads
-// never touch the live window at all — the O(1) read path.
+// Maintained window aggregates are captured by value at pin time
+// (O(#aggregates)), so aggregate reads never touch the live window at
+// all — the O(1) read path. Truncate is the one mutation that
+// invalidates every chain at once; under a pin it falls back to
+// detaching a whole-table image (snapshot load only, never ingest).
 
-// tableImage is one detached copy-on-write image: the state of a table
-// for every commit boundary in [from, to].
+// rowVer is one preserved (superseded) row version covering commit
+// boundaries [from, to], linked newest-first on Table.olds. Nodes are
+// recycled through the registry free list once no pin can reach them.
+type rowVer struct {
+	meta  TupleMeta
+	data  types.Row
+	from  uint64
+	to    uint64
+	older *rowVer
+}
+
+// retiredVer is one retire-ring entry: a pushed version awaiting
+// reclamation. Entries are appended in push order, so ring order is
+// non-decreasing in to within each tuple's chain and the drainable set
+// is a prefix.
+type retiredVer struct {
+	tbl *Table
+	tid uint64
+	ver *rowVer
+}
+
+// tableImage is a whole-table fallback image detached by
+// Truncate-under-pin: the state of a table for every commit boundary
+// ≤ to.
 type tableImage struct {
-	from, to uint64
-	tbl      *Table
+	to  uint64
+	tbl *Table
 }
 
 // AggCapture is one maintained window aggregate's value captured at a
@@ -57,7 +89,23 @@ type AggCapture struct {
 	Val types.Value
 }
 
-// Views is one partition's read-view registry. The partition goroutine
+// aggEntry is a view's captured aggregates for one table, reused
+// across pins of a recycled view (gen tags the owning pin).
+type aggEntry struct {
+	gen  uint64
+	caps []AggCapture
+}
+
+const (
+	// maxFreeVers bounds the rowVer free list.
+	maxFreeVers = 4096
+	// maxFreeViews bounds the ReadView free list.
+	maxFreeViews = 64
+)
+
+// Views is one partition's epoch registry: it tracks the commit
+// boundary, admits pins onto boundaries, and reclaims superseded row
+// versions once the oldest pin advances. The partition goroutine
 // drives BeginTask/EndTask; Pin and view reads may run on any
 // goroutine.
 type Views struct {
@@ -66,7 +114,9 @@ type Views struct {
 	cat  *Catalog
 
 	// epoch counts completed tasks; it is the current commit boundary.
-	epoch  uint64
+	// Atomic because wave workers push versions (reading curTask) while
+	// AdvanceTask publishes interior boundaries.
+	epoch  atomic.Uint64
 	inTask bool
 	// pinTicket/pinServed implement bounded boundary handoff: a pin
 	// takes a ticket on arrival, and BeginTask waits for every ticket
@@ -79,22 +129,37 @@ type Views struct {
 	pinTicket uint64
 	pinServed uint64
 
-	// curTask is epoch+1 while a task runs; Table.beforeMutate's
-	// lock-free fast path compares it against the table's liveTask.
+	// curTask is epoch+1 while a task runs; mutation brackets stamp
+	// liveTask and new row versions with it.
 	curTask atomic.Uint64
 
-	views  map[*ReadView]struct{}
-	images map[string][]*tableImage
+	// pinCount / minPinned / maxPinned summarize the open pins for the
+	// write path's lock-free checks: pinCount gates the mutation latch
+	// and version pushes, maxPinned filters pushes nobody could read,
+	// minPinned bounds reclamation. All are updated under mu.
+	pinCount  atomic.Int64
+	minPinned atomic.Uint64
+	maxPinned atomic.Uint64
+
+	views     map[*ReadView]struct{}
+	freeViews []*ReadView
+
+	// retireMu guards the retire ring and the version free list; it is
+	// taken per version push (pins open only) and once per BeginTask.
+	retireMu  sync.Mutex
+	retire    []retiredVer
+	freeVers  []*rowVer
+	truncTabs map[*Table]struct{}
+	reclaimed uint64
 }
 
 // NewViews creates a registry over a catalog and wires the catalog so
-// every current and future table participates in the copy-on-write
+// every current and future table participates in the versioning
 // protocol.
 func NewViews(cat *Catalog) *Views {
 	v := &Views{
-		cat:    cat,
-		views:  make(map[*ReadView]struct{}),
-		images: make(map[string][]*tableImage),
+		cat:   cat,
+		views: make(map[*ReadView]struct{}),
 	}
 	v.cond = sync.NewCond(&v.mu)
 	cat.setViews(v)
@@ -103,21 +168,23 @@ func NewViews(cat *Catalog) *Views {
 
 // BeginTask marks the start of one task on the partition goroutine,
 // first letting every pin that arrived before it take the current
-// boundary.
+// boundary, then reclaiming retired versions the remaining pins can no
+// longer reach.
 func (v *Views) BeginTask() {
 	v.mu.Lock()
 	for grace := v.pinTicket; v.pinServed < grace; {
 		v.cond.Wait()
 	}
 	v.inTask = true
-	v.curTask.Store(v.epoch + 1)
+	v.curTask.Store(v.epoch.Load() + 1)
 	v.mu.Unlock()
+	v.drainRetired()
 }
 
 // EndTask publishes the task's commit boundary and wakes pinners.
 func (v *Views) EndTask() {
 	v.mu.Lock()
-	v.epoch++
+	v.epoch.Add(1)
 	v.inTask = false
 	v.cond.Broadcast()
 	v.mu.Unlock()
@@ -129,13 +196,12 @@ func (v *Views) EndTask() {
 // calls AdvanceTask between retirements, so the completed-task count
 // matches serial execution while pins can never land on an interior
 // boundary. Interior boundaries are not real states — the run's bodies
-// interleaved their mutations, and tables were stamped with the run's
-// first task number — so a pin must wait for the run's final EndTask,
-// which it does because inTask stays true throughout.
+// interleaved their mutations — so a pin must wait for the run's final
+// EndTask, which it does because inTask stays true throughout.
 func (v *Views) AdvanceTask() {
 	v.mu.Lock()
-	v.epoch++
-	v.curTask.Store(v.epoch + 1)
+	e := v.epoch.Add(1)
+	v.curTask.Store(e + 1)
 	v.mu.Unlock()
 }
 
@@ -143,86 +209,59 @@ func (v *Views) AdvanceTask() {
 // a condition variable, never in the scheduler queue — for at most the
 // task currently executing, not for the queue behind it. Maintained
 // window aggregates are captured by value so aggregate reads off this
-// view are O(1) and never touch the live window.
+// view are O(1) and never touch the live window. View structs, their
+// aggregate captures, and their table shims are recycled through a
+// free list: a paced reader workload pins without allocating.
 func (v *Views) Pin() *ReadView {
 	v.mu.Lock()
 	v.pinTicket++
 	for v.inTask {
 		v.cond.Wait()
 	}
-	rv := &ReadView{reg: v, epoch: v.epoch}
+	rv := v.getView()
+	rv.epoch = v.epoch.Load()
 	v.cat.forEach(func(key string, t *Table) {
 		aggs := t.MaintainedAggregates()
 		if len(aggs) == 0 {
 			return
 		}
-		caps := make([]AggCapture, 0, len(aggs))
+		e := rv.aggEntry(key)
 		for _, a := range aggs {
 			// Safe to read (and, for a dirty MIN/MAX, rescan) here: the
 			// registry lock holds off BeginTask, so no task is mutating,
 			// and concurrent pins serialize on the same lock.
 			val, _ := t.MaintainedAggregate(a.Fn(), a.Col())
-			caps = append(caps, AggCapture{Fn: a.Fn(), Col: a.Col(), Val: val})
+			e.caps = append(e.caps, AggCapture{Fn: a.Fn(), Col: a.Col(), Val: val})
 		}
-		if rv.aggs == nil {
-			rv.aggs = make(map[string][]AggCapture)
-		}
-		rv.aggs[key] = caps
 	})
+	if v.pinCount.Load() == 0 {
+		v.minPinned.Store(rv.epoch)
+	}
+	v.maxPinned.Store(rv.epoch) // epoch is monotone: the newest pin is the max
 	v.views[rv] = struct{}{}
+	v.pinCount.Add(1)
 	v.pinServed++
 	v.cond.Broadcast()
 	v.mu.Unlock()
 	return rv
 }
 
-// beforeMutate runs on a task's first mutation of a table (the fast
-// path in Table.beforeMutate already filtered repeats). If an open
-// view's epoch still resolves to the live heap, the pre-mutation state
-// is detached as an immutable image first. The latch write-lock
-// barrier flushes out any reader mid-scan on the live heap: after it,
-// every reader re-resolves and lands on the image.
-func (v *Views) beforeMutate(t *Table) {
-	v.mu.Lock()
-	task := v.curTask.Load()
-	lt := t.liveTask.Load()
-	if lt == task {
-		// Another goroutine of the same task (checkpoint grounding)
-		// already handled this table.
-		v.mu.Unlock()
-		return
+// getView pops a recycled view or allocates one. Caller holds mu.
+func (v *Views) getView() *ReadView {
+	if k := len(v.freeViews); k > 0 {
+		rv := v.freeViews[k-1]
+		v.freeViews[k-1] = nil
+		v.freeViews = v.freeViews[:k-1]
+		rv.closed = false
+		rv.gen++
+		return rv
 	}
-	need := false
-	for rv := range v.views {
-		if rv.epoch >= lt {
-			need = true
-			break
-		}
-	}
-	if need {
-		key := lowerKey(t.name)
-		v.images[key] = append(v.images[key], &tableImage{from: lt, to: v.epoch, tbl: t.cloneForRead()})
-	}
-	t.liveTask.Store(task)
-	v.mu.Unlock()
-	// Barrier: wait out readers that resolved to the live heap before
-	// liveTask advanced. New readers see the bumped liveTask after
-	// RLock and re-resolve to the image.
-	t.latch.Lock()
-	t.latch.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	return &ReadView{reg: v, gen: 1}
 }
 
-func (v *Views) findImage(key string, epoch uint64) *Table {
-	for _, img := range v.images[key] {
-		if img.from <= epoch && epoch <= img.to {
-			return img.tbl
-		}
-	}
-	return nil
-}
-
-// close unregisters a view and drops images no remaining view can
-// reach.
+// close unregisters a view, refreshes the pin summary, and recycles
+// the view struct. The retired versions it pinned are reclaimed by the
+// partition at its next BeginTask.
 func (v *Views) close(rv *ReadView) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -231,40 +270,188 @@ func (v *Views) close(rv *ReadView) {
 	}
 	rv.closed = true
 	delete(v.views, rv)
+	v.pinCount.Add(-1)
 	if len(v.views) == 0 {
-		v.images = make(map[string][]*tableImage)
+		v.minPinned.Store(0)
+		v.maxPinned.Store(0)
+	} else {
+		first := true
+		var min, max uint64
+		for o := range v.views {
+			if first {
+				min, max, first = o.epoch, o.epoch, false
+				continue
+			}
+			if o.epoch < min {
+				min = o.epoch
+			}
+			if o.epoch > max {
+				max = o.epoch
+			}
+		}
+		v.minPinned.Store(min)
+		v.maxPinned.Store(max)
+	}
+	if len(v.freeViews) < maxFreeViews {
+		v.freeViews = append(v.freeViews, rv)
+	}
+}
+
+// getVer pops a version node off the free list or allocates one.
+func (v *Views) getVer() *rowVer {
+	v.retireMu.Lock()
+	var n *rowVer
+	if k := len(v.freeVers); k > 0 {
+		n = v.freeVers[k-1]
+		v.freeVers[k-1] = nil
+		v.freeVers = v.freeVers[:k-1]
+	} else {
+		n = &rowVer{}
+	}
+	v.retireMu.Unlock()
+	return n
+}
+
+// retireVer queues a pushed version for reclamation.
+func (v *Views) retireVer(t *Table, tid uint64, n *rowVer) {
+	v.retireMu.Lock()
+	v.retire = append(v.retire, retiredVer{tbl: t, tid: tid, ver: n})
+	v.retireMu.Unlock()
+}
+
+// noteTruncImage records that a table detached a truncate-fallback
+// image, so reclamation knows to age it out.
+func (v *Views) noteTruncImage(t *Table) {
+	v.retireMu.Lock()
+	if v.truncTabs == nil {
+		v.truncTabs = make(map[*Table]struct{})
+	}
+	v.truncTabs[t] = struct{}{}
+	v.retireMu.Unlock()
+}
+
+// drainRetired reclaims the retire-ring prefix no open pin can reach:
+// version nodes with to < minPinned (all of them when no pin is open)
+// are unlinked from their chains under a try-lock and recycled.
+// Skipping on a held latch is safe — the entries stay queued and the
+// next boundary retries. Runs on the partition goroutine, between
+// tasks, so it never races the write path.
+func (v *Views) drainRetired() {
+	v.retireMu.Lock()
+	defer v.retireMu.Unlock()
+	if len(v.retire) == 0 && len(v.truncTabs) == 0 {
 		return
 	}
-	min := uint64(0)
-	first := true
-	for o := range v.views {
-		if first || o.epoch < min {
-			min, first = o.epoch, false
+	pinned := v.pinCount.Load() > 0
+	min := v.minPinned.Load()
+	i := 0
+	for ; i < len(v.retire); i++ {
+		e := v.retire[i]
+		if pinned && e.ver.to >= min {
+			break
 		}
+		ok, freed := e.tbl.tryUnlink(e.tid, e.ver)
+		if !ok {
+			break
+		}
+		if freed != nil {
+			freed.meta, freed.data, freed.older = TupleMeta{}, nil, nil
+			if len(v.freeVers) < maxFreeVers {
+				v.freeVers = append(v.freeVers, freed)
+			}
+		}
+		v.reclaimed++
 	}
-	for key, imgs := range v.images {
-		keep := imgs[:0]
-		for _, img := range imgs {
-			if img.to >= min {
+	if i > 0 {
+		n := copy(v.retire, v.retire[i:])
+		for j := n; j < len(v.retire); j++ {
+			v.retire[j] = retiredVer{}
+		}
+		v.retire = v.retire[:n]
+	}
+	for t := range v.truncTabs {
+		if !t.latch.TryLock() {
+			continue
+		}
+		keep := t.truncImages[:0]
+		for _, img := range t.truncImages {
+			if pinned && img.to >= min {
 				keep = append(keep, img)
 			}
 		}
+		for j := len(keep); j < len(t.truncImages); j++ {
+			t.truncImages[j] = nil
+		}
+		t.truncImages = keep
 		if len(keep) == 0 {
-			delete(v.images, key)
+			t.truncImages = nil
+			delete(v.truncTabs, t)
+		}
+		t.latch.Unlock()
+	}
+}
+
+// tryUnlink detaches ver — by ring order, the oldest un-reclaimed node
+// of tid's chain — under the write latch, returning ok=false when a
+// reader (or writer) holds the latch. The freed result is nil when the
+// chain migrated to a truncate image, which owns the node until the
+// image ages out.
+func (t *Table) tryUnlink(tid uint64, ver *rowVer) (ok bool, freed *rowVer) {
+	if !t.latch.TryLock() {
+		return false, nil
+	}
+	defer t.latch.Unlock()
+	n := t.olds[tid]
+	if n == nil {
+		return true, nil
+	}
+	if n == ver {
+		if ver.older == nil {
+			delete(t.olds, tid)
 		} else {
-			v.images[key] = keep
+			t.olds[tid] = ver.older
+		}
+		return true, ver
+	}
+	for ; n.older != nil; n = n.older {
+		if n.older == ver {
+			n.older = ver.older
+			return true, ver
 		}
 	}
+	return true, nil
+}
+
+// RetiredLen reports the number of superseded versions awaiting
+// reclamation (the retire ring's length).
+func (v *Views) RetiredLen() int {
+	v.retireMu.Lock()
+	defer v.retireMu.Unlock()
+	return len(v.retire)
+}
+
+// Reclaimed reports the total number of retire-ring entries drained
+// since creation.
+func (v *Views) Reclaimed() uint64 {
+	v.retireMu.Lock()
+	defer v.retireMu.Unlock()
+	return v.reclaimed
 }
 
 // ReadView is a pinned, transaction-consistent snapshot of one
 // partition at a commit boundary. It is safe for concurrent use; Close
-// releases the images it pins.
+// releases it. A closed view must not be used again: the struct is
+// recycled by the next Pin.
 type ReadView struct {
 	reg    *Views
 	epoch  uint64
-	aggs   map[string][]AggCapture
+	gen    uint64
+	aggs   map[string]*aggEntry
 	closed bool
+
+	// mu guards the shim cache against concurrent Query calls.
+	mu    sync.Mutex
+	shims []*Table
 }
 
 // Epoch returns the commit boundary (completed-task count) the view is
@@ -274,49 +461,85 @@ func (rv *ReadView) Epoch() uint64 { return rv.epoch }
 // Close releases the view. Idempotent.
 func (rv *ReadView) Close() { rv.reg.close(rv) }
 
+// aggEntry returns the capture slot for a table key, reusing the
+// recycled view's map and slice capacity.
+func (rv *ReadView) aggEntry(key string) *aggEntry {
+	if rv.aggs == nil {
+		rv.aggs = make(map[string]*aggEntry)
+	}
+	e := rv.aggs[key]
+	if e == nil {
+		e = &aggEntry{}
+		rv.aggs[key] = e
+	}
+	e.caps = e.caps[:0]
+	e.gen = rv.gen
+	return e
+}
+
+// releaseNone is the release function for resolutions that hold no
+// latch (truncate-fallback images are immutable).
+var releaseNone = func() {}
+
 // Table resolves a table to the state at the view's boundary: the live
-// heap when nothing mutated it since the pin, else the copy-on-write
-// image detached by the first later writer. The returned release
-// function must be called when the caller is done reading (it drops
-// the live-heap read latch; a no-op for images).
+// heap when nothing mutated it since the pin (full speed, indexes
+// included), else a versioned shim resolving each tuple through its
+// version chain — never a table copy. The returned release function
+// must be called when the caller is done reading; it drops the
+// live-heap read latch that keeps the write path from splicing chains
+// mid-statement.
 func (rv *ReadView) Table(name string) (*Table, func(), error) {
 	v := rv.reg
-	v.mu.Lock()
 	t, ok := v.cat.Lookup(name)
 	if !ok {
-		v.mu.Unlock()
 		return nil, nil, fmt.Errorf("storage: no such table %q", name)
 	}
-	for {
-		if t.liveTask.Load() <= rv.epoch {
-			v.mu.Unlock()
-			t.latch.RLock()
-			if t.liveTask.Load() <= rv.epoch {
-				latch := &t.latch
-				return t, func() { latch.RUnlock() }, nil
-			}
-			// A writer detached an image between resolve and latch;
-			// re-resolve — the image exists now.
-			t.latch.RUnlock()
-			v.mu.Lock()
-			continue
-		}
-		img := v.findImage(lowerKey(name), rv.epoch)
-		v.mu.Unlock()
-		if img == nil {
-			// Unreachable by construction: liveTask only advances past
-			// an open view's epoch after detaching an image covering it.
-			return nil, nil, fmt.Errorf("storage: view at boundary %d lost table %s", rv.epoch, name)
-		}
-		return img, func() {}, nil
+	t.latch.RLock()
+	if t.liveTask.Load() <= rv.epoch {
+		return t, t.releaseRead, nil
 	}
+	if img := t.imageAt(rv.epoch); img != nil {
+		t.latch.RUnlock()
+		return rv.shimFor(img), releaseNone, nil
+	}
+	return rv.shimFor(t), t.releaseRead, nil
+}
+
+// shimFor returns the view's cached versioned shim over src, creating
+// it on first use. Shims are retained across pins of a recycled view,
+// so steady-state stale reads allocate nothing.
+func (rv *ReadView) shimFor(src *Table) *Table {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for _, s := range rv.shims {
+		if s.src == src {
+			if s.asOf != rv.epoch {
+				s.asOf = rv.epoch
+			}
+			return s
+		}
+	}
+	s := &Table{
+		name:    src.name,
+		kind:    src.kind,
+		schema:  src.schema,
+		OwnerSP: src.OwnerSP,
+		src:     src,
+		asOf:    rv.epoch,
+	}
+	rv.shims = append(rv.shims, s)
+	return s
 }
 
 // MaintainedValue returns the pin-time value of a maintained window
 // aggregate, or false when the (table, fn, col) aggregate is not
 // registered.
 func (rv *ReadView) MaintainedValue(table string, fn AggFunc, col int) (types.Value, bool) {
-	for _, c := range rv.aggs[lowerKey(table)] {
+	e := rv.aggs[lowerKey(table)]
+	if e == nil || e.gen != rv.gen {
+		return types.Null, false
+	}
+	for _, c := range e.caps {
 		if c.Fn == fn && c.Col == col {
 			return c.Val, true
 		}
@@ -325,10 +548,11 @@ func (rv *ReadView) MaintainedValue(table string, fn AggFunc, col int) (types.Va
 }
 
 // cloneForRead detaches an immutable image of the table: rows, arrival
-// order, tombstones, indexes, and window bookkeeping are copied;
-// schema and row payloads are shared (the engine treats both as
-// immutable). The clone has no view hook and a fresh latch — nothing
-// ever mutates it.
+// order, tombstones, indexes, version chains, and window bookkeeping
+// are copied or adopted; schema and row payloads are shared (the
+// engine treats both as immutable). Only Truncate-under-pin uses it —
+// the version chains it adopts stay reachable through the image after
+// the live table resets them.
 func (t *Table) cloneForRead() *Table {
 	c := &Table{
 		name:    t.name,
@@ -339,7 +563,9 @@ func (t *Table) cloneForRead() *Table {
 		tombs:   make(map[uint64]struct{}, len(t.tombs)),
 		nextTID: t.nextTID,
 		OwnerSP: t.OwnerSP,
+		olds:    t.olds,
 	}
+	c.releaseRead = func() { c.latch.RUnlock() }
 	for tid, r := range t.rows {
 		c.rows[tid] = r
 	}

@@ -40,10 +40,11 @@ func rowCount(t *testing.T, tbl *Table) int {
 	return n
 }
 
-// TestViewPinsBoundaryAndDetachesImage: a pinned view keeps the
-// boundary state across later mutations; a fresh pin sees the new
-// state; closing the last view drops the images.
-func TestViewPinsBoundaryAndDetachesImage(t *testing.T) {
+// TestViewPinsBoundaryAndVersions: a pinned view keeps the boundary
+// state across later mutations by resolving row versions; a fresh pin
+// sees the new state live; closing the last view lets the next task
+// boundary reclaim the superseded versions.
+func TestViewPinsBoundaryAndVersions(t *testing.T) {
 	_, v, tbl := viewFixture(t)
 	runTask(v, func() {
 		if _, err := tbl.Insert(types.Row{types.NewInt(1)}, 0, nil); err != nil {
@@ -67,10 +68,13 @@ func TestViewPinsBoundaryAndDetachesImage(t *testing.T) {
 		t.Errorf("view rows = %d, want 1", rowCount(t, got))
 	}
 	release()
-	// A later task mutates: the view must switch to an image with the
-	// old state; a fresh view sees the new state live.
+	// A later task mutates: the view must switch to a versioned shim
+	// showing the old state; a fresh view sees the new state live.
 	runTask(v, func() {
 		if _, err := tbl.Insert(types.Row{types.NewInt(2)}, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Update(1, types.Row{types.NewInt(7)}, nil); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -79,17 +83,22 @@ func TestViewPinsBoundaryAndDetachesImage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got == tbl {
-		t.Error("post-write resolution should be an image, not the live table")
+		t.Error("post-write resolution should be a versioned shim, not the live table")
 	}
 	if rowCount(t, got) != 1 {
-		t.Errorf("image rows = %d, want 1", rowCount(t, got))
+		t.Errorf("shim rows = %d, want 1", rowCount(t, got))
 	}
-	// The image's cloned index answers probes for the old state.
-	if ids := got.Indexes()[0].Lookup(index.Key{types.NewInt(1)}); len(ids) != 1 {
-		t.Errorf("image index lookup found %d entries, want 1", len(ids))
+	// The shim resolves the pre-update value and hides the post-pin
+	// insert entirely.
+	if _, row, ok := got.Get(1); !ok || row[0].Int() != 1 {
+		t.Errorf("shim Get(1) = %v ok=%v, want pre-update value 1", row, ok)
 	}
-	if ids := got.Indexes()[0].Lookup(index.Key{types.NewInt(2)}); len(ids) != 0 {
-		t.Errorf("image index sees post-pin row")
+	if _, _, ok := got.Get(2); ok {
+		t.Error("shim sees post-pin insert")
+	}
+	// Shims carry no indexes: probes fall back to filtered scans.
+	if n := len(got.Indexes()); n != 0 {
+		t.Errorf("shim has %d indexes, want 0", n)
 	}
 	release()
 	rv2 := v.Pin()
@@ -103,20 +112,22 @@ func TestViewPinsBoundaryAndDetachesImage(t *testing.T) {
 	release2()
 	rv2.Close()
 	rv.Close()
-	if len(v.images) != 0 {
-		t.Errorf("images leaked after last view closed: %d", len(v.images))
+	// With every view closed, the next boundary drains the retire ring.
+	runTask(v, func() {})
+	if n := v.RetiredLen(); n != 0 {
+		t.Errorf("%d versions still retained after last view closed", n)
 	}
 }
 
-// TestViewImageSharedAcrossPins: two views at the same boundary share
-// one image; only one copy is made per (write task, pinned range).
-func TestViewImageSharedAcrossPins(t *testing.T) {
+// TestViewVersionSharedAcrossPins: two views at the same boundary share
+// the version chain; only one version is pushed per (row, write task).
+func TestViewVersionSharedAcrossPins(t *testing.T) {
 	_, v, tbl := viewFixture(t)
 	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(1)}, 0, nil) })
 	a, b := v.Pin(), v.Pin()
 	defer a.Close()
 	defer b.Close()
-	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(2)}, 0, nil) })
+	runTask(v, func() { tbl.Update(1, types.Row{types.NewInt(2)}, nil) })
 	ta, ra, err := a.Table("t")
 	if err != nil {
 		t.Fatal(err)
@@ -125,25 +136,33 @@ func TestViewImageSharedAcrossPins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ta != tb {
-		t.Error("views at one boundary should share one image")
+	if _, row, ok := ta.Get(1); !ok || row[0].Int() != 1 {
+		t.Errorf("view a sees %v, want 1", row)
+	}
+	if _, row, ok := tb.Get(1); !ok || row[0].Int() != 1 {
+		t.Errorf("view b sees %v, want 1", row)
 	}
 	ra()
 	rb()
-	if n := len(v.images["t"]); n != 1 {
-		t.Errorf("%d images, want 1", n)
+	if n := v.RetiredLen(); n != 1 {
+		t.Errorf("%d retired versions, want 1 (one push per row per task)", n)
 	}
-	// A second write in a later task with both views still below the
-	// detach range must NOT detach again.
-	runTask(v, func() { tbl.Insert(types.Row{types.NewInt(3)}, 0, nil) })
-	if n := len(v.images["t"]); n != 1 {
-		t.Errorf("redundant detach: %d images, want 1", n)
+	// A second write in a later task supersedes a version installed
+	// AFTER both pins (maxPinned < installedAt): no reader can see it,
+	// so nothing more is pushed.
+	runTask(v, func() { tbl.Update(1, types.Row{types.NewInt(3)}, nil) })
+	if n := v.RetiredLen(); n != 1 {
+		t.Errorf("%d retired versions after an unobservable update, want 1", n)
+	}
+	if _, row, _ := ta.Get(1); row[0].Int() != 1 {
+		t.Errorf("view a moved to %v after second update", row)
 	}
 }
 
-// TestViewWindowCloneCarriesState: images of window tables carry
-// staged/active bookkeeping so ActiveLen and scans behave.
-func TestViewWindowCloneCarriesState(t *testing.T) {
+// TestViewWindowVersions: versioned reads of window tables resolve
+// staged/active flags at the pinned boundary so ActiveLen and scans
+// behave.
+func TestViewWindowVersions(t *testing.T) {
 	cat := NewCatalog()
 	v := NewViews(cat)
 	schema, _ := types.NewSchema(types.Column{Name: "v", Kind: types.KindInt})
@@ -167,22 +186,22 @@ func TestViewWindowCloneCarriesState(t *testing.T) {
 		t.Fatalf("captured sum %v ok=%v, want 5", val, ok)
 	}
 	runTask(v, func() { w.Insert(types.Row{types.NewInt(10)}, 0, nil) })
-	// Image must show the pinned window: 2 active rows, 2+3.
+	// The shim must show the pinned window: 2 active rows, 2+3.
 	img, release, err := rv.Table("w")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
 	if img == w {
-		t.Fatal("expected an image")
+		t.Fatal("expected a versioned shim")
 	}
 	if img.ActiveLen() != 2 {
-		t.Errorf("image ActiveLen %d, want 2", img.ActiveLen())
+		t.Errorf("shim ActiveLen %d, want 2", img.ActiveLen())
 	}
 	sum := int64(0)
 	img.Scan(func(_ TupleMeta, row types.Row) bool { sum += row[0].Int(); return true })
 	if sum != 5 {
-		t.Errorf("image visible sum %d, want 5", sum)
+		t.Errorf("shim visible sum %d, want 5", sum)
 	}
 	// Captured aggregate is still the pin-time value.
 	if val, _ := rv.MaintainedValue("w", AggSum, 0); val.Int() != 5 {
@@ -191,6 +210,38 @@ func TestViewWindowCloneCarriesState(t *testing.T) {
 	// Unknown aggregate: not captured.
 	if _, ok := rv.MaintainedValue("w", AggMax, 0); ok {
 		t.Error("uncaptured aggregate reported ok")
+	}
+}
+
+// TestViewTruncateFallback: truncation under a pin invalidates every
+// version chain at once, so the view falls back to a whole-table
+// image; closing the view ages the image out.
+func TestViewTruncateFallback(t *testing.T) {
+	_, v, tbl := viewFixture(t)
+	runTask(v, func() {
+		tbl.Insert(types.Row{types.NewInt(1)}, 0, nil)
+		tbl.Insert(types.Row{types.NewInt(2)}, 0, nil)
+	})
+	rv := v.Pin()
+	runTask(v, func() {
+		tbl.Truncate()
+		tbl.Insert(types.Row{types.NewInt(9)}, 0, nil)
+	})
+	got, release, err := rv.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rowCount(t, got); n != 2 {
+		t.Errorf("pinned view sees %d rows across a truncate, want 2", n)
+	}
+	if _, _, ok := got.Get(1); !ok {
+		t.Error("pinned view lost a pre-truncate row")
+	}
+	release()
+	rv.Close()
+	runTask(v, func() {})
+	if len(tbl.truncImages) != 0 {
+		t.Errorf("truncate image survived last unpin: %d", len(tbl.truncImages))
 	}
 }
 

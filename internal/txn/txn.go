@@ -103,6 +103,27 @@ func (t *Txn) MarkWindow(tbl *storage.Table) {
 // and metrics.
 func (t *Txn) Mutations() int { return len(t.undo) }
 
+// release drops every mutation reference while keeping slice capacity:
+// a finished Txn must not pin tables or rows (it may sit on a free
+// list), but its buffers are the whole point of recycling it.
+func (t *Txn) release() {
+	clear(t.undo)
+	t.undo = t.undo[:0]
+	clear(t.windows)
+	t.windows = t.windows[:0]
+	clear(t.marked)
+}
+
+// Reset re-arms a finished (committed or aborted) transaction for
+// reuse under a new ID. The partition engine recycles Txns through a
+// per-partition free list so steady-state TEs allocate no transaction
+// state; Reset must not be called on an active transaction.
+func (t *Txn) Reset(id uint64) {
+	t.release()
+	t.id = id
+	t.status = StatusActive
+}
+
 // Commit finalizes the transaction. Durability is the caller's concern
 // (the partition engine appends to the command log before calling
 // Commit).
@@ -111,8 +132,7 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn %d: commit of %v transaction", t.id, t.status)
 	}
 	t.status = StatusCommitted
-	t.undo = nil
-	t.windows = nil
+	t.release()
 	return nil
 }
 
@@ -143,7 +163,6 @@ func (t *Txn) Rollback() error {
 		wm.table.Window().Reset(wm.mark)
 	}
 	t.status = StatusAborted
-	t.undo = nil
-	t.windows = nil
+	t.release()
 	return nil
 }

@@ -7,6 +7,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +50,67 @@ type Options struct {
 	// order survives sharding the log. Nil gives the logger a private
 	// counter (a standalone, unsharded log).
 	Seq *atomic.Uint64
+	// SegmentBytes, when positive, rotates the log into bounded
+	// segments: once the active segment reaches this many bytes it is
+	// sealed — flushed, synced, closed — and appends move to the next
+	// segment file (<Path> is segment 0, <Path>.s<k> thereafter).
+	// Sealed segments are immutable, so CompactBefore ages fully
+	// checkpointed ones out by deleting whole files instead of
+	// rewriting, and replay treats any malformed record in a sealed
+	// segment as corruption — a torn tail is legal only in the final
+	// (active) segment. Zero keeps the log in one file.
+	SegmentBytes int64
+}
+
+// segPath names segment k of a log: the base path itself for segment
+// 0, <base>.s<k> for every later segment.
+func segPath(base string, k int) string {
+	if k == 0 {
+		return base
+	}
+	return base + ".s" + strconv.Itoa(k)
+}
+
+// segFile is one existing on-disk segment of a log.
+type segFile struct {
+	k    int
+	path string
+}
+
+// logSegments lists the log's existing segment files in index order:
+// the base file (segment 0) if present, then every <base>.s<k>.
+// Aged-out segments leave gaps, which is fine — segment indexes only
+// ever grow, so the surviving files still sort into LSN order.
+func logSegments(base string) ([]segFile, error) {
+	var segs []segFile
+	if st, err := os.Stat(base); err == nil && st.Mode().IsRegular() {
+		segs = append(segs, segFile{k: 0, path: base})
+	}
+	dir, name := filepath.Split(base)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return segs, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	prefix := name + ".s"
+	for _, ent := range ents {
+		rest, ok := strings.CutPrefix(ent.Name(), prefix)
+		if !ok {
+			continue
+		}
+		k, err := strconv.Atoi(rest)
+		if err != nil || k <= 0 {
+			continue
+		}
+		segs = append(segs, segFile{k: k, path: filepath.Join(dir, ent.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].k < segs[j].k })
+	return segs, nil
 }
 
 // Logger is an append-only command log for one partition (execution
@@ -60,6 +125,17 @@ type Logger struct {
 	w    *bufio.Writer
 	seq  *atomic.Uint64
 	opts Options
+
+	// Active-segment state: segIdx is the index of the file currently
+	// appended to (always the highest existing index), segSize its
+	// byte length. Rotation is checked after every append.
+	segIdx  int
+	segSize int64
+
+	// enc is the grow-only encode scratch: records frame themselves
+	// into it under mu, and the bytes are handed to the buffered writer
+	// before the mutex releases, so one buffer serves every append.
+	enc []byte
 
 	// Group-commit state. The flusher sleeps until kicked by the
 	// first waiter of a group, then syncs once the group window
@@ -82,8 +158,22 @@ func Open(opts Options) (*Logger, error) {
 	if opts.GroupWindow <= 0 {
 		opts.GroupWindow = 2 * time.Millisecond
 	}
-	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// Appends always continue in the highest existing segment — even
+	// when rotation is now off — so segment order keeps matching LSN
+	// order for readers.
+	segIdx := 0
+	if segs, err := logSegments(opts.Path); err != nil {
+		return nil, err
+	} else if len(segs) > 0 {
+		segIdx = segs[len(segs)-1].k
+	}
+	f, err := os.OpenFile(segPath(opts.Path, segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	seq := opts.Seq
@@ -95,6 +185,8 @@ func Open(opts Options) (*Logger, error) {
 		w:        bufio.NewWriterSize(f, 1<<16),
 		seq:      seq,
 		opts:     opts,
+		segIdx:   segIdx,
+		segSize:  st.Size(),
 		lastSync: time.Now(),
 	}
 	if opts.Policy == SyncGroup {
@@ -117,10 +209,20 @@ func (l *Logger) Append(rec *Record) (uint64, error) {
 	// within the file, which the merge reader relies on.
 	rec.LSN = l.seq.Add(1)
 	l.appends++
-	buf := rec.encode(nil)
+	buf := rec.encode(l.enc[:0])
+	l.enc = buf
 	if _, err := l.w.Write(buf); err != nil {
 		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(buf))
+	if l.opts.SegmentBytes > 0 && l.segSize >= l.opts.SegmentBytes {
+		// Seal before acknowledging: the seal syncs the segment, so the
+		// record is durable regardless of the policy branch below.
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
 	}
 	switch l.opts.Policy {
 	case SyncEachCommit:
@@ -155,6 +257,28 @@ func (l *Logger) flushAndSyncLocked() error {
 	}
 	//lint:allow replaydet -- group-commit pacing stamp; affects flush batching, never logged state
 	l.lastSync = time.Now()
+	return nil
+}
+
+// rotateLocked seals the active segment — flush, sync, close, so a
+// sealed file is always complete and durable — and opens the next one.
+// Readers treat sealed segments strictly: after this point a malformed
+// record in the old file is corruption, never a tolerable torn tail.
+func (l *Logger) rotateLocked() error {
+	if err := l.flushAndSyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.segIdx++
+	f, err := os.OpenFile(segPath(l.opts.Path, l.segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f = f
+	l.w.Reset(f)
+	l.segSize = 0
 	return nil
 }
 
@@ -225,32 +349,93 @@ func (l *Logger) Close() error {
 	return l.f.Close()
 }
 
-// CompactBefore rewrites the log keeping only records with LSN >
-// keepAfter — everything at or below is already reflected in a
-// checkpoint and never replays. The caller must hold the engine
-// quiesced (no concurrent Appends); the rewrite streams record by
-// record and is atomic (write-temp-then-rename), so a crash
-// mid-compaction leaves the old log intact.
+// CompactBefore discards records with LSN <= keepAfter — everything at
+// or below is already reflected in a checkpoint and never replays. The
+// caller must hold the engine quiesced (no concurrent Appends).
+//
+// Sealed segments age out without a rewrite: one fully covered by the
+// stamp is deleted whole (O(1) per segment — this is how a segmented
+// log stays bounded), one straddling the stamp is rewritten in place,
+// and one entirely above it is untouched. The active segment is always
+// rewritten; each rewrite streams record by record and is atomic
+// (write-temp-then-rename), so a crash mid-compaction leaves the old
+// log intact.
 func (l *Logger) CompactBefore(keepAfter uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: compact flush: %w", err)
 	}
-	if _, err := compactFile(l.opts.Path, keepAfter); err != nil {
+	segs, err := logSegments(l.opts.Path)
+	if err != nil {
 		return err
 	}
-	// Reopen the (renamed-over) file for appends.
+	for _, s := range segs {
+		if s.k >= l.segIdx {
+			continue // the active segment is handled below
+		}
+		first, last, err := segmentLSNRange(s.path)
+		if err != nil {
+			return err
+		}
+		switch {
+		case last <= keepAfter:
+			// Fully covered (or empty): drop the whole file.
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: drop segment: %w", err)
+			}
+		case first <= keepAfter:
+			if _, err := compactFile(s.path, keepAfter, true); err != nil {
+				return err
+			}
+		}
+	}
+	active := segPath(l.opts.Path, l.segIdx)
+	if _, err := compactFile(active, keepAfter, false); err != nil {
+		return err
+	}
+	// Reopen the (renamed-over) active file for appends.
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: compact close: %w", err)
 	}
-	f, err := os.OpenFile(l.opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return fmt.Errorf("wal: compact reopen: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
 		return fmt.Errorf("wal: compact reopen: %w", err)
 	}
 	l.f = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.segSize = st.Size()
 	return nil
+}
+
+// segmentLSNRange reports the first and last LSN in a sealed segment
+// (both zero when it is empty). The read is strict: a sealed segment
+// with a malformed record is corruption, and compaction must surface
+// it rather than quietly dropping the file's tail.
+func segmentLSNRange(path string) (first, last uint64, err error) {
+	r, err := openSegment(path, true)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: compact read: %w", err)
+	}
+	defer r.Close()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return first, last, nil
+		}
+		if err != nil {
+			return first, last, err
+		}
+		if first == 0 {
+			first = rec.LSN
+		}
+		last = rec.LSN
+	}
 }
 
 // compactFile rewrites one log file keeping only records with LSN >
@@ -258,8 +443,10 @@ func (l *Logger) CompactBefore(keepAfter uint64) error {
 // durable (write-temp, sync, rename) — the kept records are committed
 // transactions not covered by any checkpoint, so a crash around the
 // rename must never lose them. It returns how many records were kept.
-func compactFile(path string, keepAfter uint64) (int, error) {
-	r, err := OpenReader(path)
+// sealed selects the strict read mode: rewriting a sealed segment must
+// fail on a malformed record instead of truncating at it.
+func compactFile(path string, keepAfter uint64, sealed bool) (int, error) {
+	r, err := openSegment(path, sealed)
 	if err != nil {
 		return 0, fmt.Errorf("wal: compact read: %w", err)
 	}
@@ -311,23 +498,34 @@ func compactFile(path string, keepAfter uint64) (int, error) {
 	return kept, nil
 }
 
-// Reader streams records out of a log file one frame at a time, so
-// replay and compaction never need a file-sized allocation. A torn or
-// corrupt tail (the expected state after a crash) reads as a clean
-// end-of-log.
+// Reader streams records out of a log one frame at a time, so replay
+// and compaction never need a file-sized allocation. A segmented log
+// reads as one stream: the reader chains through the base file and
+// every <base>.s<k> in index order. All segments but the last are
+// sealed, where a malformed record is reported as corruption; only the
+// final (active) segment tolerates a torn or corrupt tail — the
+// expected state after a crash — as a clean end-of-log.
 type Reader struct {
 	f         *os.File
 	br        *bufio.Reader
 	remaining int64
 	lenbuf    [4]byte
+	// scratch is the grow-only frame buffer: each frame overwrites the
+	// last (decodePayload copies everything it keeps), so a replay
+	// stops allocating per record once scratch reaches the log's
+	// largest frame.
+	scratch []byte
+	path    string
+	sealed  bool
+	pending []string
 }
 
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 
-// OpenReader opens a log file for streaming record reads. The caller
-// should treat os.IsNotExist errors as an empty log.
-func OpenReader(path string) (*Reader, error) {
+// openSegment opens a single segment file, without chaining. sealed
+// picks the strict read mode.
+func openSegment(path string, sealed bool) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -337,53 +535,172 @@ func OpenReader(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Reader{f: f, br: bufio.NewReaderSize(f, 1<<16), remaining: st.Size()}, nil
+	return &Reader{
+		f:         f,
+		br:        bufio.NewReaderSize(f, 1<<16),
+		remaining: st.Size(),
+		path:      path,
+		sealed:    sealed,
+	}, nil
 }
 
-// Next returns the next intact record, or io.EOF at the end of the log
-// — including a torn tail, which ends the log cleanly. A genuine read
-// failure (an I/O error rather than a short or corrupt frame) is
-// reported as an error, not as end-of-log, so replay never silently
-// truncates on a failing disk.
-func (r *Reader) Next() (*Record, error) {
-	if r.remaining < 4+1+4 { // too short for any frame: clean end or torn tail
-		r.remaining = 0
+// OpenReader opens a log for streaming record reads, chaining the
+// base file and any <base>.s<k> segments into one stream. The caller
+// should treat os.IsNotExist errors as an empty log.
+func OpenReader(path string) (*Reader, error) {
+	segs, err := logSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		// Preserve the not-exist contract of a plain open.
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		f.Close()
+		return nil, fmt.Errorf("wal: open reader: %s is not a log file", path)
+	}
+	r, err := openSegment(segs[0].path, len(segs) > 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs[1:] {
+		r.pending = append(r.pending, s.path)
+	}
+	return r, nil
+}
+
+// advance moves the reader to the next pending segment.
+func (r *Reader) advance() error {
+	r.f.Close()
+	path := r.pending[0]
+	r.pending = r.pending[1:]
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: read segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: read segment: %w", err)
+	}
+	r.f = f
+	r.br.Reset(f)
+	r.remaining = st.Size()
+	r.path = path
+	r.sealed = len(r.pending) > 0
+	return nil
+}
+
+// corruptf reports a malformed record in a sealed segment — replay
+// must fail loudly here, because unlike the active tail the data was
+// known complete when the segment sealed.
+func (r *Reader) corruptf(what string) error {
+	return fmt.Errorf("wal: sealed segment %s: corrupt record (%s)", r.path, what)
+}
+
+// readFrame reads and CRC-verifies the next frame of the current
+// segment into the grow-only scratch buffer, returning its payload.
+// io.EOF means the current file is exhausted — cleanly, or at a
+// tolerated torn tail when the segment is not sealed.
+//
+//sstore:nomalloc
+func (r *Reader) readFrame() ([]byte, error) {
+	if r.remaining == 0 {
 		return nil, io.EOF
+	}
+	if r.remaining < 4+1+4 { // too short for any frame
+		r.remaining = 0
+		if r.sealed {
+			//lint:allow hotalloc -- corruption report; terminal
+			return nil, r.corruptf("trailing bytes shorter than a frame")
+		}
+		return nil, io.EOF // torn tail
 	}
 	if _, err := io.ReadFull(r.br, r.lenbuf[:]); err != nil {
 		r.remaining = 0
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if r.sealed {
+				//lint:allow hotalloc -- corruption report; terminal
+				return nil, r.corruptf("short read")
+			}
 			return nil, io.EOF
 		}
+		//lint:allow hotalloc -- I/O failure report; terminal
 		return nil, fmt.Errorf("wal: read: %w", err)
 	}
 	plen := int64(binary.LittleEndian.Uint32(r.lenbuf[:]))
 	if plen <= 0 || plen+8 > r.remaining {
-		// Garbage length or a frame that claims more bytes than the
-		// file holds: torn tail.
+		// Garbage length or a frame claiming more bytes than the file
+		// holds.
 		r.remaining = 0
+		if r.sealed {
+			//lint:allow hotalloc -- corruption report; terminal
+			return nil, r.corruptf("invalid frame length")
+		}
 		return nil, io.EOF
 	}
-	buf := make([]byte, plen+4)
+	if int64(cap(r.scratch)) < plen+4 {
+		//lint:allow hotalloc -- grow-only scratch; amortized zero across a replay
+		r.scratch = make([]byte, plen+4)
+	}
+	buf := r.scratch[:plen+4]
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		r.remaining = 0
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if r.sealed {
+				//lint:allow hotalloc -- corruption report; terminal
+				return nil, r.corruptf("short read")
+			}
 			return nil, io.EOF
 		}
+		//lint:allow hotalloc -- I/O failure report; terminal
 		return nil, fmt.Errorf("wal: read: %w", err)
 	}
 	payload := buf[:plen]
 	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[plen:]) {
 		r.remaining = 0
-		return nil, io.EOF
-	}
-	rec, err := decodePayload(payload)
-	if err != nil {
-		r.remaining = 0
+		if r.sealed {
+			//lint:allow hotalloc -- corruption report; terminal
+			return nil, r.corruptf("CRC mismatch")
+		}
 		return nil, io.EOF
 	}
 	r.remaining -= 4 + plen + 4
-	return rec, nil
+	return payload, nil
+}
+
+// Next returns the next intact record, or io.EOF at the end of the log
+// — including a torn tail in the final segment, which ends the log
+// cleanly. A malformed record in a sealed segment and a genuine I/O
+// failure are reported as errors, not end-of-log, so replay never
+// silently truncates on a failing disk or a corrupted sealed file.
+func (r *Reader) Next() (*Record, error) {
+	for {
+		payload, err := r.readFrame()
+		if err == io.EOF {
+			if len(r.pending) == 0 {
+				return nil, io.EOF
+			}
+			if err := r.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			if r.sealed {
+				return nil, r.corruptf(err.Error())
+			}
+			r.remaining = 0
+			return nil, io.EOF
+		}
+		return rec, nil
+	}
 }
 
 // ReadAll streams every intact record from a log file, stopping

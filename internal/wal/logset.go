@@ -39,6 +39,11 @@ type SetOptions struct {
 	Policy SyncPolicy
 	// GroupWindow is the flush interval under SyncGroup.
 	GroupWindow time.Duration
+	// SegmentBytes rotates each partition's log into bounded segments,
+	// per Logger.Options: sealed segments age out whole during
+	// compaction instead of being rewritten. Zero keeps one file per
+	// partition.
+	SegmentBytes int64
 }
 
 // PartitionPath maps (base, partition) to the partition's log file:
@@ -60,10 +65,11 @@ func OpenSet(opts SetOptions) (*LogSet, error) {
 	s := &LogSet{base: opts.Path}
 	for i := 0; i < opts.Partitions; i++ {
 		l, err := Open(Options{
-			Path:        PartitionPath(opts.Path, i),
-			Policy:      opts.Policy,
-			GroupWindow: opts.GroupWindow,
-			Seq:         &s.seq,
+			Path:         PartitionPath(opts.Path, i),
+			Policy:       opts.Policy,
+			GroupWindow:  opts.GroupWindow,
+			Seq:          &s.seq,
+			SegmentBytes: opts.SegmentBytes,
 		})
 		if err != nil {
 			//lint:allow errdrop -- best-effort cleanup; the open error is what the caller needs
@@ -131,7 +137,7 @@ func compactLegacy(base string, keepAfter uint64) error {
 	if err != nil || !st.Mode().IsRegular() {
 		return nil // no legacy log (or base is the shard directory)
 	}
-	kept, err := compactFile(base, keepAfter)
+	kept, err := compactFile(base, keepAfter, false)
 	if err != nil {
 		return err
 	}
@@ -155,62 +161,112 @@ func (s *LogSet) Close() error {
 	return first
 }
 
-// SetPaths lists the log files under base in partition order: a legacy
-// unsharded log at exactly base (if present) first, then every
-// cmd-p<N>.log / <base>.p<N> shard. Shards that were never created are
-// simply absent; each returned path exists at the time of listing.
-// Names are matched literally (directory listing plus prefix check),
-// so a base containing glob metacharacters lists its shards correctly.
+// shardSeg splits a shard file suffix into its partition id, accepting
+// both a plain shard ("3") and a rotation segment of one ("3.s2" —
+// segment files count as evidence the shard exists even when its base
+// file aged out during compaction). ok is false for unrelated names.
+func shardSeg(rest string) (pid int, ok bool) {
+	if pid, err := strconv.Atoi(rest); err == nil {
+		return pid, true
+	}
+	i := strings.Index(rest, ".s")
+	if i <= 0 {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest[i+2:])
+	if err != nil || k <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// SetPaths lists the per-shard log base paths under base in partition
+// order: a legacy unsharded log at exactly base (if present) first,
+// then every cmd-p<N>.log / <base>.p<N> shard. A shard rotated into
+// segments is recognized by its <shard>.s<k> files and listed once, by
+// its base path — OpenReader chains the segments back into one stream,
+// even when the base file itself aged out. Shards that were never
+// created are simply absent. Names are matched literally (directory
+// listing plus prefix check), so a base containing glob metacharacters
+// lists its shards correctly.
 func SetPaths(base string) ([]string, error) {
 	var paths []string
-	type shard struct {
-		pid  int
-		path string
-	}
-	var shards []shard
+	pids := make(map[int]bool)
+	shardBase := func(pid int) string { return fmt.Sprintf("%s.p%d", base, pid) }
 	if st, err := os.Stat(base); err == nil && st.IsDir() {
 		ents, err := os.ReadDir(base)
 		if err != nil {
 			return nil, fmt.Errorf("wal: list logs: %w", err)
 		}
 		for _, ent := range ents {
-			name := ent.Name()
-			if !strings.HasPrefix(name, "cmd-p") || !strings.HasSuffix(name, ".log") {
+			rest, ok := strings.CutPrefix(ent.Name(), "cmd-p")
+			if !ok {
 				continue
 			}
-			pid, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "cmd-p"), ".log"))
-			if err != nil {
+			// rest is "<pid>.log" or "<pid>.log.s<k>".
+			if plain, ok := strings.CutSuffix(rest, ".log"); ok {
+				if pid, err := strconv.Atoi(plain); err == nil {
+					pids[pid] = true
+				}
 				continue
 			}
-			shards = append(shards, shard{pid: pid, path: filepath.Join(base, name)})
+			i := strings.Index(rest, ".log.s")
+			if i <= 0 {
+				continue
+			}
+			pid, err1 := strconv.Atoi(rest[:i])
+			k, err2 := strconv.Atoi(rest[i+len(".log.s"):])
+			if err1 == nil && err2 == nil && k > 0 {
+				pids[pid] = true
+			}
+		}
+		shardBase = func(pid int) string {
+			return filepath.Join(base, fmt.Sprintf("cmd-p%d.log", pid))
 		}
 	} else {
-		if err == nil && st.Mode().IsRegular() {
-			paths = append(paths, base) // legacy unsharded log
-		}
+		legacy := err == nil && st.Mode().IsRegular()
 		ents, err := os.ReadDir(filepath.Dir(base))
 		if err != nil {
 			if os.IsNotExist(err) {
+				if legacy {
+					paths = append(paths, base)
+				}
 				return paths, nil
 			}
 			return nil, fmt.Errorf("wal: list logs: %w", err)
 		}
-		prefix := filepath.Base(base) + ".p"
+		name := filepath.Base(base)
 		for _, ent := range ents {
-			name := ent.Name()
-			if !strings.HasPrefix(name, prefix) {
+			// A rotation segment of the legacy unsharded log.
+			if rest, ok := strings.CutPrefix(ent.Name(), name+".s"); ok {
+				if k, err := strconv.Atoi(rest); err == nil && k > 0 {
+					legacy = true
+				}
 				continue
 			}
-			pid, err := strconv.Atoi(strings.TrimPrefix(name, prefix))
-			if err != nil {
+			rest, ok := strings.CutPrefix(ent.Name(), name+".p")
+			if !ok {
 				continue
 			}
-			shards = append(shards, shard{pid: pid, path: filepath.Join(filepath.Dir(base), name)})
+			if pid, ok := shardSeg(rest); ok {
+				pids[pid] = true
+			}
+		}
+		if legacy {
+			paths = append(paths, base)
 		}
 	}
-	sort.Slice(shards, func(i, j int) bool { return shards[i].pid < shards[j].pid })
-	for _, sh := range shards {
-		paths = append(paths, sh.path)
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	for _, pid := range order {
+		paths = append(paths, shardBase(pid))
 	}
 	return paths, nil
 }

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"testing"
 )
@@ -16,6 +18,25 @@ func TestAppendStringAllocFree(t *testing.T) {
 		buf = appendString(buf[:0], "sp_ingest")
 	}); n != 0 {
 		t.Fatalf("appendString allocates %v/op with spare capacity; it encodes every request and response", n)
+	}
+}
+
+//sstore:allocgate ReadFrameBuf
+func TestReadFrameBufAllocFree(t *testing.T) {
+	frame := AppendRequest(nil, &Request{ID: 7, Op: OpStats})
+	rd := bytes.NewReader(frame)
+	br := bufio.NewReader(rd)
+	scratch := make([]byte, 0, len(frame))
+	if n := testing.AllocsPerRun(1000, func() {
+		rd.Reset(frame)
+		br.Reset(rd)
+		payload, err := ReadFrameBuf(br, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = payload
+	}); n != 0 {
+		t.Fatalf("ReadFrameBuf allocates %v/op over a warm scratch buffer; the conn loops call it per frame", n)
 	}
 }
 

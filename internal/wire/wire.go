@@ -217,23 +217,57 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	return buf
 }
 
-// ReadFrame reads one frame's payload. io.EOF on a clean connection
-// close between frames; io.ErrUnexpectedEOF mid-frame.
+// ReadFrame reads one frame's payload into a fresh buffer. io.EOF on a
+// clean connection close between frames; io.ErrUnexpectedEOF mid-frame.
+// Connection loops should prefer ReadFrameBuf with a per-connection
+// scratch buffer.
 func ReadFrame(br *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	payload, err := ReadFrameBuf(br, nil)
+	if err != nil {
 		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadFrameBuf reads one frame's payload into scratch, growing it only
+// when the frame exceeds its capacity, and returns the (possibly
+// re-grown) buffer sliced to the payload. The payload is valid until
+// the next call reusing the same buffer; DecodeRequest and
+// DecodeResponse copy everything they keep out of the payload, so a
+// connection loop can thread one buffer through every frame and stop
+// allocating once it reaches the connection's peak frame size.
+//
+//sstore:nomalloc
+func ReadFrameBuf(br *bufio.Reader, scratch []byte) ([]byte, error) {
+	// Header bytes come via ReadByte: handing a stack array to
+	// io.ReadFull would make it escape through the io.Reader interface
+	// and cost an allocation per frame.
+	var hdr [4]byte
+	for i := range hdr {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return scratch[:0], err
+		}
+		hdr[i] = b
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+		//lint:allow hotalloc -- protocol error; the connection is about to die
+		return scratch[:0], fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	if uint64(cap(scratch)) < uint64(n) {
+		//lint:allow hotalloc -- grow-only; amortized zero once scratch reaches the peak frame size
+		scratch = make([]byte, n)
+	}
+	payload := scratch[:n]
 	if _, err := io.ReadFull(br, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return scratch[:0], err
 	}
 	return payload, nil
 }

@@ -161,6 +161,10 @@ type Config struct {
 	LogPolicy SyncPolicy
 	// GroupWindow is the group-commit window under SyncGroup.
 	GroupWindow time.Duration
+	// LogSegmentBytes rotates each partition's log into sealed
+	// segments of roughly this size (aged out O(1) at checkpoint
+	// truncation); zero keeps one file per partition.
+	LogSegmentBytes int64
 	// SnapshotDir is where checkpoints live.
 	SnapshotDir string
 	// PartitionBy routes batches to partitions — both ingested
@@ -223,18 +227,19 @@ type Stats = pe.Stats
 // Open builds and starts an engine.
 func Open(cfg Config) (*Engine, error) {
 	inner, err := pe.NewEngine(pe.Options{
-		Partitions:    cfg.Partitions,
-		ClientRTT:     cfg.ClientRTT,
-		EEDispatch:    cfg.EEDispatch,
-		Recovery:      cfg.Recovery,
-		LogPath:       cfg.LogPath,
-		LogPolicy:     cfg.LogPolicy,
-		GroupWindow:   cfg.GroupWindow,
-		SnapshotDir:   cfg.SnapshotDir,
-		PartitionBy:   cfg.PartitionBy,
-		RouteCall:     cfg.RouteCall,
-		MaxQueueDepth: cfg.MaxQueueDepth,
-		Workers:       cfg.Workers,
+		Partitions:      cfg.Partitions,
+		ClientRTT:       cfg.ClientRTT,
+		EEDispatch:      cfg.EEDispatch,
+		Recovery:        cfg.Recovery,
+		LogPath:         cfg.LogPath,
+		LogPolicy:       cfg.LogPolicy,
+		GroupWindow:     cfg.GroupWindow,
+		LogSegmentBytes: cfg.LogSegmentBytes,
+		SnapshotDir:     cfg.SnapshotDir,
+		PartitionBy:     cfg.PartitionBy,
+		RouteCall:       cfg.RouteCall,
+		MaxQueueDepth:   cfg.MaxQueueDepth,
+		Workers:         cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
