@@ -54,18 +54,37 @@ type Client struct {
 	err     error // sticky transport failure, fails all later requests
 }
 
-// Dial connects to a server at addr ("host:port").
+// Dial connects to a server at addr ("host:port") and completes the
+// protocol handshake: both sides lead with magic + version bytes, and
+// a peer that is not an sstore server of the same protocol version is
+// rejected here with a precise error instead of failing obscurely on
+// the first frame.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow errdrop -- deadline errors surface on the guarded handshake I/O
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(conn)
+	if _, err := conn.Write(wire.AppendHello(nil)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if err := wire.ReadHello(br); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	//lint:allow errdrop -- clearing a deadline on a live conn cannot fail meaningfully
+	conn.SetDeadline(time.Time{})
 	c := &Client{
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan *wire.Response),
 	}
-	go c.readLoop()
+	// The handshake reader carries over: it may already have buffered
+	// frame bytes past the hello.
+	go c.readLoop(br)
 	return c, nil
 }
 
@@ -77,8 +96,7 @@ func (c *Client) Close() error {
 
 // readLoop delivers responses to their waiting requests until the
 // connection dies, then fails everything still pending.
-func (c *Client) readLoop() {
-	br := bufio.NewReader(c.conn)
+func (c *Client) readLoop(br *bufio.Reader) {
 	// One grow-only frame buffer for the connection's lifetime:
 	// DecodeResponse copies everything it keeps, so each frame may
 	// overwrite the last.
@@ -104,6 +122,16 @@ func (c *Client) readLoop() {
 			ch <- resp
 		}
 	}
+}
+
+// Broken reports whether the connection has died (sticky transport
+// failure): every further request on this client fails, and the caller
+// should redial. Request-level errors (abort, overload, routing) do
+// not break a client.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
 }
 
 // fail marks the client broken and releases every waiter.

@@ -31,7 +31,14 @@ func overloadedServer(t *testing.T, hint time.Duration) (addr string, attempts *
 			}
 			go func(c net.Conn) {
 				defer c.Close()
+				// Protocol handshake: both sides lead with magic+version.
+				if _, err := c.Write(wire.AppendHello(nil)); err != nil {
+					return
+				}
 				br := bufio.NewReader(c)
+				if err := wire.ReadHello(br); err != nil {
+					return
+				}
 				for {
 					payload, err := wire.ReadFrame(br)
 					if err != nil {

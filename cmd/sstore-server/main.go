@@ -11,6 +11,17 @@
 //
 // With -recovery strong|weak and -log, the engine command-logs per the
 // selected mode and replays the log before admitting traffic.
+//
+// A multi-node deployment passes every node the same cluster map and
+// its own node ID:
+//
+//	sstore-server -cluster '0@127.0.0.1:7491=0,1;1@127.0.0.1:7492=2,3' -node 0 -addr 127.0.0.1:7491
+//	sstore-server -cluster '0@127.0.0.1:7491=0,1;1@127.0.0.1:7492=2,3' -node 1 -addr 127.0.0.1:7492
+//
+// Each node runs only its partitions, keeps its own command log and
+// snapshots, and hands relocated interior batches to partition owners
+// over peer connections (DESIGN.md §13). -partitions is ignored under
+// -cluster: the map fixes the cluster-wide partition space.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"sstore/internal/cluster"
 	"sstore/internal/pe"
 	"sstore/internal/recovery"
 	"sstore/internal/server"
@@ -37,6 +49,9 @@ func main() {
 	logPath := flag.String("log", "", "command-log path (required for -recovery strong|weak)")
 	snapshots := flag.String("snapshots", "", "checkpoint snapshot directory")
 	group := flag.Bool("group-commit", false, "use group commit (SyncGroup) instead of per-commit fsync")
+	clusterSpec := flag.String("cluster", "", "cluster map 'id@host:port=p0,p1;...' (all nodes get the same map)")
+	nodeID := flag.Int("node", 0, "this node's ID in the -cluster map")
+	ckptEvery := flag.Int64("checkpoint-every-bytes", 0, "take a checkpoint (and compact the log) after this many logged bytes (0 = manual)")
 	flag.Parse()
 
 	if *listApps {
@@ -46,13 +61,13 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *app, *partitions, *maxQueue, *recoveryMode, *logPath, *snapshots, *group); err != nil {
+	if err := run(*addr, *app, *partitions, *maxQueue, *recoveryMode, *logPath, *snapshots, *group, *clusterSpec, *nodeID, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "sstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, snapshots string, group bool) error {
+func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, snapshots string, group bool, clusterSpec string, nodeID int, ckptEvery int64) error {
 	a, err := server.LookupApp(appName)
 	if err != nil {
 		return err
@@ -69,13 +84,22 @@ func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, 
 		return fmt.Errorf("unknown recovery mode %q (want none, strong, or weak)", recoveryMode)
 	}
 	opts := pe.Options{
-		Partitions:    partitions,
-		Recovery:      mode,
-		LogPath:       logPath,
-		SnapshotDir:   snapshots,
-		PartitionBy:   a.PartitionBy,
-		RouteCall:     a.RouteCall,
-		MaxQueueDepth: maxQueue,
+		Partitions:           partitions,
+		Recovery:             mode,
+		LogPath:              logPath,
+		SnapshotDir:          snapshots,
+		PartitionBy:          a.PartitionBy,
+		RouteCall:            a.RouteCall,
+		MaxQueueDepth:        maxQueue,
+		NodeID:               nodeID,
+		CheckpointEveryBytes: ckptEvery,
+	}
+	if clusterSpec != "" {
+		cfg, err := cluster.Parse(clusterSpec)
+		if err != nil {
+			return err
+		}
+		opts.Cluster = cfg
 	}
 	if group {
 		opts.LogPolicy = wal.SyncGroup
@@ -93,6 +117,12 @@ func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, 
 			return fmt.Errorf("recover: %w", err)
 		}
 	}
+	if ps := eng.Peers(); ps != nil {
+		// A (re)started node asks its peers to re-send unacknowledged
+		// hand-offs addressed to it; the local ledger (rebuilt by
+		// Recover) suppresses the ones that committed before the crash.
+		ps.Pull()
+	}
 
 	srv := server.New(eng)
 	ln, err := net.Listen("tcp", addr)
@@ -102,8 +132,13 @@ func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, 
 	// The "listening on" line is the readiness signal scripts (and the
 	// CI smoke step) wait for; with -addr :0 it is also where the
 	// chosen port is announced.
-	fmt.Printf("sstore-server: app %s, %d partition(s), recovery %s; listening on %s\n",
-		a.Name, eng.Partitions(), mode, ln.Addr())
+	if opts.Cluster != nil {
+		fmt.Printf("sstore-server: app %s, node %d of cluster {%s}, recovery %s; listening on %s\n",
+			a.Name, nodeID, opts.Cluster, mode, ln.Addr())
+	} else {
+		fmt.Printf("sstore-server: app %s, %d partition(s), recovery %s; listening on %s\n",
+			a.Name, eng.Partitions(), mode, ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,13 @@ type LockOrderConfig struct {
 // The table latch is also a leaf — it is the storage.Views read latch
 // held across one statement's scan, and taking anything under it can
 // deadlock against the copy-on-write detach barrier.
+//
+// The cluster transport's locks rank after all engine locks:
+// Peers.mu (the peer registry) may be taken from the dispatch path
+// while no engine lock is held, and each peer.mu (one connection's
+// send queue) nests strictly inside it. peer.mu is a leaf — its
+// critical sections only touch the queue slice and the conn pointer;
+// in particular no network write happens under it.
 var EngineLockOrder = LockOrderConfig{
 	Ranks: map[string]int{
 		"sstore/internal/pe.partition.ddlMu":  1,
@@ -36,9 +43,11 @@ var EngineLockOrder = LockOrderConfig{
 		"sstore/internal/ee.Executor.mu":      3,
 		"sstore/internal/storage.Views.mu":    4,
 		"sstore/internal/storage.Table.latch": 5,
+		"sstore/internal/cluster.Peers.mu":    6,
+		"sstore/internal/cluster.peer.mu":     7,
 	},
-	Leaf:     map[int]bool{3: true, 5: true},
-	OrderDoc: "ddlMu → readMu → Executor.mu → Views.mu → Table.latch",
+	Leaf:     map[int]bool{3: true, 5: true, 7: true},
+	OrderDoc: "ddlMu → readMu → Executor.mu → Views.mu → Table.latch → Peers.mu → peer.mu",
 }
 
 // LockOrder enforces EngineLockOrder over the module.

@@ -1,0 +1,183 @@
+// Package cluster implements the multi-node side of the partition
+// transport seam (DESIGN.md §13): a static cluster map assigning
+// partitions to nodes, and the per-peer connection machinery that
+// moves relocated interior batches between nodes over the
+// internal/wire protocol with exactly-once delivery (at-least-once
+// sends suppressed by the receiving node's dedup ledger).
+//
+// The package sits between pe and wire: pe consults the map to decide
+// whether a routed partition is local and hands remote batches to
+// Peers; the server uses Peers to forward client requests to the
+// owning node. It deliberately does not import pe or client, so the
+// engine, the server, and the client can all build on it.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one sstore-server process in the cluster map: its identity,
+// its client/peer address (one listener serves both), and the global
+// partition IDs it owns.
+type Node struct {
+	ID         int
+	Addr       string
+	Partitions []int
+}
+
+// Config is the static cluster map: every node, every partition,
+// assigned once. All nodes of a cluster must run with an identical
+// map (same -cluster string); the map is validated at startup, not
+// negotiated.
+type Config struct {
+	Nodes []Node
+	// owner[pid] is the owning node's index in Nodes; built by
+	// Validate.
+	owner []int
+}
+
+// Parse reads the -cluster flag syntax: semicolon-separated nodes,
+// each "id@host:port=p0,p1,..." where the partition list accepts
+// single IDs and "a-b" ranges.
+//
+//	0@127.0.0.1:7491=0,1;1@127.0.0.1:7492=2,3
+func Parse(spec string) (*Config, error) {
+	cfg := &Config{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.Index(part, "@")
+		eq := strings.LastIndex(part, "=")
+		if at <= 0 || eq <= at {
+			return nil, fmt.Errorf("cluster: bad node %q (want id@host:port=p0,p1,...)", part)
+		}
+		id, err := strconv.Atoi(part[:at])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad node id in %q: %w", part, err)
+		}
+		n := Node{ID: id, Addr: part[at+1 : eq]}
+		for _, tok := range strings.Split(part[eq+1:], ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			if lo, hi, ok := strings.Cut(tok, "-"); ok {
+				a, err1 := strconv.Atoi(lo)
+				b, err2 := strconv.Atoi(hi)
+				if err1 != nil || err2 != nil || b < a {
+					return nil, fmt.Errorf("cluster: bad partition range %q in %q", tok, part)
+				}
+				for p := a; p <= b; p++ {
+					n.Partitions = append(n.Partitions, p)
+				}
+				continue
+			}
+			p, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad partition %q in %q: %w", tok, part, err)
+			}
+			n.Partitions = append(n.Partitions, p)
+		}
+		cfg.Nodes = append(cfg.Nodes, n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the map — unique node IDs, non-empty addresses, and
+// a partition assignment that covers 0..N-1 with each partition owned
+// by exactly one node — and builds the owner index. Every other
+// method assumes a validated config.
+func (c *Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: empty cluster map")
+	}
+	seenNode := make(map[int]bool)
+	owners := make(map[int]int)
+	total := 0
+	for _, n := range c.Nodes {
+		if n.ID < 0 {
+			return fmt.Errorf("cluster: negative node id %d", n.ID)
+		}
+		if seenNode[n.ID] {
+			return fmt.Errorf("cluster: duplicate node id %d", n.ID)
+		}
+		seenNode[n.ID] = true
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: node %d has no address", n.ID)
+		}
+		if len(n.Partitions) == 0 {
+			return fmt.Errorf("cluster: node %d owns no partitions", n.ID)
+		}
+		for _, p := range n.Partitions {
+			if p < 0 {
+				return fmt.Errorf("cluster: node %d owns negative partition %d", n.ID, p)
+			}
+			if prev, dup := owners[p]; dup {
+				return fmt.Errorf("cluster: partition %d owned by both node %d and node %d", p, prev, n.ID)
+			}
+			owners[p] = n.ID
+			total++
+		}
+	}
+	for p := 0; p < total; p++ {
+		if _, ok := owners[p]; !ok {
+			return fmt.Errorf("cluster: partition %d unassigned (map must cover 0..%d)", p, total-1)
+		}
+	}
+	c.owner = make([]int, total)
+	for i, n := range c.Nodes {
+		for _, p := range n.Partitions {
+			c.owner[p] = i
+		}
+	}
+	return nil
+}
+
+// Partitions returns the cluster-wide partition count.
+func (c *Config) Partitions() int { return len(c.owner) }
+
+// Owner returns the node owning a global partition ID.
+func (c *Config) Owner(pid int) (*Node, error) {
+	if pid < 0 || pid >= len(c.owner) {
+		return nil, fmt.Errorf("cluster: partition %d out of range [0,%d)", pid, len(c.owner))
+	}
+	return &c.Nodes[c.owner[pid]], nil
+}
+
+// NodeByID finds a node by its ID.
+func (c *Config) NodeByID(id int) (*Node, error) {
+	for i := range c.Nodes {
+		if c.Nodes[i].ID == id {
+			return &c.Nodes[i], nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: no node %d in cluster map", id)
+}
+
+// String re-renders the map in Parse's syntax, nodes in ID order.
+func (c *Config) String() string {
+	nodes := append([]Node(nil), c.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	var sb strings.Builder
+	for i, n := range nodes {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%d@%s=", n.ID, n.Addr)
+		for j, p := range n.Partitions {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(p))
+		}
+	}
+	return sb.String()
+}

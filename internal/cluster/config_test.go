@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndValidate(t *testing.T) {
+	cfg, err := Parse("0@127.0.0.1:7491=0,1;1@127.0.0.1:7492=2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Partitions() != 4 {
+		t.Fatalf("Partitions() = %d, want 4", cfg.Partitions())
+	}
+	for pid, want := range map[int]int{0: 0, 1: 0, 2: 1, 3: 1} {
+		n, err := cfg.Owner(pid)
+		if err != nil {
+			t.Fatalf("Owner(%d): %v", pid, err)
+		}
+		if n.ID != want {
+			t.Errorf("Owner(%d) = node %d, want %d", pid, n.ID, want)
+		}
+	}
+	n, err := cfg.NodeByID(1)
+	if err != nil || n.Addr != "127.0.0.1:7492" {
+		t.Errorf("NodeByID(1) = %+v, %v", n, err)
+	}
+	if _, err := cfg.Owner(4); err == nil {
+		t.Error("Owner(4) accepted out-of-range partition")
+	}
+	if _, err := cfg.NodeByID(9); err == nil {
+		t.Error("NodeByID(9) accepted unknown node")
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	spec := "0@a:1=0,1;1@b:2=2,3"
+	cfg, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", cfg.String(), err)
+	}
+	if again.String() != cfg.String() {
+		t.Errorf("String() unstable: %q vs %q", cfg.String(), again.String())
+	}
+}
+
+func TestParseRejectsBadMaps(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"syntax":              "0=0,1",
+		"bad id":              "x@a:1=0",
+		"bad partition":       "0@a:1=zero",
+		"bad range":           "0@a:1=3-1",
+		"duplicate node":      "0@a:1=0;0@b:2=1",
+		"duplicate partition": "0@a:1=0,1;1@b:2=1",
+		"gap in partitions":   "0@a:1=0;1@b:2=2",
+		"no partitions":       "0@a:1=;1@b:2=0",
+		"no address":          "0@=0",
+	}
+	for name, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%s: Parse(%q) accepted", name, spec)
+		} else if !strings.HasPrefix(err.Error(), "cluster:") {
+			t.Errorf("%s: error %q lacks package prefix", name, err)
+		}
+	}
+}

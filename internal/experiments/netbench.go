@@ -138,8 +138,14 @@ func driveNetConn(addr string, sensor, n int) error {
 		return err
 	}
 	defer conn.Close()
-	var buf []byte
+	if _, err := conn.Write(wire.AppendHello(nil)); err != nil {
+		return err
+	}
 	rbuf := newFrameReader(conn)
+	if err := wire.ReadHello(rbuf.br); err != nil {
+		return err
+	}
+	var buf []byte
 	for id := int64(1); id <= int64(n); id++ {
 		buf = wire.AppendRequest(buf[:0], &wire.Request{
 			ID: uint64(id), Op: wire.OpIngest, Stream: "raw_readings", BatchID: id,

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sstore/internal/cluster"
 	"sstore/internal/ee"
 	"sstore/internal/netsim"
 	"sstore/internal/recovery"
@@ -79,6 +80,27 @@ type Options struct {
 	// RouteCall routes an OLTP call to a partition; defaults to
 	// partition 0.
 	RouteCall func(sp string, params types.Row) int
+	// Cluster, when non-nil, spreads the partition space across nodes
+	// (DESIGN.md §13): this engine runs only the partitions the map
+	// assigns to NodeID, under their global IDs, while PartitionBy and
+	// RouteCall keep routing over the full 0..Cluster.Partitions()-1
+	// space. Work routed to a partition another node owns either
+	// travels through the partition transport (relocated interior
+	// batches, exactly-once via the receiving node's ledger) or fails
+	// with *WrongNodeError naming the owner (client requests, which the
+	// server layer forwards). Cluster overrides Partitions.
+	Cluster *cluster.Config
+	// NodeID is this engine's node in the Cluster map; ignored when
+	// Cluster is nil.
+	NodeID int
+	// CheckpointEveryBytes, when positive (and logging plus SnapshotDir
+	// are configured), checkpoints automatically every time the command
+	// log grows by this many bytes since the last checkpoint — and a
+	// checkpoint compacts the log behind its stamp, so the knob bounds
+	// steady-state log growth. The checkpoint runs from a background
+	// goroutine: it quiesces every partition at a barrier, which a
+	// partition goroutine could never initiate without deadlocking.
+	CheckpointEveryBytes int64
 	// MaxQueueDepth, when positive, bounds each partition's scheduler
 	// queue at the border: client Calls and ingested batches are
 	// rejected with an OverloadedError (wrapping ErrOverloaded, with a
@@ -145,6 +167,18 @@ func retryAfterHint(depth int) time.Duration {
 type Engine struct {
 	opts  Options
 	parts []*partition
+	// nglobal is the cluster-wide partition count; equal to len(parts)
+	// on a single-node engine. Routing functions map into [0, nglobal).
+	nglobal int
+	// byPid maps a global partition ID to its local partition; nil
+	// entries are partitions other nodes own. part() is the accessor.
+	byPid []*partition
+	// transport delivers relocated interior batches to their target
+	// partition: in-process on a single-node engine, via peers when a
+	// cluster map splits the partition space (see transport.go).
+	transport PartitionTransport
+	// peers is the cluster connection set; nil on a single-node engine.
+	peers *cluster.Peers
 
 	procs     map[string]*StoredProc
 	workflows map[string]*workflow.Workflow
@@ -185,6 +219,15 @@ type Engine struct {
 	// overloaded counts border submissions rejected by the
 	// MaxQueueDepth bound; surfaced through Stats.
 	overloaded atomic.Uint64
+	// handoffsRecv/handoffsDup count cross-node hand-offs this node
+	// admitted and re-deliveries its ledger suppressed.
+	handoffsRecv atomic.Uint64
+	handoffsDup  atomic.Uint64
+	// autoCkpts counts checkpoints taken by the CheckpointEveryBytes
+	// policy; ckptStop/ckptDone bound its goroutine.
+	autoCkpts atomic.Uint64
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
 
 	link     *netsim.Link
 	boundary *netsim.Boundary
@@ -192,24 +235,49 @@ type Engine struct {
 	closed bool
 }
 
-// NewEngine builds and starts an engine.
+// NewEngine builds and starts an engine. With Options.Cluster set it
+// becomes one node of a multi-node cluster: it runs only the
+// partitions the map assigns to NodeID (under their global IDs, with
+// a node-local command log covering exactly those shards) and opens
+// peer connections for cross-node batch hand-off.
 func NewEngine(opts Options) (*Engine, error) {
-	if opts.Partitions <= 0 {
-		opts.Partitions = 1
+	var localPids []int
+	if opts.Cluster != nil {
+		if err := opts.Cluster.Validate(); err != nil {
+			return nil, err
+		}
+		node, err := opts.Cluster.NodeByID(opts.NodeID)
+		if err != nil {
+			return nil, err
+		}
+		localPids = append(localPids, node.Partitions...)
+		opts.Partitions = opts.Cluster.Partitions()
+	} else {
+		if opts.Partitions <= 0 {
+			opts.Partitions = 1
+		}
+		for i := 0; i < opts.Partitions; i++ {
+			localPids = append(localPids, i)
+		}
 	}
 	if opts.Recovery != recovery.ModeNone && opts.LogPath == "" {
 		return nil, fmt.Errorf("pe: recovery mode %v requires LogPath", opts.Recovery)
 	}
 	e := &Engine{
 		opts:      opts,
+		nglobal:   opts.Partitions,
+		byPid:     make([]*partition, opts.Partitions),
 		procs:     make(map[string]*StoredProc),
 		workflows: make(map[string]*workflow.Workflow),
 		consumers: make(map[string][]string),
 		spInput:   make(map[string]string),
 		spBorder:  make(map[string]bool),
 		borderBy:  make(map[string]borderReg),
-		dedup:     stream.NewShardedDedup(opts.Partitions),
-		idle:      newQuiesce(),
+		// The ledger is sharded by global partition ID: a cross-node
+		// hand-off admits on the receiving node's shard for the target
+		// partition, the same keying a single-node engine uses.
+		dedup: stream.NewShardedDedup(opts.Partitions),
+		idle:  newQuiesce(),
 	}
 	e.peTriggersOn.Store(true)
 	e.loggingOn.Store(true)
@@ -222,7 +290,8 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.Recovery != recovery.ModeNone {
 		ls, err := wal.OpenSet(wal.SetOptions{
 			Path:         opts.LogPath,
-			Partitions:   opts.Partitions,
+			Partitions:   len(localPids),
+			PartitionIDs: localPids,
 			Policy:       opts.LogPolicy,
 			GroupWindow:  opts.GroupWindow,
 			SegmentBytes: opts.LogSegmentBytes,
@@ -232,25 +301,83 @@ func NewEngine(opts Options) (*Engine, error) {
 		}
 		e.logs = ls
 	}
-	for i := 0; i < opts.Partitions; i++ {
-		p := newPartition(i, e)
+	for _, pid := range localPids {
+		p := newPartition(pid, e)
 		p.sched.track = e.idle
 		p.sched.bound = opts.MaxQueueDepth
 		if opts.Workers > 1 {
 			p.startWorkers(opts.Workers)
 		}
 		e.parts = append(e.parts, p)
+		e.byPid[pid] = p
+	}
+	if opts.Cluster != nil {
+		ps, err := cluster.NewPeers(opts.Cluster, opts.NodeID)
+		if err != nil {
+			if e.logs != nil {
+				//lint:allow errdrop -- best-effort cleanup; the peer-set error is what the caller needs
+				e.logs.Close()
+			}
+			return nil, err
+		}
+		e.peers = ps
+		e.transport = &clusterTransport{e: e, cfg: opts.Cluster, peers: ps}
+	} else {
+		e.transport = localTransport{e: e}
+	}
+	for _, p := range e.parts {
 		go p.run()
+	}
+	if opts.CheckpointEveryBytes > 0 && e.logs != nil && opts.SnapshotDir != "" {
+		e.ckptStop = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.autoCheckpoint(opts.CheckpointEveryBytes)
 	}
 	return e, nil
 }
 
-// Close drains and stops all partitions and closes the log.
+// autoCheckpoint implements Options.CheckpointEveryBytes: poll the
+// log's appended-byte counter and checkpoint whenever it has grown
+// past the threshold since the last checkpoint (whose compaction then
+// truncates the log behind the snapshot stamp). Errors are retried on
+// the next tick — a transient failure (engine closing, disk pressure)
+// must not kill the policy.
+func (e *Engine) autoCheckpoint(every int64) {
+	defer close(e.ckptDone)
+	base := e.logs.Bytes()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-tick.C:
+		}
+		if cur := e.logs.Bytes(); cur-base >= uint64(every) {
+			if err := e.Checkpoint(); err != nil {
+				continue
+			}
+			e.autoCkpts.Add(1)
+			base = e.logs.Bytes()
+		}
+	}
+}
+
+// Close drains and stops all partitions, stops the auto-checkpoint
+// policy and peer connections, and closes the log.
 func (e *Engine) Close() error {
 	if e.closed {
 		return nil
 	}
 	e.closed = true
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		<-e.ckptDone
+	}
+	if e.transport != nil {
+		//lint:allow errdrop -- peer teardown; unacked hand-offs are re-fired by recovery
+		e.transport.Close()
+	}
 	for _, p := range e.parts {
 		p.sched.Close()
 	}
@@ -263,8 +390,19 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Partitions returns the partition count.
-func (e *Engine) Partitions() int { return len(e.parts) }
+// Partitions returns the cluster-wide partition count — the space
+// PartitionBy and RouteCall route over. On a single-node engine this
+// equals the local partition count.
+func (e *Engine) Partitions() int { return e.nglobal }
+
+// part returns the local partition for a global partition ID, or nil
+// when the ID is out of range or another node owns it.
+func (e *Engine) part(pid int) *partition {
+	if pid < 0 || pid >= len(e.byPid) {
+		return nil
+	}
+	return e.byPid[pid]
+}
 
 // --- Setup ---
 
@@ -482,7 +620,7 @@ func (e *Engine) onPartition(p *partition, fn func(p *partition) error) error {
 
 func (e *Engine) routeCall(sp string, params types.Row) int {
 	if e.opts.RouteCall != nil {
-		return wrapPartition(e.opts.RouteCall(sp, params), len(e.parts))
+		return wrapPartition(e.opts.RouteCall(sp, params), e.nglobal)
 	}
 	return 0
 }
@@ -532,7 +670,13 @@ func (e *Engine) CallAsync(sp string, params types.Row) <-chan CallResult {
 	t.params = params
 	t.kind = wal.KindOLTP
 	t.reply = reply
-	p := e.parts[e.routeCall(sp, params)]
+	pid := e.routeCall(sp, params)
+	p := e.part(pid)
+	if p == nil {
+		putTask(t)
+		out <- CallResult{Err: e.remoteErr(pid)}
+		return out
+	}
 	if err := e.pushBorder(p, t); err != nil {
 		putTask(t)
 		out <- CallResult{Err: err}
@@ -569,7 +713,12 @@ func (e *Engine) CallNested(children []NestedCall) (*Result, error) {
 	t.nested = nested
 	t.kind = wal.KindOLTP
 	t.reply = reply
-	p := e.parts[e.routeCall(children[0].SP, children[0].Params)]
+	pid := e.routeCall(children[0].SP, children[0].Params)
+	p := e.part(pid)
+	if p == nil {
+		putTask(t)
+		return nil, e.remoteErr(pid)
+	}
 	if err := e.pushBorder(p, t); err != nil {
 		putTask(t)
 		return nil, err
@@ -627,7 +776,15 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 	}
 	pid := 0
 	if e.opts.PartitionBy != nil {
-		pid = wrapPartition(e.opts.PartitionBy(key, b.Rows), len(e.parts))
+		pid = wrapPartition(e.opts.PartitionBy(key, b.Rows), e.nglobal)
+	}
+	// The routing decision precedes the exactly-once admission: a batch
+	// bound to another node's partition must not leave a ledger entry
+	// here — its admission belongs to the owning node, where the
+	// forwarded request will be admitted.
+	target := e.part(pid)
+	if target == nil {
+		return nil, e.remoteErr(pid)
 	}
 	if !e.dedup.Admit(pid, key, b.ID) {
 		return nil, fmt.Errorf("pe: duplicate batch %d on stream %s", b.ID, streamName)
@@ -644,7 +801,7 @@ func (e *Engine) ingest(streamName string, b *stream.Batch, sync bool) (chan cal
 	t.kind = wal.KindBorder
 	t.inputStream = key
 	t.reply = reply
-	if err := e.pushBorder(e.parts[pid], t); err != nil {
+	if err := e.pushBorder(target, t); err != nil {
 		// The batch never entered the engine (queue full or engine
 		// closed): release the admission so a retry is not rejected as
 		// a duplicate.
@@ -686,8 +843,9 @@ func (e *Engine) Drain() error {
 // log record and silently vanish on recovery; route durable writes
 // through a registered stored procedure instead.
 func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Result, error) {
-	if pid < 0 || pid >= len(e.parts) {
-		return nil, fmt.Errorf("pe: no partition %d", pid)
+	part := e.part(pid)
+	if part == nil {
+		return nil, e.remoteErr(pid)
 	}
 	readOnly, ddl, err := ee.Classify(stmtText)
 	if err != nil {
@@ -701,7 +859,7 @@ func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Res
 			"pe: ad-hoc write %q rejected: command logging is enabled and ad-hoc transactions are not logged, so the write would vanish on recovery; use a registered stored procedure", stmtText)
 	}
 	var out *ee.Result
-	err = e.onPartition(e.parts[pid], func(p *partition) error {
+	err = e.onPartition(part, func(p *partition) error {
 		if ddl {
 			// Exclude off-loop plan compilation while the catalog and
 			// index lists change.
@@ -733,10 +891,11 @@ func (e *Engine) AdHoc(pid int, stmtText string, params ...types.Value) (*ee.Res
 // its siblings Tables/AdHoc it validates the partition id instead of
 // panicking on an out-of-range index.
 func (e *Engine) QueueDepth(partition int) (int, error) {
-	if partition < 0 || partition >= len(e.parts) {
-		return 0, fmt.Errorf("pe: no partition %d", partition)
+	p := e.part(partition)
+	if p == nil {
+		return 0, e.remoteErr(partition)
 	}
-	return e.parts[partition].sched.Len(), nil
+	return p.sched.Len(), nil
 }
 
 // TableInfo describes one catalog entry for introspection.
@@ -831,6 +990,19 @@ type Stats struct {
 	// PeakConcurrent is the maximum number of TE bodies any partition
 	// had in flight at once (1 when never parallel).
 	PeakConcurrent int
+	// HandoffsSent/HandoffsRecv/HandoffsDup count cross-node batch
+	// hand-offs: sent to peers, admitted from peers, and re-deliveries
+	// suppressed by this node's exactly-once ledger. HandoffsPending is
+	// the sends not yet acknowledged by their receiving node — a
+	// cluster is quiescent only when every node drains AND reports zero
+	// pending. All zero on a single-node engine.
+	HandoffsSent    uint64
+	HandoffsRecv    uint64
+	HandoffsDup     uint64
+	HandoffsPending int
+	// AutoCheckpoints counts checkpoints taken by the
+	// CheckpointEveryBytes policy.
+	AutoCheckpoints uint64
 }
 
 // Stats returns a snapshot of engine counters. Executed/Aborted are
@@ -849,6 +1021,8 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	s.Overloaded = e.overloaded.Load()
+	s.HandoffsSent, s.HandoffsRecv, s.HandoffsDup, s.HandoffsPending = e.HandoffStats()
+	s.AutoCheckpoints = e.autoCkpts.Load()
 	if e.logs != nil {
 		s.LogAppends, s.LogSyncs = e.logs.Stats()
 	}

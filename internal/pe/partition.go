@@ -379,12 +379,13 @@ func (p *partition) runSPBody(r *spRun) {
 		// Border TEs ingest their batch: the tuples are appended to
 		// the input stream inside the TE, so batch arrival and its
 		// processing commit atomically (§2.1). Interior TEs whose
-		// batch was relocated here by cross-partition dispatch place
+		// batch was relocated here by cross-partition dispatch — and
+		// hand-off TEs, whose batch arrived from another node — place
 		// the moved rows the same way, but without re-firing EE
-		// triggers — the rows already entered the system once, at the
+		// triggers: the rows already entered the system once, at the
 		// producing partition.
 		if len(t.batch) > 0 && t.inputStream != "" {
-			if t.kind == wal.KindInterior {
+			if t.kind == wal.KindInterior || t.kind == wal.KindHandoff {
 				if err := p.placeMovedBatch(t.inputStream, t.batch, t.batchID, r.tx); err != nil {
 					return err
 				}
@@ -517,8 +518,12 @@ func (p *partition) placeMovedBatch(streamName string, rows []types.Row, batchID
 // failure: the record's bytes may have reached the file even when the
 // append reported an error, and a replayed-plus-retried batch would
 // apply twice.
+// Hand-off TEs release the same way: their admission also lives on
+// this partition's shard (keyed by the hand-off's target partition ==
+// p.id), and releasing it lets the sending node's re-delivery retry
+// the batch instead of being suppressed as a duplicate.
 func (p *partition) releaseBorderAdmission(t *task) {
-	if t.kind != wal.KindBorder || t.inputStream == "" {
+	if (t.kind != wal.KindBorder && t.kind != wal.KindHandoff) || t.inputStream == "" {
 		return
 	}
 	p.eng.dedup.Release(p.id, t.inputStream, t.batchID)
@@ -609,12 +614,14 @@ func (p *partition) logCommit(t *task) error {
 		BatchID:   t.batchID,
 		Params:    t.params,
 	}
-	// Only border records carry tuples (upstream backup, §3.2.5). An
-	// interior task may also hold rows when its batch was relocated
-	// across partitions, but logging them would be pure log volume:
-	// strong-recovery replay re-derives the rows from the upstream
-	// record and hands them over through the replay stash.
-	if t.kind == wal.KindBorder {
+	// Only border and hand-off records carry tuples (upstream backup,
+	// §3.2.5). An interior task may also hold rows when its batch was
+	// relocated across partitions, but logging them would be pure log
+	// volume: strong-recovery replay re-derives the rows from the
+	// upstream record and hands them over through the replay stash. A
+	// hand-off's upstream record lives on ANOTHER node's log, so its
+	// rows must be logged here for this node's recovery to stay local.
+	if t.kind == wal.KindBorder || t.kind == wal.KindHandoff {
 		rec.Batch = t.batch
 	}
 	_, err := e.logs.Append(p.id, rec)
@@ -676,21 +683,22 @@ func (p *partition) gcBatch(streamName string, batchID int64) {
 // When the engine has a PartitionBy routing function and more than one
 // partition, each appended batch is routed like an ingested one: a
 // batch bound to this partition short-circuits to the front of the
-// local queue (§3.2.4); a batch bound elsewhere is relocated — its rows
-// are extracted from the local stream table and travel with the
-// consumer tasks to the destination partition's FIFO, together with the
-// GC refcount. Because this partition dispatches serially in commit
-// order and the hand-off appends each batch's tasks atomically, batches
-// of one stream arrive at any given partition in increasing-ID order —
-// the per-(stream, partition) ordering guarantee the paper's §2.2
-// constraints reduce to under data partitioning (§4.7).
+// local queue (§3.2.4); a batch bound elsewhere is relocated through
+// the partition transport — its rows are extracted from the local
+// stream table and travel with the consumer tasks to the destination
+// partition's FIFO (or across the wire to the owning node), together
+// with the GC refcount. Because this partition dispatches serially in
+// commit order and the transport appends each batch's tasks
+// atomically, batches of one stream arrive at any given partition in
+// increasing-ID order — the per-(stream, partition) ordering guarantee
+// the paper's §2.2 constraints reduce to under data partitioning
+// (§4.7).
 func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 	var local []*task
-	var remote [][]*task // batches bound elsewhere, in append order
-	var remoteTo []int
+	var remote []relocated // batches bound elsewhere, in append order
 	seen := make(map[gcKey]bool)
 	route := p.eng.opts.PartitionBy
-	nparts := len(p.eng.parts)
+	nparts := p.eng.nglobal
 	for _, ap := range appends {
 		if ap.Table == strings.ToLower(t.inputStream) {
 			// The TE's own input: being consumed, not produced.
@@ -728,29 +736,40 @@ func (p *partition) dispatchTriggers(t *task, appends []ee.StreamAppend) {
 			}
 			continue
 		}
-		// Relocate: the batch's rows leave this partition with the
-		// first consumer task; the dedup ledger and GC refcount follow
-		// the batch to its destination. The local copy is deleted only
-		// after the hand-off is accepted, below.
-		remote = append(remote, makeConsumerTasks(consumers, ap.Table, ap.BatchID, rows))
-		remoteTo = append(remoteTo, target)
+		remote = append(remote, relocated{stream: ap.Table, batchID: ap.BatchID, rows: rows, target: target})
 	}
 	p.sched.PushFrontBatch(local)
-	for i, group := range remote {
-		if p.eng.parts[remoteTo[i]].sched.PushBackBatch(group) {
-			// Hand-off accepted: the batch now lives in the carrying
-			// task; drop the local copy.
-			if tbl, ok := p.cat.Lookup(group[0].inputStream); ok {
-				storage.DeleteBatch(tbl, group[0].batchID, nil)
-			}
+	for _, r := range remote {
+		// Relocate through the transport: in-process delivery moves the
+		// rows into the consumer tasks (retained=false — drop the local
+		// copy); a cross-node delivery keeps the local copy retained
+		// until the receiving node acknowledges the batch's commit
+		// (handoffAcked deletes it then).
+		retained, err := p.eng.transport.Deliver(p.id, r.target, r.stream, r.batchID, r.rows, false)
+		if err != nil {
+			// Destination closed mid-shutdown (or peer set torn down):
+			// keep the committed batch in the local stream table rather
+			// than dropping it, and surface the miss like any other
+			// trigger failure.
+			p.noteTriggerErr(fmt.Errorf("pe: batch %d on %s not dispatched to partition %d: %w",
+				r.batchID, r.stream, r.target, err))
 			continue
 		}
-		// Destination closed mid-shutdown: keep the committed batch in
-		// the local stream table rather than dropping it, and surface
-		// the miss like any other trigger failure.
-		p.noteTriggerErr(fmt.Errorf("pe: partition %d closed; batch %d on %s not dispatched",
-			remoteTo[i], group[0].batchID, group[0].inputStream))
+		if !retained {
+			if tbl, ok := p.cat.Lookup(r.stream); ok {
+				storage.DeleteBatch(tbl, r.batchID, nil)
+			}
+		}
 	}
+}
+
+// relocated is one committed batch bound to another partition, queued
+// for transport delivery after the local front-push.
+type relocated struct {
+	stream  string
+	batchID int64
+	rows    []types.Row
+	target  int
 }
 
 // executeNested runs a nested transaction (§2.3): children execute in

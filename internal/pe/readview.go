@@ -33,10 +33,10 @@ type ReadView struct {
 // waits (off-queue) for the in-flight task only, so reads stay
 // responsive even when thousands of writes are queued.
 func (e *Engine) ReadView(pid int) (*ReadView, error) {
-	if pid < 0 || pid >= len(e.parts) {
-		return nil, fmt.Errorf("pe: no partition %d", pid)
+	p := e.part(pid)
+	if p == nil {
+		return nil, e.remoteErr(pid)
 	}
-	p := e.parts[pid]
 	return &ReadView{part: p, view: p.views.Pin()}, nil
 }
 

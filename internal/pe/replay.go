@@ -195,8 +195,9 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 		e.link.RoundTrip()
 	}
 	pid := rec.Partition
-	if pid >= len(e.parts) {
-		return fmt.Errorf("pe: log record for partition %d, engine has %d", pid, len(e.parts))
+	part := e.part(pid)
+	if part == nil {
+		return fmt.Errorf("pe: log record for partition %d, which this node does not own", pid)
 	}
 	// The reply channel stays in a local: the partition recycles the
 	// task the moment it retires, so t must not be touched after push.
@@ -210,6 +211,15 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 	t.reply = reply
 	switch rec.Kind {
 	case wal.KindBorder:
+		t.batch = rec.Batch
+		t.inputStream = e.spInput[rec.SP]
+		e.dedup.Admit(pid, t.inputStream, rec.BatchID)
+	case wal.KindHandoff:
+		// A hand-off record is self-contained like a border record:
+		// its rows were logged on THIS node (the upstream TE committed
+		// on another node, whose log is not ours to read), and replay
+		// re-admits the batch on the target partition's ledger shard so
+		// the sending node's post-recovery re-delivery is suppressed.
 		t.batch = rec.Batch
 		t.inputStream = e.spInput[rec.SP]
 		e.dedup.Admit(pid, t.inputStream, rec.BatchID)
@@ -227,7 +237,7 @@ func (e *Engine) ReplayRecord(rec *wal.Record) error {
 			}
 		}
 	}
-	if !e.parts[pid].sched.PushBack(t) {
+	if !part.sched.PushBack(t) {
 		putTask(t)
 		return fmt.Errorf("pe: engine closed")
 	}
@@ -405,15 +415,15 @@ func (e *Engine) FirePendingStreamTriggers() error {
 			}
 		}
 		target := pb.pid
-		if e.opts.PartitionBy != nil && len(e.parts) > 1 {
-			target = wrapPartition(e.opts.PartitionBy(pb.stream, pb.rows), len(e.parts))
+		if e.opts.PartitionBy != nil && e.nglobal > 1 {
+			target = wrapPartition(e.opts.PartitionBy(pb.stream, pb.rows), e.nglobal)
 		}
 		if len(remaining) == 0 {
 			// Every consumer of this batch already replayed (possible
 			// only with duplicate records): park the rows back in the
 			// table rather than dropping them.
 			pb := pb
-			err := e.onPartition(e.parts[pb.pid], func(p *partition) error {
+			err := e.onPartition(e.part(pb.pid), func(p *partition) error {
 				tbl, ok := p.cat.Lookup(pb.stream)
 				if !ok {
 					return fmt.Errorf("pe: pending batch for unknown stream %q", pb.stream)
@@ -426,6 +436,35 @@ func (e *Engine) FirePendingStreamTriggers() error {
 				return nil
 			})
 			if err != nil {
+				return err
+			}
+			continue
+		}
+		if e.part(target) == nil {
+			// The batch routes to a partition another node owns: the
+			// remote re-dispatch path. Park the rows back in the source
+			// partition's table — the sender-side retained copy — then
+			// hand the batch to the transport with the re-fire hint.
+			// The receiving node's ledger suppresses re-deliveries it
+			// already committed (its ack deletes the parked copy), so a
+			// restart loop cannot double-apply the batch.
+			pb := pb
+			err := e.onPartition(e.part(pb.pid), func(p *partition) error {
+				tbl, ok := p.cat.Lookup(pb.stream)
+				if !ok {
+					return fmt.Errorf("pe: pending batch for unknown stream %q", pb.stream)
+				}
+				for _, row := range pb.rows {
+					if _, err := tbl.Insert(row, pb.batchID, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := e.transport.Deliver(pb.pid, target, pb.stream, pb.batchID, pb.rows, true); err != nil {
 				return err
 			}
 			continue
@@ -456,9 +495,9 @@ func (e *Engine) FirePendingStreamTriggers() error {
 			e.dedup.Admit(lk.pid, lk.stream, hi)
 		}
 	}
-	for pid := range e.parts {
-		if ts := perPart[pid]; len(ts) > 0 {
-			e.parts[pid].sched.PushFrontBatch(ts)
+	for _, p := range e.parts {
+		if ts := perPart[p.id]; len(ts) > 0 {
+			p.sched.PushFrontBatch(ts)
 		}
 	}
 	return e.Drain()

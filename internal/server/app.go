@@ -1,9 +1,11 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"sstore/internal/linearroad"
 	"sstore/internal/pe"
 	"sstore/internal/types"
 	"sstore/internal/workflow"
@@ -122,10 +124,130 @@ func PipelineApp() *App {
 	}
 }
 
+// RoutedApp is the routed two-step pipeline of the scaling experiments
+// (internal/experiments/scale.go) as a served application: the border
+// SP Admit runs on partition 0 (wherever scale_in batches land) and
+// copies each batch to scale_jobs, which routes by the key every tuple
+// of a batch shares — so the heavy interior SP Work runs on the key's
+// partition. Deployed across a cluster, batches whose keys map to
+// partitions on other nodes exercise the cross-node hand-off path on
+// every workflow invocation; the scale_results row count is the
+// exactly-once witness (one row per admitted batch, duplicates
+// suppressed by the receiving node's ledger).
+func RoutedApp() *App {
+	return &App{
+		Name:     "routed",
+		Describe: "border Admit on partition 0, interior Work routed by key; exactly-once witness in scale_results",
+		PartitionBy: func(streamName string, rows []types.Row) int {
+			if streamName != "scale_jobs" || len(rows) == 0 || len(rows[0]) == 0 {
+				return 0
+			}
+			return int(rows[0][0].Int())
+		},
+		RouteCall: func(_ string, params types.Row) int {
+			if len(params) == 0 {
+				return 0
+			}
+			return int(params[0].Int())
+		},
+		Setup: func(eng *pe.Engine) error {
+			for _, ddl := range []string{
+				"CREATE STREAM scale_in (k BIGINT, v BIGINT)",
+				"CREATE STREAM scale_jobs (k BIGINT, v BIGINT)",
+				"CREATE TABLE scale_results (k BIGINT, v BIGINT)",
+			} {
+				if err := eng.ExecDDL(ddl); err != nil {
+					return err
+				}
+			}
+			err := eng.RegisterProc(&pe.StoredProc{Name: "Admit", Func: func(ctx *pe.ProcCtx) error {
+				_, err := ctx.Query("INSERT INTO scale_jobs SELECT k, v FROM scale_in")
+				return err
+			}})
+			if err != nil {
+				return err
+			}
+			err = eng.RegisterProc(&pe.StoredProc{Name: "Work", Func: func(ctx *pe.ProcCtx) error {
+				if _, err := ctx.Query("SELECT COUNT(*) FROM scale_jobs"); err != nil {
+					return err
+				}
+				_, err := ctx.Query("INSERT INTO scale_results SELECT k, v FROM scale_jobs")
+				return err
+			}})
+			if err != nil {
+				return err
+			}
+			w, err := workflow.New("routed", []workflow.Node{
+				{SP: "Admit", Input: "scale_in", Outputs: []string{"scale_jobs"}},
+				{SP: "Work", Input: "scale_jobs"},
+			})
+			if err != nil {
+				return err
+			}
+			return eng.DeployWorkflow(w)
+		},
+	}
+}
+
+// LinearRoadXWays is the expressway count the served Linear Road app
+// seeds; clients must generate x-way values below it.
+const LinearRoadXWays = 16
+
+// LinearRoadApp serves the paper's §4.7 Linear Road workload: position
+// reports route by x-way to the partition holding that x-way's
+// vehicles, segment statistics, and tolls, and the per-minute rollup
+// marker follows them. Both streams route by x-way, so a cluster
+// deployment splits expressways across nodes with no cross-node
+// hand-offs — the paper's shared-nothing scaling shape. The engine
+// wraps the raw x-way into the cluster-wide partition space.
+func LinearRoadApp() *App {
+	cfg := linearroad.Config{XWays: LinearRoadXWays}
+	return &App{
+		Name:     "linearroad",
+		Describe: "Linear Road §4.7: toll/accident workflow, x-ways split across partitions",
+		PartitionBy: func(streamName string, rows []types.Row) int {
+			if len(rows) == 0 {
+				return 0
+			}
+			col := 3 // position_reports: (time, vid, speed, xway, ...)
+			if streamName == linearroad.StreamMinutes {
+				col = 1 // minute_marks: (minute, xway)
+			}
+			return int(rows[0][col].Int())
+		},
+		Setup: func(eng *pe.Engine) error {
+			nparts := eng.Partitions()
+			seed := func(xway int, stmt string) error {
+				_, err := eng.AdHoc(xway%nparts, stmt)
+				// Every node of a cluster runs Setup; each seeds only the
+				// x-ways whose partitions it owns.
+				var wne *pe.WrongNodeError
+				if errors.As(err, &wne) {
+					return nil
+				}
+				return err
+			}
+			if err := linearroad.SetupSchema(eng, cfg, seed); err != nil {
+				return err
+			}
+			for _, sp := range linearroad.Procs(cfg) {
+				if err := eng.RegisterProc(sp); err != nil {
+					return err
+				}
+			}
+			w, err := linearroad.Workflow()
+			if err != nil {
+				return err
+			}
+			return eng.DeployWorkflow(w)
+		},
+	}
+}
+
 // apps indexes the built-in applications by name.
 func apps() map[string]*App {
 	m := make(map[string]*App)
-	for _, a := range []*App{PipelineApp()} {
+	for _, a := range []*App{PipelineApp(), RoutedApp(), LinearRoadApp()} {
 		m[a.Name] = a
 	}
 	return m

@@ -21,11 +21,17 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"sstore/internal/pe"
 	"sstore/internal/stream"
 	"sstore/internal/wire"
 )
+
+// helloTimeout bounds the protocol handshake: a connection that has
+// not completed the magic/version exchange within it is dropped, so a
+// misdirected or silent client cannot pin an accept goroutine.
+const helloTimeout = 5 * time.Second
 
 // Server serves one engine over TCP. Create with New, start with
 // Serve, stop with Close; the engine's lifecycle stays the caller's.
@@ -137,6 +143,23 @@ func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(c)
 
+	// Handshake before any frame: both sides lead with magic + version
+	// (wire.AppendHello) and validate the peer's greeting. A mismatched
+	// peer is simply hung up on — its own ReadHello reports the precise
+	// mismatch, and nothing this server could frame would be
+	// intelligible to a peer speaking another protocol or version.
+	//lint:allow errdrop -- deadline errors surface on the guarded I/O below
+	c.SetDeadline(time.Now().Add(helloTimeout))
+	if _, err := c.Write(wire.AppendHello(nil)); err != nil {
+		return
+	}
+	br := bufio.NewReader(c)
+	if err := wire.ReadHello(br); err != nil {
+		return
+	}
+	//lint:allow errdrop -- clearing a deadline on a live conn cannot fail meaningfully
+	c.SetDeadline(time.Time{})
+
 	out := make(chan []byte, 128)
 	writerDone := make(chan struct{})
 	go func() {
@@ -164,7 +187,6 @@ func (s *Server) handle(c net.Conn) {
 	}()
 
 	var inflight sync.WaitGroup
-	br := bufio.NewReader(c)
 	// One grow-only frame buffer per connection: DecodeRequest copies
 	// everything it keeps, so each frame may overwrite the last.
 	var scratch []byte
@@ -203,7 +225,7 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 			defer inflight.Done()
 			r := <-ch
 			if r.Err != nil {
-				out <- errFrame(req, r.Err)
+				out <- s.respondErr(req, r.Err)
 				return
 			}
 			resp := &wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
@@ -225,6 +247,18 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 	case wire.OpIngest:
 		ch, err := s.eng.IngestAsync(req.Stream, &stream.Batch{ID: req.BatchID, Rows: req.Rows})
 		if err != nil {
+			// A WrongNodeError arrives synchronously (the routing check
+			// runs before admission); forwarding it is a network round
+			// trip, so it moves off the read loop like any outcome wait.
+			var wne *pe.WrongNodeError
+			if errors.As(err, &wne) && s.eng.Peers() != nil {
+				inflight.Add(1)
+				go func() {
+					defer inflight.Done()
+					out <- s.forwardFrame(req, wne)
+				}()
+				return
+			}
 			out <- errFrame(req, err)
 			return
 		}
@@ -239,6 +273,45 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 				ID: req.ID, Op: req.Op, Status: wire.StatusOK, BatchID: req.BatchID,
 			})
 		}()
+	case wire.OpHandoff:
+		// Inter-node hand-off of a relocated interior batch: admission
+		// (dedup + enqueue) is synchronous like OpIngest, so a peer's
+		// hand-offs for one stream are admitted in arrival order — the
+		// invariant the high-water ledger depends on. The OK response is
+		// the sender's signal to drop its retained copy, so it is held
+		// back until every consumer transaction committed.
+		dup, ack, err := s.eng.DeliverHandoff(req.From, req.Partition, req.Stream, req.BatchID, req.Rows, req.Front)
+		if err != nil {
+			out <- errFrame(req, err)
+			return
+		}
+		if dup {
+			out <- wire.AppendResponse(nil, &wire.Response{
+				ID: req.ID, Op: req.Op, Status: wire.StatusOK, BatchID: req.BatchID, Duplicate: true,
+			})
+			return
+		}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			if err := <-ack; err != nil {
+				out <- errFrame(req, err)
+				return
+			}
+			out <- wire.AppendResponse(nil, &wire.Response{
+				ID: req.ID, Op: req.Op, Status: wire.StatusOK, BatchID: req.BatchID,
+			})
+		}()
+	case wire.OpHandoffPull:
+		// A restarted peer asks for every unacknowledged hand-off
+		// destined to it to be sent again; its ledger suppresses the
+		// ones that actually committed before the crash.
+		if ps := s.eng.Peers(); ps != nil {
+			ps.Redeliver(req.Node)
+		}
+		out <- wire.AppendResponse(nil, &wire.Response{
+			ID: req.ID, Op: req.Op, Status: wire.StatusOK,
+		})
 	case wire.OpQuery:
 		// The snapshot read path: the query pins a consistent view off
 		// the partition loop, so it is dispatched straight from a
@@ -249,7 +322,7 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 			defer inflight.Done()
 			res, err := s.eng.Read(req.Partition, req.SQL, req.Params...)
 			if err != nil {
-				out <- errFrame(req, err)
+				out <- s.respondErr(req, err)
 				return
 			}
 			resp := &wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
@@ -269,13 +342,17 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 		out <- wire.AppendResponse(nil, &wire.Response{
 			ID: req.ID, Op: req.Op, Status: wire.StatusOK,
 			Stats: wire.Stats{
-				Executed:    st.Executed,
-				Aborted:     st.Aborted,
-				LogAppends:  st.LogAppends,
-				LogSyncs:    st.LogSyncs,
-				ClientTrips: st.ClientTrips,
-				EECrossings: st.EECrossings,
-				Overloaded:  st.Overloaded,
+				Executed:        st.Executed,
+				Aborted:         st.Aborted,
+				LogAppends:      st.LogAppends,
+				LogSyncs:        st.LogSyncs,
+				ClientTrips:     st.ClientTrips,
+				EECrossings:     st.EECrossings,
+				Overloaded:      st.Overloaded,
+				HandoffsSent:    st.HandoffsSent,
+				HandoffsRecv:    st.HandoffsRecv,
+				HandoffsDup:     st.HandoffsDup,
+				HandoffsPending: uint64(st.HandoffsPending),
 			},
 		})
 	case wire.OpDrain:
@@ -294,6 +371,34 @@ func (s *Server) dispatch(req *wire.Request, out chan<- []byte, inflight *sync.W
 	default:
 		out <- errFrame(req, fmt.Errorf("server: unknown op %d", req.Op))
 	}
+}
+
+// respondErr encodes a request outcome error, first trying transparent
+// forwarding when the error says the partition lives on a peer node: a
+// client may send any request to any node of the cluster and the
+// owning node serves it, one extra hop later. Callers run on in-flight
+// goroutines, so the forwarding round trip blocks no read loop. Only
+// called where req is safe to replay on the peer (Call, Query, and
+// pre-admission Ingest rejections — never after side effects).
+func (s *Server) respondErr(req *wire.Request, err error) []byte {
+	var wne *pe.WrongNodeError
+	if errors.As(err, &wne) && s.eng.Peers() != nil {
+		return s.forwardFrame(req, wne)
+	}
+	return errFrame(req, err)
+}
+
+// forwardFrame re-issues req against the owning node over the peer
+// connection set and re-frames the answer under the original request
+// ID. Forwarding failures surface as plain errors carrying the peer's
+// identity, so a client can tell a routing problem from a local one.
+func (s *Server) forwardFrame(req *wire.Request, wne *pe.WrongNodeError) []byte {
+	resp, err := s.eng.Peers().Forward(wne.Node, req)
+	if err != nil {
+		return errFrame(req, fmt.Errorf("server: forwarding to node %d (%s): %w", wne.Node, wne.Addr, err))
+	}
+	resp.ID = req.ID
+	return wire.AppendResponse(nil, resp)
 }
 
 // errFrame encodes an error outcome, mapping a backpressure rejection

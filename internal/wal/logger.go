@@ -150,6 +150,10 @@ type Logger struct {
 
 	appends uint64
 	syncs   uint64
+	// bytes counts appended bytes since open, monotonically (rotation
+	// and compaction never rewind it); LogSet.Bytes sums it across
+	// shards to drive the automatic-checkpoint policy.
+	bytes uint64
 }
 
 // Open creates or appends to the log file. An existing log should be
@@ -216,6 +220,7 @@ func (l *Logger) Append(rec *Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.segSize += int64(len(buf))
+	l.bytes += uint64(len(buf))
 	if l.opts.SegmentBytes > 0 && l.segSize >= l.opts.SegmentBytes {
 		// Seal before acknowledging: the seal syncs the segment, so the
 		// record is durable regardless of the policy branch below.
@@ -333,6 +338,13 @@ func (l *Logger) Stats() (appends, syncs uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appends, l.syncs
+}
+
+// Bytes reports the bytes appended since open (monotonic).
+func (l *Logger) Bytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
 }
 
 // Close flushes buffered records and closes the file.

@@ -22,7 +22,11 @@ import (
 type LogSet struct {
 	base    string
 	loggers []*Logger
-	seq     atomic.Uint64
+	// byPid maps a global partition ID to its logger; on a cluster
+	// node the set covers only the node's own partitions (the sparse
+	// case), so durability and recovery stay node-local.
+	byPid map[int]*Logger
+	seq   atomic.Uint64
 }
 
 // SetOptions configures a LogSet.
@@ -44,6 +48,12 @@ type SetOptions struct {
 	// compaction instead of being rewritten. Zero keeps one file per
 	// partition.
 	SegmentBytes int64
+	// PartitionIDs, when non-nil, opens logs for exactly these global
+	// partition IDs instead of the dense 0..Partitions-1 range: a
+	// cluster node logs only the partitions it owns, under their
+	// global IDs, so shard files stay addressable cluster-wide while
+	// each node's recovery replays only local state.
+	PartitionIDs []int
 }
 
 // PartitionPath maps (base, partition) to the partition's log file:
@@ -59,13 +69,20 @@ func PartitionPath(base string, pid int) string {
 // OpenSet opens one Logger per partition under the base path, all
 // drawing LSNs from the set's shared commit sequence.
 func OpenSet(opts SetOptions) (*LogSet, error) {
-	if opts.Partitions <= 0 {
-		opts.Partitions = 1
+	pids := opts.PartitionIDs
+	if pids == nil {
+		if opts.Partitions <= 0 {
+			opts.Partitions = 1
+		}
+		pids = make([]int, opts.Partitions)
+		for i := range pids {
+			pids[i] = i
+		}
 	}
-	s := &LogSet{base: opts.Path}
-	for i := 0; i < opts.Partitions; i++ {
+	s := &LogSet{base: opts.Path, byPid: make(map[int]*Logger, len(pids))}
+	for _, pid := range pids {
 		l, err := Open(Options{
-			Path:         PartitionPath(opts.Path, i),
+			Path:         PartitionPath(opts.Path, pid),
 			Policy:       opts.Policy,
 			GroupWindow:  opts.GroupWindow,
 			Seq:          &s.seq,
@@ -77,6 +94,7 @@ func OpenSet(opts SetOptions) (*LogSet, error) {
 			return nil, err
 		}
 		s.loggers = append(s.loggers, l)
+		s.byPid[pid] = l
 	}
 	return s, nil
 }
@@ -89,10 +107,11 @@ func (s *LogSet) Partitions() int { return len(s.loggers) }
 // sync policy. Appends to different partitions proceed in parallel —
 // no shared lock, no shared fsync queue.
 func (s *LogSet) Append(pid int, rec *Record) (uint64, error) {
-	if pid < 0 || pid >= len(s.loggers) {
+	l, ok := s.byPid[pid]
+	if !ok {
 		return 0, fmt.Errorf("wal: no log for partition %d", pid)
 	}
-	return s.loggers[pid].Append(rec)
+	return l.Append(rec)
 }
 
 // LastSeq returns the most recently assigned global sequence number
@@ -112,6 +131,18 @@ func (s *LogSet) Stats() (appends, syncs uint64) {
 		syncs += y
 	}
 	return appends, syncs
+}
+
+// Bytes sums the bytes appended across all partition logs since open —
+// a monotonic counter (compaction does not rewind it) that drives the
+// automatic-checkpoint policy: checkpoint once the log has grown by a
+// configured amount since the last one.
+func (s *LogSet) Bytes() uint64 {
+	var total uint64
+	for _, l := range s.loggers {
+		total += l.Bytes()
+	}
+	return total
 }
 
 // CompactBefore truncates every partition's log against the snapshot

@@ -246,3 +246,74 @@ func TestCompactBeforePrunesLegacyLog(t *testing.T) {
 		t.Fatalf("after compaction: %v (%v), want only LSN 5", merged, err)
 	}
 }
+
+func TestLogSetPartitionSubset(t *testing.T) {
+	dir := t.TempDir()
+	// A cluster node owning global partitions {1, 3} of a 4-partition
+	// map opens logs only for those IDs, under their global names.
+	s, err := OpenSet(SetOptions{Path: dir, PartitionIDs: []int{1, 3}, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Partitions() != 2 {
+		t.Fatalf("Partitions() = %d, want 2", s.Partitions())
+	}
+	for _, pid := range []int{1, 3} {
+		if _, err := s.Append(pid, testRecord(KindBorder, "SP", int64(pid))); err != nil {
+			t.Fatalf("append pid %d: %v", pid, err)
+		}
+	}
+	// Appending to a partition the node does not own must fail — that
+	// record belongs on another node's log.
+	if _, err := s.Append(0, testRecord(KindOLTP, "SP", 1)); err == nil {
+		t.Fatal("append to unowned partition 0 succeeded")
+	}
+	if _, err := s.Append(2, testRecord(KindOLTP, "SP", 1)); err == nil {
+		t.Fatal("append to unowned partition 2 succeeded")
+	}
+	if s.Bytes() == 0 {
+		t.Fatal("Bytes() = 0 after appends")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shard files carry the global partition IDs.
+	for _, pid := range []int{1, 3} {
+		if _, err := os.Stat(PartitionPath(dir, pid)); err != nil {
+			t.Errorf("missing shard for global pid %d: %v", pid, err)
+		}
+	}
+	for _, pid := range []int{0, 2} {
+		if _, err := os.Stat(PartitionPath(dir, pid)); err == nil {
+			t.Errorf("unexpected shard for unowned pid %d", pid)
+		}
+	}
+	// The node replays exactly its own shards.
+	merged, err := ReadSetMerged(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("merged records = %d, want 2", len(merged))
+	}
+}
+
+func TestLogSetBytesMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSet(SetOptions{Path: dir, Partitions: 1, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var last uint64
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(0, testRecord(KindOLTP, "SP", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		b := s.Bytes()
+		if b <= last {
+			t.Fatalf("Bytes() not monotonic: %d then %d", last, b)
+		}
+		last = b
+	}
+}

@@ -33,6 +33,13 @@ const (
 	// KindInterior is a streaming TE triggered by an upstream TE.
 	// Interior records exist only under strong recovery.
 	KindInterior
+	// KindHandoff is a streaming TE whose input batch arrived from
+	// another node (a cross-node interior hand-off). Unlike KindInterior
+	// it carries the batch rows — the sending node's stream table, the
+	// usual upstream backup, lives in a different failure domain — so
+	// hand-off records are logged under weak recovery too, and replay
+	// re-ingests the batch locally like a border record.
+	KindHandoff
 )
 
 // String names the kind.
@@ -44,6 +51,8 @@ func (k RecordKind) String() string {
 		return "border"
 	case KindInterior:
 		return "interior"
+	case KindHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
@@ -70,9 +79,9 @@ type Record struct {
 	BatchID int64
 	// Params are the invocation's input parameters.
 	Params types.Row
-	// Batch holds the atomic batch's tuples for border TEs: the
-	// upstream-backup data needed to re-ingest the batch on replay
-	// (§3.2.5). Empty for interior and OLTP records.
+	// Batch holds the atomic batch's tuples for border and hand-off
+	// TEs: the upstream-backup data needed to re-ingest the batch on
+	// replay (§3.2.5). Empty for interior and OLTP records.
 	Batch []types.Row
 }
 

@@ -7,20 +7,32 @@
 // — an ingest acknowledgement arrives when its border transaction
 // commits, not when the server happens to read the next request.
 //
+// Handshake: each side writes a 5-byte hello — the 4-byte protocol
+// magic "SSTR" plus a version byte — as its first bytes on a new
+// connection, before any frame. A peer whose hello does not match is
+// rejected with a descriptive error; the magic keeps frame parsing
+// away from strangers probing the port, and the version byte lets
+// mixed-version clusters fail fast instead of desynchronizing.
+//
 // Framing:
 //
+//	hello    := "SSTR", version:u8
 //	frame    := u32-LE payload-len, payload
 //	request  := uvarint req-id, op:u8, body
 //	response := uvarint req-id, op:u8, status:u8, body
 //
 // Request bodies:
 //
-//	call   := uvarint sp-len, sp, row(params)
-//	ingest := uvarint stream-len, stream, varint batch-id,
-//	          uvarint row-count, row*
-//	query  := uvarint partition, uvarint sql-len, sql, row(params)
-//	stats  := (empty)
-//	drain  := (empty)
+//	call        := uvarint sp-len, sp, row(params)
+//	ingest      := uvarint stream-len, stream, varint batch-id,
+//	               uvarint row-count, row*
+//	query       := uvarint partition, uvarint sql-len, sql, row(params)
+//	stats       := (empty)
+//	drain       := (empty)
+//	handoff     := uvarint from, uvarint target, flags:u8 (bit0=front),
+//	               uvarint stream-len, stream, varint batch-id,
+//	               uvarint row-count, row*
+//	handoffpull := uvarint node-id
 //
 // Response bodies:
 //
@@ -31,9 +43,22 @@
 //	ok+ingest    := varint batch-id
 //	ok+stats     := uvarint field-count, uvarint* (see Stats)
 //	ok+drain     := (empty)
+//	ok+handoff   := varint batch-id, dup:u8
+//	ok+handoffpull := (empty)
 //	error        := uvarint msg-len, msg
 //	overloaded   := uvarint partition, uvarint depth,
 //	                uvarint retry-after-micros
+//
+// OpHandoff is the inter-node transport of a relocated interior batch
+// (DESIGN.md §13): the sending node's committing TE produced a batch
+// whose routed partition lives on the receiving node. The body carries
+// the batch rows plus the dedup identity (target partition, stream,
+// batch ID) so the receiver's exactly-once ledger suppresses duplicate
+// deliveries after a reconnect or crash replay; the OK response is the
+// receiver's commit acknowledgement (dup=1 when the ledger had already
+// admitted the batch). OpHandoffPull is sent by a restarted node to
+// each peer: "re-deliver every hand-off addressed to me that you still
+// hold unacknowledged".
 //
 // The overloaded status carries the engine's backpressure verdict
 // across the wire: the request was rejected without side effects (an
@@ -65,7 +90,55 @@ const (
 	// does not steal streaming throughput and is never rejected by
 	// queue-depth backpressure.
 	OpQuery
+	// OpHandoff moves a relocated interior batch to the node owning its
+	// routed partition; the response acknowledges the receiver's commit.
+	OpHandoff
+	// OpHandoffPull asks a peer to re-deliver every unacknowledged
+	// hand-off addressed to the requesting node (recovery re-request).
+	OpHandoffPull
 )
+
+// Handshake: the protocol magic and version exchanged as each side's
+// first bytes on a new connection.
+const (
+	// Magic opens every connection; four bytes so a misdirected HTTP or
+	// TLS client fails immediately instead of being parsed as a frame.
+	Magic = "SSTR"
+	// ProtocolVersion is bumped on any incompatible framing or op
+	// change; peers reject a mismatch at connection open.
+	ProtocolVersion uint8 = 1
+	// HelloSize is the handshake's wire size: magic + version byte.
+	HelloSize = len(Magic) + 1
+)
+
+// AppendHello appends the protocol hello (magic + version).
+func AppendHello(buf []byte) []byte {
+	return append(append(buf, Magic...), ProtocolVersion)
+}
+
+// ReadHello consumes and validates a peer's hello, returning a
+// descriptive error on a foreign protocol or version mismatch.
+func ReadHello(br *bufio.Reader) error {
+	var hello [5]byte
+	_ = hello[HelloSize-1]
+	for i := 0; i < HelloSize; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("wire: handshake: %w", err)
+		}
+		hello[i] = b
+	}
+	if string(hello[:len(Magic)]) != Magic {
+		return fmt.Errorf("wire: handshake: bad magic %q (want %q): peer is not speaking the sstore protocol", hello[:len(Magic)], Magic)
+	}
+	if v := hello[len(Magic)]; v != ProtocolVersion {
+		return fmt.Errorf("wire: handshake: protocol version %d, want %d: mixed-version peers cannot interoperate", v, ProtocolVersion)
+	}
+	return nil
+}
 
 // Response statuses.
 const (
@@ -89,6 +162,14 @@ type Stats struct {
 	ClientTrips uint64
 	EECrossings uint64
 	Overloaded  uint64
+	// Cross-node hand-off counters (zero on single-node deployments).
+	// HandoffsPending counts sent batches not yet acknowledged by their
+	// receiving node — the cluster-drain signal: a cluster is quiescent
+	// when every node reports Drain complete and zero pending.
+	HandoffsSent    uint64
+	HandoffsRecv    uint64
+	HandoffsDup     uint64
+	HandoffsPending uint64
 }
 
 // Request is one decoded client request.
@@ -105,9 +186,18 @@ type Request struct {
 	BatchID int64
 	Rows    []types.Row
 
-	// OpQuery
+	// OpQuery; OpHandoff reuses Partition as the target partition
 	Partition int
 	SQL       string // params travel in Params
+
+	// OpHandoff: the sending partition and front-of-queue flag (set on
+	// recovery re-fire, which must outrank normally queued work). The
+	// batch identity and rows travel in Stream/BatchID/Rows.
+	From  int
+	Front bool
+
+	// OpHandoffPull: the requesting node's ID.
+	Node int
 }
 
 // Response is one decoded server response.
@@ -121,8 +211,13 @@ type Response struct {
 	Rows            []types.Row
 	LastInsertBatch int64
 
-	// StatusOK, OpIngest
+	// StatusOK, OpIngest (and OpHandoff, which adds Duplicate)
 	BatchID int64
+
+	// StatusOK, OpHandoff: the receiver's dedup ledger had already
+	// admitted this batch — the delivery was a replay, applied zero
+	// times more (exactly-once held).
+	Duplicate bool
 
 	// StatusOK, OpStats
 	Stats Stats
@@ -158,6 +253,22 @@ func AppendRequest(buf []byte, r *Request) []byte {
 		buf = binary.AppendUvarint(buf, uint64(r.Partition))
 		buf = appendString(buf, r.SQL)
 		buf = types.EncodeRow(buf, r.Params)
+	case OpHandoff:
+		buf = binary.AppendUvarint(buf, uint64(r.From))
+		buf = binary.AppendUvarint(buf, uint64(r.Partition))
+		var flags uint8
+		if r.Front {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = appendString(buf, r.Stream)
+		buf = binary.AppendVarint(buf, r.BatchID)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			buf = types.EncodeRow(buf, row)
+		}
+	case OpHandoffPull:
+		buf = binary.AppendUvarint(buf, uint64(r.Node))
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-p))
 	return buf
@@ -200,12 +311,21 @@ func AppendResponse(buf []byte, r *Response) []byte {
 			}
 		case OpIngest:
 			buf = binary.AppendVarint(buf, r.BatchID)
+		case OpHandoff:
+			buf = binary.AppendVarint(buf, r.BatchID)
+			var dup uint8
+			if r.Duplicate {
+				dup = 1
+			}
+			buf = append(buf, dup)
 		case OpStats:
 			fields := []uint64{
 				r.Stats.Executed, r.Stats.Aborted,
 				r.Stats.LogAppends, r.Stats.LogSyncs,
 				r.Stats.ClientTrips, r.Stats.EECrossings,
 				r.Stats.Overloaded,
+				r.Stats.HandoffsSent, r.Stats.HandoffsRecv,
+				r.Stats.HandoffsDup, r.Stats.HandoffsPending,
 			}
 			buf = binary.AppendUvarint(buf, uint64(len(fields)))
 			for _, f := range fields {
@@ -298,6 +418,21 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		r.Partition = int(d.uvarint())
 		r.SQL = d.string()
 		r.Params = d.row()
+	case OpHandoff:
+		r.From = int(d.uvarint())
+		r.Partition = int(d.uvarint())
+		r.Front = d.byte()&1 != 0
+		r.Stream = d.string()
+		r.BatchID = d.varint()
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(payload)) {
+			d.fail("row count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			r.Rows = append(r.Rows, d.row())
+		}
+	case OpHandoffPull:
+		r.Node = int(d.uvarint())
 	case OpStats, OpDrain:
 	default:
 		if d.err == nil {
@@ -359,6 +494,9 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			}
 		case OpIngest:
 			r.BatchID = d.varint()
+		case OpHandoff:
+			r.BatchID = d.varint()
+			r.Duplicate = d.byte()&1 != 0
 		case OpStats:
 			n := d.uvarint()
 			fields := []*uint64{
@@ -366,6 +504,8 @@ func DecodeResponse(payload []byte) (*Response, error) {
 				&r.Stats.LogAppends, &r.Stats.LogSyncs,
 				&r.Stats.ClientTrips, &r.Stats.EECrossings,
 				&r.Stats.Overloaded,
+				&r.Stats.HandoffsSent, &r.Stats.HandoffsRecv,
+				&r.Stats.HandoffsDup, &r.Stats.HandoffsPending,
 			}
 			for i := uint64(0); i < n && d.err == nil; i++ {
 				v := d.uvarint()

@@ -219,3 +219,98 @@ func TestQueryErrorResponseRoundTrip(t *testing.T) {
 		t.Errorf("error response mangled: %+v", got)
 	}
 }
+
+func TestHandoffRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		ID:        77,
+		Op:        OpHandoff,
+		From:      1,
+		Partition: 5,
+		Front:     true,
+		Stream:    "scale_jobs",
+		BatchID:   1234,
+		Rows: []types.Row{
+			{types.NewInt(5), types.NewInt(10)},
+			{types.NewInt(5), types.NewInt(11)},
+		},
+	}
+	got := roundTripReq(t, in)
+	if got.ID != in.ID || got.Op != in.Op || got.From != 1 || got.Partition != 5 ||
+		!got.Front || got.Stream != in.Stream || got.BatchID != 1234 || len(got.Rows) != 2 {
+		t.Fatalf("round trip mangled handoff: %+v → %+v", in, got)
+	}
+	for i := range in.Rows {
+		if !got.Rows[i].Equal(in.Rows[i]) {
+			t.Errorf("row %d: %v → %v", i, in.Rows[i], got.Rows[i])
+		}
+	}
+	// Front=false must round-trip too (flag byte, not presence).
+	in.Front = false
+	if got := roundTripReq(t, in); got.Front {
+		t.Error("Front=false came back true")
+	}
+}
+
+func TestHandoffResponseRoundTrip(t *testing.T) {
+	ok := roundTripResp(t, &Response{ID: 77, Op: OpHandoff, Status: StatusOK, BatchID: 1234})
+	if ok.BatchID != 1234 || ok.Duplicate {
+		t.Errorf("handoff ok: %+v", ok)
+	}
+	dup := roundTripResp(t, &Response{ID: 78, Op: OpHandoff, Status: StatusOK, BatchID: 1234, Duplicate: true})
+	if !dup.Duplicate {
+		t.Errorf("handoff dup flag lost: %+v", dup)
+	}
+}
+
+func TestHandoffPullRoundTrip(t *testing.T) {
+	got := roundTripReq(t, &Request{ID: 3, Op: OpHandoffPull, Node: 2})
+	if got.Op != OpHandoffPull || got.Node != 2 {
+		t.Errorf("handoff pull: %+v", got)
+	}
+	ok := roundTripResp(t, &Response{ID: 3, Op: OpHandoffPull, Status: StatusOK})
+	if ok.Status != StatusOK {
+		t.Errorf("handoff pull response: %+v", ok)
+	}
+}
+
+func TestStatsHandoffFieldsRoundTrip(t *testing.T) {
+	in := &Response{
+		ID: 2, Op: OpStats, Status: StatusOK,
+		Stats: Stats{Executed: 1, HandoffsSent: 10, HandoffsRecv: 9, HandoffsDup: 2, HandoffsPending: 1},
+	}
+	got := roundTripResp(t, in)
+	if got.Stats != in.Stats {
+		t.Errorf("stats: %+v → %+v", in.Stats, got.Stats)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	buf := AppendHello(nil)
+	if len(buf) != HelloSize {
+		t.Fatalf("hello size %d, want %d", len(buf), HelloSize)
+	}
+	if err := ReadHello(bufio.NewReader(bytes.NewReader(buf))); err != nil {
+		t.Fatalf("ReadHello: %v", err)
+	}
+}
+
+func TestHelloRejectsBadMagic(t *testing.T) {
+	err := ReadHello(bufio.NewReader(bytes.NewReader([]byte("GET / HTTP/1.1\r\n"))))
+	if err == nil {
+		t.Fatal("foreign protocol accepted")
+	}
+}
+
+func TestHelloRejectsVersionMismatch(t *testing.T) {
+	buf := append([]byte(Magic), ProtocolVersion+1)
+	err := ReadHello(bufio.NewReader(bytes.NewReader(buf)))
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestHelloTruncated(t *testing.T) {
+	if err := ReadHello(bufio.NewReader(bytes.NewReader([]byte("SS")))); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+}

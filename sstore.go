@@ -39,6 +39,7 @@ import (
 	"errors"
 	"time"
 
+	"sstore/internal/cluster"
 	"sstore/internal/ee"
 	"sstore/internal/pe"
 	"sstore/internal/recovery"
@@ -192,7 +193,38 @@ type Config struct {
 	// Procedures without a declared access set always run serially.
 	// See DESIGN.md §11.
 	Workers int
+	// Cluster, when set, makes this engine one node of a multi-node
+	// deployment: the map fixes the cluster-wide partition space
+	// (overriding Partitions), this node runs only the partitions the
+	// map assigns to NodeID, and committing transactions hand
+	// relocated interior batches to partitions on other nodes over
+	// peer connections, exactly-once. Requests routed to a partition
+	// another node owns fail with an error naming the owner, which
+	// the server layer forwards transparently. Every node keeps its
+	// own command log and snapshots, so recovery is node-local. See
+	// DESIGN.md §13.
+	Cluster *ClusterConfig
+	// NodeID is this node's ID in the Cluster map.
+	NodeID int
+	// CheckpointEveryBytes, when positive, takes a checkpoint (and
+	// compacts the command log) automatically after roughly this many
+	// bytes of new log; requires SnapshotDir. Zero leaves
+	// checkpointing manual.
+	CheckpointEveryBytes int64
 }
+
+// ClusterConfig is a static cluster map: node ID → address → the
+// partitions the node owns. Build one with ParseCluster (the textual
+// form cmd/sstore-server -cluster takes) or literally; all nodes of a
+// deployment must share the identical map.
+type ClusterConfig = cluster.Config
+
+// ClusterNode is one node of a ClusterConfig.
+type ClusterNode = cluster.Node
+
+// ParseCluster parses the textual cluster map format
+// "id@host:port=p0,p1;id@host:port=p2,..." (ranges like "0-3" work).
+func ParseCluster(spec string) (*ClusterConfig, error) { return cluster.Parse(spec) }
 
 // ErrOverloaded is the sentinel matched by errors.Is when a Call or
 // Ingest is rejected by MaxQueueDepth backpressure. The rejected
@@ -227,19 +259,22 @@ type Stats = pe.Stats
 // Open builds and starts an engine.
 func Open(cfg Config) (*Engine, error) {
 	inner, err := pe.NewEngine(pe.Options{
-		Partitions:      cfg.Partitions,
-		ClientRTT:       cfg.ClientRTT,
-		EEDispatch:      cfg.EEDispatch,
-		Recovery:        cfg.Recovery,
-		LogPath:         cfg.LogPath,
-		LogPolicy:       cfg.LogPolicy,
-		GroupWindow:     cfg.GroupWindow,
-		LogSegmentBytes: cfg.LogSegmentBytes,
-		SnapshotDir:     cfg.SnapshotDir,
-		PartitionBy:     cfg.PartitionBy,
-		RouteCall:       cfg.RouteCall,
-		MaxQueueDepth:   cfg.MaxQueueDepth,
-		Workers:         cfg.Workers,
+		Partitions:           cfg.Partitions,
+		ClientRTT:            cfg.ClientRTT,
+		EEDispatch:           cfg.EEDispatch,
+		Recovery:             cfg.Recovery,
+		LogPath:              cfg.LogPath,
+		LogPolicy:            cfg.LogPolicy,
+		GroupWindow:          cfg.GroupWindow,
+		LogSegmentBytes:      cfg.LogSegmentBytes,
+		SnapshotDir:          cfg.SnapshotDir,
+		PartitionBy:          cfg.PartitionBy,
+		RouteCall:            cfg.RouteCall,
+		MaxQueueDepth:        cfg.MaxQueueDepth,
+		Workers:              cfg.Workers,
+		Cluster:              cfg.Cluster,
+		NodeID:               cfg.NodeID,
+		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
 	})
 	if err != nil {
 		return nil, err
