@@ -52,6 +52,8 @@ func main() {
 	clusterSpec := flag.String("cluster", "", "cluster map 'id@host:port=p0,p1;...' (all nodes get the same map)")
 	nodeID := flag.Int("node", 0, "this node's ID in the -cluster map")
 	ckptEvery := flag.Int64("checkpoint-every-bytes", 0, "take a checkpoint (and compact the log) after this many logged bytes (0 = manual)")
+	archiveDir := flag.String("archive-dir", "", "directory for archive tables' page files (empty = auto temp dir)")
+	archiveBudget := flag.Int64("archive-budget", 0, "buffer-pool bytes shared by archive tables across partitions (0 = small default)")
 	flag.Parse()
 
 	if *listApps {
@@ -61,13 +63,13 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *app, *partitions, *maxQueue, *recoveryMode, *logPath, *snapshots, *group, *clusterSpec, *nodeID, *ckptEvery); err != nil {
+	if err := run(*addr, *app, *partitions, *maxQueue, *recoveryMode, *logPath, *snapshots, *group, *clusterSpec, *nodeID, *ckptEvery, *archiveDir, *archiveBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "sstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, snapshots string, group bool, clusterSpec string, nodeID int, ckptEvery int64) error {
+func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, snapshots string, group bool, clusterSpec string, nodeID int, ckptEvery int64, archiveDir string, archiveBudget int64) error {
 	a, err := server.LookupApp(appName)
 	if err != nil {
 		return err
@@ -93,6 +95,8 @@ func run(addr, appName string, partitions, maxQueue int, recoveryMode, logPath, 
 		MaxQueueDepth:        maxQueue,
 		NodeID:               nodeID,
 		CheckpointEveryBytes: ckptEvery,
+		ArchiveDir:           archiveDir,
+		ArchiveMemoryBudget:  archiveBudget,
 	}
 	if clusterSpec != "" {
 		cfg, err := cluster.Parse(clusterSpec)

@@ -26,16 +26,21 @@ type LockOrderConfig struct {
 // worker goroutines preparing statements during a parallel wave; it is
 // a leaf (its critical sections are map operations only), ranked under
 // ddlMu because runtime DDL holds ddlMu while invalidating the cache.
-// The table latch is also a leaf — it is the storage.Views read latch
-// held across one statement's scan, and taking anything under it can
-// deadlock against the copy-on-write detach barrier.
+// The table latch is the storage.Views read latch held across one
+// statement's scan; taking anything under it other than the buffer
+// pool's mutex can deadlock against the copy-on-write detach barrier.
+// It stopped being a leaf when archive tables arrived: their row reads
+// and writes pin pages, so bufferpool.Pool.mu is acquired under the
+// latch. Pool.mu is the new leaf — its critical sections touch only
+// the frame table and LRU state (a victim's write-back does file I/O
+// under Pool.mu, but never takes another lock).
 //
-// The cluster transport's locks rank after all engine locks:
-// Peers.mu (the peer registry) may be taken from the dispatch path
-// while no engine lock is held, and each peer.mu (one connection's
-// send queue) nests strictly inside it. peer.mu is a leaf — its
-// critical sections only touch the queue slice and the conn pointer;
-// in particular no network write happens under it.
+// The cluster transport's locks rank after the table latch: Peers.mu
+// (the peer registry) may be taken from the dispatch path while no
+// engine lock is held, and each peer.mu (one connection's send queue)
+// nests strictly inside it. peer.mu is a leaf — its critical sections
+// only touch the queue slice and the conn pointer; in particular no
+// network write happens under it.
 var EngineLockOrder = LockOrderConfig{
 	Ranks: map[string]int{
 		"sstore/internal/pe.partition.ddlMu":  1,
@@ -45,9 +50,10 @@ var EngineLockOrder = LockOrderConfig{
 		"sstore/internal/storage.Table.latch": 5,
 		"sstore/internal/cluster.Peers.mu":    6,
 		"sstore/internal/cluster.peer.mu":     7,
+		"sstore/internal/bufferpool.Pool.mu":  8,
 	},
-	Leaf:     map[int]bool{3: true, 5: true, 7: true},
-	OrderDoc: "ddlMu → readMu → Executor.mu → Views.mu → Table.latch → Peers.mu → peer.mu",
+	Leaf:     map[int]bool{3: true, 7: true, 8: true},
+	OrderDoc: "ddlMu → readMu → Executor.mu → Views.mu → Table.latch → Peers.mu → peer.mu → Pool.mu",
 }
 
 // LockOrder enforces EngineLockOrder over the module.

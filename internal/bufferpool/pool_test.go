@@ -1,0 +1,144 @@
+package bufferpool
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"sstore/internal/page"
+)
+
+func newFile(t *testing.T) *page.File {
+	t.Helper()
+	f, err := page.Create(filepath.Join(t.TempDir(), "t.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// fillBlocks appends n blocks through the pool, one record each.
+func fillBlocks(t *testing.T, p *Pool, f *page.File, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		b, fr, err := p.Append(f)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if _, err := fr.Page.InsertRecord([]byte(fmt.Sprintf("block-%d", int(b)))); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, true)
+	}
+}
+
+func TestPoolHitAvoidsRead(t *testing.T) {
+	p := New(4)
+	f := newFile(t)
+	fillBlocks(t, p, f, 1)
+	for i := 0; i < 10; i++ {
+		fr, err := p.Pin(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fr.Page.Record(0)) != "block-0" {
+			t.Fatalf("iteration %d: %q", i, fr.Page.Record(0))
+		}
+		p.Unpin(fr, false)
+	}
+	s := p.Stats()
+	if s.Hits != 10 || s.Misses != 0 {
+		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestPoolEvictsLRUAndWritesBack(t *testing.T) {
+	p := New(4)
+	f := newFile(t)
+	// 8 blocks through a 4-frame pool: the early blocks must be
+	// evicted (written back) and re-readable afterwards.
+	fillBlocks(t, p, f, 8)
+	for i := 0; i < 8; i++ {
+		fr, err := p.Pin(f, page.BlockID(i))
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got := string(fr.Page.Record(0)); got != fmt.Sprintf("block-%d", i) {
+			t.Fatalf("block %d: %q", i, got)
+		}
+		p.Unpin(fr, false)
+	}
+	s := p.Stats()
+	if s.Evictions == 0 || s.Writebacks == 0 {
+		t.Fatalf("expected evictions and writebacks, got %+v", s)
+	}
+}
+
+func TestPoolAllPinnedErrors(t *testing.T) {
+	p := New(4)
+	f := newFile(t)
+	fillBlocks(t, p, f, 4)
+	var frames []*Frame
+	for i := 0; i < 4; i++ {
+		fr, err := p.Pin(f, page.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, fr)
+	}
+	if _, _, err := p.Append(f); err != ErrNoFrames {
+		t.Fatalf("got %v, want ErrNoFrames", err)
+	}
+	for _, fr := range frames {
+		p.Unpin(fr, false)
+	}
+	if _, _, err := p.Append(f); err != nil {
+		t.Fatalf("append after unpin: %v", err)
+	}
+}
+
+func TestPoolFlushFileDurability(t *testing.T) {
+	p := New(8)
+	f := newFile(t)
+	fillBlocks(t, p, f, 3)
+	// Nothing evicted yet: the dirty pages live only in frames.
+	if err := p.FlushFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Read the blocks straight off disk, bypassing the pool.
+	for i := 0; i < 3; i++ {
+		var q page.Page
+		if err := f.ReadBlock(page.BlockID(i), &q); err != nil {
+			t.Fatalf("block %d unreadable after flush: %v", i, err)
+		}
+		if got := string(q.Record(0)); got != fmt.Sprintf("block-%d", i) {
+			t.Fatalf("block %d: %q", i, got)
+		}
+	}
+}
+
+func TestPoolInvalidateDropsFrames(t *testing.T) {
+	p := New(4)
+	f := newFile(t)
+	fillBlocks(t, p, f, 2)
+	p.Invalidate(f)
+	if err := f.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	fillBlocks(t, p, f, 1)
+	fr, err := p.Pin(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(fr, false)
+	if got := string(fr.Page.Record(0)); got != "block-0" {
+		t.Fatalf("stale frame after invalidate: %q", got)
+	}
+	if f.Blocks() != 1 {
+		t.Fatalf("blocks=%d after truncate+refill", f.Blocks())
+	}
+}

@@ -718,7 +718,18 @@ func (e *Executor) runDDL(stmt sql.Statement, ctx *ExecCtx) (*Result, error) {
 		if s.Stream {
 			kind = storage.KindStream
 		}
-		t := storage.NewTable(s.Name, kind, schema)
+		var t *storage.Table
+		if s.Archive {
+			site, err := e.cat.ArchiveSite()
+			if err != nil {
+				return nil, err
+			}
+			if t, err = storage.NewArchiveTable(s.Name, schema, site); err != nil {
+				return nil, err
+			}
+		} else {
+			t = storage.NewTable(s.Name, kind, schema)
+		}
 		if len(pk) > 0 {
 			if err := t.AddIndex(index.NewHashIndex(s.Name+"_pk", pk, true)); err != nil {
 				return nil, err

@@ -322,3 +322,30 @@ func TestAllocShape(t *testing.T) {
 		}
 	}
 }
+
+func TestSpillShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	// The storage-manager seam's claim: an archive table whose page
+	// file has grown several times past its buffer-pool budget still
+	// ingests history appends at near in-memory throughput. The ratio
+	// bound is loose (CI hosts are noisy); the reference run in
+	// EXPERIMENTS.md records parity or better.
+	opts := quickOpts(t)
+	budget := int64(64 << 10)
+	memTput, _, err := spillProbe(opts, false, budget, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archTput, pageBytes, err := spillProbe(opts, true, budget, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pageBytes < 4*budget {
+		t.Errorf("archive grew to %d bytes, want >= 4x the %d budget", pageBytes, budget)
+	}
+	if archTput < 0.5*memTput {
+		t.Errorf("archive appends %.0f rows/s vs %.0f in memory (< 0.5x)", archTput, memTput)
+	}
+}

@@ -1,0 +1,117 @@
+package page
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+)
+
+// BlockID addresses one page within a File.
+type BlockID uint32
+
+// castagnoli matches the WAL's CRC32-C framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// File is a block-addressed page file. Block reads and writes use
+// positional I/O (safe for concurrent callers); block allocation is a
+// single atomic counter. The buffer pool is the only writer in the
+// engine, under its own mutex, so File itself carries no lock.
+type File struct {
+	f       *os.File
+	path    string
+	nblocks atomic.Uint32
+}
+
+// Create opens path as a fresh, empty page file, truncating any
+// existing content.
+func Create(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("page: create %s: %w", path, err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Open opens an existing page file for reading and writing. The file
+// length must be a whole number of pages.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("page: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("page: stat %s: %w", path, err)
+	}
+	if st.Size()%Size != 0 {
+		f.Close()
+		return nil, fmt.Errorf("page: %s length %d is not page-aligned", path, st.Size())
+	}
+	pf := &File{f: f, path: path}
+	pf.nblocks.Store(uint32(st.Size() / Size))
+	return pf, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Blocks returns the number of allocated blocks.
+func (f *File) Blocks() uint32 { return f.nblocks.Load() }
+
+// Allocate reserves the next block ID. The block has no on-disk bytes
+// until its first WriteBlock.
+func (f *File) Allocate() BlockID {
+	return BlockID(f.nblocks.Add(1) - 1)
+}
+
+// ReadBlock reads block b into p, verifying magic and CRC. A block
+// allocated but never written reads as zeroes past EOF and fails the
+// magic check — callers only read blocks they have written.
+func (f *File) ReadBlock(b BlockID, p *Page) error {
+	if uint32(b) >= f.nblocks.Load() {
+		return fmt.Errorf("page: read of unallocated block %d in %s", b, f.path)
+	}
+	if _, err := f.f.ReadAt(p.Bytes(), int64(b)*Size); err != nil {
+		return fmt.Errorf("page: read block %d of %s: %w", b, f.path, err)
+	}
+	if err := p.checkMagic(); err != nil {
+		return fmt.Errorf("page: block %d of %s: %w", b, f.path, err)
+	}
+	buf := p.Bytes()
+	want := uint32(buf[4]) | uint32(buf[5])<<8 | uint32(buf[6])<<16 | uint32(buf[7])<<24
+	if got := crc32.Checksum(buf[8:], castagnoli); got != want {
+		return fmt.Errorf("page: block %d of %s: crc mismatch (got %08x want %08x)", b, f.path, got, want)
+	}
+	return nil
+}
+
+// WriteBlock stamps p's CRC and writes it at block b.
+func (f *File) WriteBlock(b BlockID, p *Page) error {
+	if uint32(b) >= f.nblocks.Load() {
+		return fmt.Errorf("page: write of unallocated block %d in %s", b, f.path)
+	}
+	buf := p.Bytes()
+	crc := crc32.Checksum(buf[8:], castagnoli)
+	buf[4], buf[5], buf[6], buf[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
+	if _, err := f.f.WriteAt(buf, int64(b)*Size); err != nil {
+		return fmt.Errorf("page: write block %d of %s: %w", b, f.path, err)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (f *File) Sync() error { return f.f.Sync() }
+
+// Truncate discards every block, returning the file to empty.
+func (f *File) Truncate() error {
+	if err := f.f.Truncate(0); err != nil {
+		return fmt.Errorf("page: truncate %s: %w", f.path, err)
+	}
+	f.nblocks.Store(0)
+	return nil
+}
+
+// Close closes the underlying file.
+func (f *File) Close() error { return f.f.Close() }

@@ -1,0 +1,157 @@
+// Package page implements slotted record pages and the block-addressed
+// page files the archive storage manager keeps them in. A page is a
+// fixed-size byte buffer holding variable-length records behind a slot
+// directory; a file is an array of pages addressed by BlockID. Pages
+// are CRC-framed on disk: every write stamps a CRC32-C over the page
+// body and every read verifies it, so a torn or bit-rotted page is
+// detected at the storage layer instead of surfacing as corrupt rows.
+//
+// The layout (all integers little-endian):
+//
+//	offset 0:  magic "SPG1" (4 bytes)
+//	offset 4:  crc32c over buf[8:] (4 bytes; stamped by File.WriteBlock)
+//	offset 8:  nslots u16 — slot directory entries, including dead ones
+//	offset 10: freeOff u16 — next record byte; records grow up from 12
+//	offset 12: record heap, growing toward the slot directory
+//	end:       slot directory, growing down; slot i is the 4-byte entry
+//	           at len(buf)-4*(i+1): recOff u16, recLen u16
+//
+// Slots are stable: deleting a record zeroes its entry but never
+// renumbers the survivors, so a (BlockID, slot) pair is a durable
+// record address. Dead record bytes are not compacted within a page —
+// the archive workload is append-mostly, and a rewritten row simply
+// lands on the current fill page.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Size is the page size. 8 KiB keeps a page a small multiple of the
+// filesystem block while holding a few hundred typical rows.
+const Size = 8192
+
+// headerSize is where the record heap starts.
+const headerSize = 12
+
+// slotSize is one slot-directory entry (off u16, len u16).
+const slotSize = 4
+
+// MaxRecord is the largest record an empty page can hold: the full
+// buffer minus the header and the record's own slot entry.
+const MaxRecord = Size - headerSize - slotSize
+
+var magic = [4]byte{'S', 'P', 'G', '1'}
+
+// ErrPageFull reports that a record does not fit in the page's
+// remaining free span; the caller allocates a fresh block.
+var ErrPageFull = errors.New("page: full")
+
+// Page is one in-memory page image. The zero value is unusable; call
+// Reset (or read a block into it) first.
+type Page struct {
+	buf [Size]byte
+}
+
+// Reset formats the buffer as an empty page.
+func (p *Page) Reset() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	copy(p.buf[0:4], magic[:])
+	p.setNumSlots(0)
+	p.setFreeOff(headerSize)
+}
+
+// Bytes exposes the raw page image; File uses it for block I/O.
+func (p *Page) Bytes() []byte { return p.buf[:] }
+
+func (p *Page) numSlots() uint16     { return binary.LittleEndian.Uint16(p.buf[8:10]) }
+func (p *Page) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.buf[8:10], n) }
+func (p *Page) freeOff() uint16      { return binary.LittleEndian.Uint16(p.buf[10:12]) }
+func (p *Page) setFreeOff(o uint16)  { binary.LittleEndian.PutUint16(p.buf[10:12], o) }
+
+// slotPos returns the byte offset of slot i's directory entry.
+func slotPos(i uint16) int { return Size - slotSize*(int(i)+1) }
+
+// NumSlots returns the slot-directory length, dead slots included.
+func (p *Page) NumSlots() uint16 { return p.numSlots() }
+
+// FreeSpace returns the bytes available for one more record (its slot
+// entry accounted for). Negative-impossible: returns 0 when the
+// directory has met the heap.
+func (p *Page) FreeSpace() int {
+	free := slotPos(p.numSlots()) - int(p.freeOff()) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// InsertRecord appends rec to the page, returning its slot. Records
+// must be non-empty (a zero length marks a dead slot).
+func (p *Page) InsertRecord(rec []byte) (uint16, error) {
+	if len(rec) == 0 {
+		return 0, errors.New("page: empty record")
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, ErrPageFull
+	}
+	slot := p.numSlots()
+	off := p.freeOff()
+	copy(p.buf[off:], rec)
+	pos := slotPos(slot)
+	binary.LittleEndian.PutUint16(p.buf[pos:pos+2], off)
+	binary.LittleEndian.PutUint16(p.buf[pos+2:pos+4], uint16(len(rec)))
+	p.setFreeOff(off + uint16(len(rec)))
+	p.setNumSlots(slot + 1)
+	return slot, nil
+}
+
+// Record returns the record bytes at slot, or nil for a dead or
+// out-of-range slot. The slice aliases the page buffer: callers decode
+// (copying what they keep) before unpinning the frame. This is the
+// archive read path's per-row step, between the buffer-pool hit and
+// the row decode, and must not allocate.
+//
+//sstore:nomalloc
+func (p *Page) Record(slot uint16) []byte {
+	// numSlots and slotPos are inlined here so the whole read is one
+	// verified allocation-free body.
+	if slot >= binary.LittleEndian.Uint16(p.buf[8:10]) {
+		return nil
+	}
+	pos := Size - slotSize*(int(slot)+1)
+	off := binary.LittleEndian.Uint16(p.buf[pos : pos+2])
+	n := binary.LittleEndian.Uint16(p.buf[pos+2 : pos+4])
+	if n == 0 {
+		return nil
+	}
+	return p.buf[off : off+n]
+}
+
+// DeleteRecord marks the slot dead. The record bytes stay in the heap
+// (uncompacted) and the slot is never reused, keeping every other
+// (block, slot) address stable.
+func (p *Page) DeleteRecord(slot uint16) error {
+	if slot >= p.numSlots() {
+		return fmt.Errorf("page: delete of slot %d beyond directory (%d)", slot, p.numSlots())
+	}
+	pos := slotPos(slot)
+	binary.LittleEndian.PutUint16(p.buf[pos:pos+2], 0)
+	binary.LittleEndian.PutUint16(p.buf[pos+2:pos+4], 0)
+	return nil
+}
+
+// checkMagic validates the page header after a block read.
+func (p *Page) checkMagic() error {
+	if [4]byte(p.buf[0:4]) != magic {
+		return fmt.Errorf("page: bad magic %q", p.buf[0:4])
+	}
+	if int(p.freeOff()) < headerSize || slotPos(p.numSlots()) < int(p.freeOff()) {
+		return fmt.Errorf("page: corrupt bounds (nslots=%d freeOff=%d)", p.numSlots(), p.freeOff())
+	}
+	return nil
+}

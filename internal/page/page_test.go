@@ -1,0 +1,196 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPageInsertRecordRoundTrip(t *testing.T) {
+	var p Page
+	p.Reset()
+	var slots []uint16
+	var recs [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		s, err := p.InsertRecord(rec)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots = append(slots, s)
+		recs = append(recs, rec)
+	}
+	for i, s := range slots {
+		if got := p.Record(s); !bytes.Equal(got, recs[i]) {
+			t.Fatalf("slot %d: got %q want %q", s, got, recs[i])
+		}
+	}
+}
+
+func TestPageDeleteKeepsSlotAddressesStable(t *testing.T) {
+	var p Page
+	p.Reset()
+	s0, _ := p.InsertRecord([]byte("aaa"))
+	s1, _ := p.InsertRecord([]byte("bbb"))
+	s2, _ := p.InsertRecord([]byte("ccc"))
+	if err := p.DeleteRecord(s1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Record(s1); got != nil {
+		t.Fatalf("deleted slot still readable: %q", got)
+	}
+	if got := p.Record(s0); !bytes.Equal(got, []byte("aaa")) {
+		t.Fatalf("slot %d moved: %q", s0, got)
+	}
+	if got := p.Record(s2); !bytes.Equal(got, []byte("ccc")) {
+		t.Fatalf("slot %d moved: %q", s2, got)
+	}
+	if err := p.DeleteRecord(99); err == nil {
+		t.Fatal("delete of out-of-range slot succeeded")
+	}
+}
+
+func TestPageFullReported(t *testing.T) {
+	var p Page
+	p.Reset()
+	rec := make([]byte, 1024)
+	n := 0
+	for {
+		_, err := p.InsertRecord(rec)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > Size {
+			t.Fatal("page never filled")
+		}
+	}
+	if n != (Size-headerSize)/(1024+slotSize) {
+		t.Fatalf("fit %d 1KiB records", n)
+	}
+}
+
+func TestFileWriteReadBlocks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var p Page
+	for i := 0; i < 5; i++ {
+		p.Reset()
+		if _, err := p.InsertRecord([]byte(fmt.Sprintf("block-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		b := f.Allocate()
+		if b != BlockID(i) {
+			t.Fatalf("allocate returned %d, want %d", b, i)
+		}
+		if err := f.WriteBlock(b, &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var q Page
+		if err := f.ReadBlock(BlockID(i), &q); err != nil {
+			t.Fatal(err)
+		}
+		if got := q.Record(0); string(got) != fmt.Sprintf("block-%d", i) {
+			t.Fatalf("block %d: %q", i, got)
+		}
+	}
+}
+
+func TestFileReopenSeesBlocks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Page
+	p.Reset()
+	p.InsertRecord([]byte("persisted"))
+	if err := f.WriteBlock(f.Allocate(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Blocks() != 1 {
+		t.Fatalf("reopened with %d blocks", g.Blocks())
+	}
+	var q Page
+	if err := g.ReadBlock(0, &q); err != nil {
+		t.Fatal(err)
+	}
+	if string(q.Record(0)) != "persisted" {
+		t.Fatalf("got %q", q.Record(0))
+	}
+}
+
+func TestFileCRCDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Page
+	p.Reset()
+	p.InsertRecord([]byte("fragile"))
+	if err := f.WriteBlock(f.Allocate(), &p); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Flip one record byte on disk; the CRC must catch it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var q Page
+	if err := g.ReadBlock(0, &q); err == nil {
+		t.Fatal("corrupted block read succeeded")
+	}
+}
+
+// TestPageRecordAllocFree is the runtime gate paired with the
+// //sstore:nomalloc annotation on the page-slot read path.
+func TestPageRecordAllocFree(t *testing.T) {
+	var p Page
+	p.Reset()
+	slot, err := p.InsertRecord([]byte("hot-row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink []byte
+	//sstore:allocgate Page.Record
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = p.Record(slot)
+	})
+	if allocs != 0 {
+		t.Fatalf("Page.Record allocates %v/op", allocs)
+	}
+	_ = sink
+}

@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"sstore/internal/bufferpool"
 	"sstore/internal/cluster"
 	"sstore/internal/ee"
 	"sstore/internal/netsim"
@@ -111,6 +113,20 @@ type Options struct {
 	// MaxQueueDepth=1. Zero means unbounded (the embedded-library
 	// default).
 	MaxQueueDepth int
+	// ArchiveDir is the directory holding archive tables' page files
+	// (one file per table per partition; see CREATE ARCHIVE TABLE).
+	// Empty auto-creates a temporary directory that Close removes —
+	// fine for tests and ephemeral runs; durable deployments point it
+	// next to LogPath so recovery finds nothing it needs there anyway
+	// (page files are rebuilt from checkpoint generations plus the
+	// command log, never reopened in place).
+	ArchiveDir string
+	// ArchiveMemoryBudget bounds the total buffer-pool bytes archive
+	// tables may keep resident, split evenly across the node's local
+	// partitions. Archive state beyond the budget spills to its page
+	// file and is read back through the pool on demand. Zero means a
+	// small default per partition.
+	ArchiveMemoryBudget int64
 }
 
 // ErrOverloaded is the sentinel matched by errors.Is when a border
@@ -229,6 +245,15 @@ type Engine struct {
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
 
+	// archMu guards lazy archive-site materialization: CREATE ARCHIVE
+	// TABLE runs on partition goroutines, and the first one on each
+	// partition races the others for the shared page-file directory.
+	// archDir is the resolved directory, archTmp whether Close should
+	// remove it (auto-created because Options.ArchiveDir was empty).
+	archMu  sync.Mutex
+	archDir string
+	archTmp bool
+
 	link     *netsim.Link
 	boundary *netsim.Boundary
 
@@ -305,6 +330,9 @@ func NewEngine(opts Options) (*Engine, error) {
 		p := newPartition(pid, e)
 		p.sched.track = e.idle
 		p.sched.bound = opts.MaxQueueDepth
+		p.cat.SetArchiveProvider(func() (*storage.ArchiveSite, error) {
+			return e.archiveSite(p, len(localPids))
+		})
 		if opts.Workers > 1 {
 			p.startWorkers(opts.Workers)
 		}
@@ -384,10 +412,29 @@ func (e *Engine) Close() error {
 	for _, p := range e.parts {
 		<-p.done
 	}
-	if e.logs != nil {
-		return e.logs.Close()
+	var firstErr error
+	// With every partition goroutine gone, archive page files can be
+	// flushed and closed without racing table access.
+	for _, p := range e.parts {
+		for _, t := range p.cat.Tables() {
+			if !t.IsArchive() {
+				continue
+			}
+			if err := t.CloseArchive(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	return nil
+	if e.archTmp && e.archDir != "" {
+		//lint:allow errdrop -- best-effort temp-dir cleanup on shutdown
+		os.RemoveAll(e.archDir)
+	}
+	if e.logs != nil {
+		if err := e.logs.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Partitions returns the cluster-wide partition count — the space
@@ -1049,6 +1096,96 @@ func (e *Engine) genSnapshotPath(pid int, stamp uint64) string {
 	return filepath.Join(e.opts.SnapshotDir, fmt.Sprintf("snapshot.p%d.g%d", pid, stamp))
 }
 
+// genPagePath names one archive table's page-file copy within a
+// checkpoint generation. The "snapshot.p" prefix and ".g<stamp>"
+// suffix put it under the same manifest-commit-then-cleanup protocol
+// as the row snapshots: cleanupSnapshotGenerations ages it out with
+// its generation and LoadSnapshot refuses a generation missing it.
+func (e *Engine) genPagePath(pid int, table string, stamp uint64) string {
+	return filepath.Join(e.opts.SnapshotDir,
+		fmt.Sprintf("snapshot.p%d.%s.pages.g%d", pid, strings.ToLower(table), stamp))
+}
+
+// defaultArchiveBudget is the per-partition buffer-pool budget when
+// Options.ArchiveMemoryBudget is zero: enough to keep a hot working
+// set resident while still exercising eviction in tests.
+const defaultArchiveBudget = 4 << 20
+
+// archiveSite materializes (once) the partition's archive site: the
+// shared page-file directory plus a per-partition buffer pool holding
+// an even share of the engine's archive memory budget. Called through
+// the catalog's archive provider from partition goroutines, hence the
+// engine-level mutex.
+func (e *Engine) archiveSite(p *partition, nlocal int) (*storage.ArchiveSite, error) {
+	e.archMu.Lock()
+	defer e.archMu.Unlock()
+	if p.archSite != nil {
+		return p.archSite, nil
+	}
+	if e.archDir == "" {
+		if dir := e.opts.ArchiveDir; dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("pe: archive dir: %w", err)
+			}
+			e.archDir = dir
+		} else {
+			dir, err := os.MkdirTemp("", "sstore-archive-")
+			if err != nil {
+				return nil, fmt.Errorf("pe: archive dir: %w", err)
+			}
+			e.archDir = dir
+			e.archTmp = true
+		}
+	}
+	per := e.opts.ArchiveMemoryBudget / int64(nlocal)
+	if per <= 0 {
+		per = defaultArchiveBudget
+	}
+	p.archSite = &storage.ArchiveSite{
+		Pool: bufferpool.NewBudget(per),
+		Dir:  e.archDir,
+		Tag:  fmt.Sprintf("p%d", p.id),
+	}
+	return p.archSite, nil
+}
+
+// checkpointArchives copies each archive table's quiesced page file
+// into the checkpoint generation. Runs with every partition parked at
+// the checkpoint barrier, so the live file is stable for the copy.
+func (e *Engine) checkpointArchives(p *partition, stamp uint64) error {
+	for _, t := range p.cat.Tables() {
+		if !t.IsArchive() {
+			continue
+		}
+		if err := t.ArchiveCheckpoint(e.genPagePath(p.id, t.Name(), stamp)); err != nil {
+			return fmt.Errorf("pe: archive checkpoint %s: %w", t.Name(), err)
+		}
+	}
+	return nil
+}
+
+// restoreArchives finishes a snapshot load for archive tables: the row
+// snapshot carried only a row count (the rows live in the generation's
+// page-file copy), so every table whose snapshot entry announced
+// archived rows now restores its page file. Runs on the partition
+// goroutine via onPartition.
+func (e *Engine) restoreArchives(p *partition, stamp uint64, committed bool) error {
+	for _, t := range p.cat.Tables() {
+		if !t.ArchiveAwaitingPages() {
+			continue
+		}
+		if !committed {
+			// Legacy pre-manifest snapshots predate archive tables; an
+			// archive entry inside one means the manifest was damaged.
+			return fmt.Errorf("pe: archive table %q requires a committed snapshot generation", t.Name())
+		}
+		if err := t.ArchiveRestore(e.genPagePath(p.id, t.Name(), stamp)); err != nil {
+			return fmt.Errorf("pe: archive restore %s: %w", t.Name(), err)
+		}
+	}
+	return nil
+}
+
 // cleanupSnapshotGenerations best-effort removes snapshot files of
 // generations other than keep — superseded generations and legacy
 // plain files — once a new manifest has committed.
@@ -1137,6 +1274,12 @@ func (e *Engine) Checkpoint() error {
 	var firstErr error
 	for _, rp := range parked {
 		err := wal.WriteSnapshot(e.genSnapshotPath(rp.p.id, lastLSN), lastLSN, rp.p.cat.Tables())
+		if err == nil {
+			// Archive tables snapshot as row counts plus a page-file
+			// copy in the same generation; both land before the
+			// manifest commits the stamp.
+			err = e.checkpointArchives(rp.p, lastLSN)
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -77,6 +77,11 @@ type partition struct {
 
 	insertSQL map[string]string // cached INSERT statement per stream
 
+	// archSite is the partition's disk-backed heap site (buffer pool +
+	// page-file directory), materialized by the engine on the first
+	// CREATE ARCHIVE TABLE; nil until then. Guarded by Engine.archMu.
+	archSite *storage.ArchiveSite
+
 	done chan struct{}
 }
 

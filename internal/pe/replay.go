@@ -162,7 +162,13 @@ func (e *Engine) LoadSnapshot() (uint64, error) {
 		loadErr := e.onPartition(p, func(p *partition) error {
 			var err error
 			lsn, err = wal.LoadSnapshot(path, p.cat.Lookup)
-			return err
+			if err != nil {
+				return err
+			}
+			// Archive tables' rows live in the generation's page-file
+			// copies, not the row snapshot; restore them now so WAL
+			// redo replays against complete state.
+			return e.restoreArchives(p, stamp, committed)
 		})
 		if loadErr != nil {
 			return 0, loadErr

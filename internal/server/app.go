@@ -189,6 +189,54 @@ func RoutedApp() *App {
 	}
 }
 
+// ArchiveApp exercises the storage-manager seam end to end: every
+// ingested batch lands one row in a disk-backed archive history table
+// (CREATE ARCHIVE TABLE), so a long feed grows state far past the
+// buffer-pool budget while the hot path stays bounded. The id primary
+// key doubles as the exactly-once witness — a double-applied batch
+// would collide, a lost one shows up in HistoryCount.
+func ArchiveApp() *App {
+	return &App{
+		Name:     "archive",
+		Describe: "append-only archive history table behind the buffer pool; HistoryCount OLTP witness",
+		Setup: func(eng *pe.Engine) error {
+			for _, ddl := range []string{
+				"CREATE STREAM arch_in (id BIGINT, payload VARCHAR)",
+				"CREATE ARCHIVE TABLE arch_history (id BIGINT PRIMARY KEY, payload VARCHAR)",
+			} {
+				if err := eng.ExecDDL(ddl); err != nil {
+					return err
+				}
+			}
+			err := eng.RegisterProc(&pe.StoredProc{Name: "Archive", Func: func(ctx *pe.ProcCtx) error {
+				_, err := ctx.Query("INSERT INTO arch_history SELECT id, payload FROM arch_in")
+				return err
+			}})
+			if err != nil {
+				return err
+			}
+			err = eng.RegisterProc(&pe.StoredProc{Name: "HistoryCount", Func: func(ctx *pe.ProcCtx) error {
+				res, err := ctx.Query("SELECT COUNT(*) FROM arch_history")
+				if err != nil {
+					return err
+				}
+				ctx.SetResult(res)
+				return nil
+			}})
+			if err != nil {
+				return err
+			}
+			wf, err := workflow.New("archive", []workflow.Node{
+				{SP: "Archive", Input: "arch_in"},
+			})
+			if err != nil {
+				return err
+			}
+			return eng.DeployWorkflow(wf)
+		},
+	}
+}
+
 // LinearRoadXWays is the expressway count the served Linear Road app
 // seeds; clients must generate x-way values below it.
 const LinearRoadXWays = 16
@@ -247,7 +295,7 @@ func LinearRoadApp() *App {
 // apps indexes the built-in applications by name.
 func apps() map[string]*App {
 	m := make(map[string]*App)
-	for _, a := range []*App{PipelineApp(), RoutedApp(), LinearRoadApp()} {
+	for _, a := range []*App{PipelineApp(), RoutedApp(), LinearRoadApp(), ArchiveApp()} {
 		m[a.Name] = a
 	}
 	return m

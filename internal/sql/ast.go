@@ -239,8 +239,12 @@ type ColumnDef struct {
 // CreateTable covers CREATE TABLE and CREATE STREAM (same shape,
 // different Kind).
 type CreateTable struct {
-	Name    string
-	Stream  bool
+	Name   string
+	Stream bool
+	// Archive selects the disk-backed storage manager for the table
+	// (CREATE ARCHIVE TABLE): its rows live in a page file behind the
+	// partition's buffer pool instead of the in-memory heap.
+	Archive bool
 	Columns []ColumnDef
 }
 

@@ -435,9 +435,14 @@ func (p *Parser) parseCreate() (Statement, error) {
 	}
 	switch {
 	case p.acceptKeyword("table"):
-		return p.parseCreateTable(false)
+		return p.parseCreateTable(false, false)
+	case p.acceptKeyword("archive"):
+		if err := p.expectKeyword("table"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateTable(false, true)
 	case p.acceptKeyword("stream"):
-		return p.parseCreateTable(true)
+		return p.parseCreateTable(true, false)
 	case p.acceptKeyword("window"):
 		return p.parseCreateWindow()
 	case p.acceptKeyword("unique"):
@@ -448,7 +453,7 @@ func (p *Parser) parseCreate() (Statement, error) {
 	case p.acceptKeyword("index"):
 		return p.parseCreateIndex(false)
 	default:
-		return nil, p.errorf("expected TABLE, STREAM, WINDOW, or INDEX after CREATE, got %s", p.peek())
+		return nil, p.errorf("expected TABLE, ARCHIVE TABLE, STREAM, WINDOW, or INDEX after CREATE, got %s", p.peek())
 	}
 }
 
@@ -499,7 +504,7 @@ func (p *Parser) parseColumnDefs() ([]ColumnDef, error) {
 	return cols, nil
 }
 
-func (p *Parser) parseCreateTable(stream bool) (*CreateTable, error) {
+func (p *Parser) parseCreateTable(stream, archive bool) (*CreateTable, error) {
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
@@ -508,7 +513,7 @@ func (p *Parser) parseCreateTable(stream bool) (*CreateTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CreateTable{Name: lower(name), Stream: stream, Columns: cols}, nil
+	return &CreateTable{Name: lower(name), Stream: stream, Archive: archive, Columns: cols}, nil
 }
 
 func (p *Parser) parseCreateWindow() (*CreateWindow, error) {

@@ -159,6 +159,17 @@ func TestParseCreateTable(t *testing.T) {
 	}
 }
 
+func TestParseCreateArchiveTable(t *testing.T) {
+	ct := mustParse(t, "CREATE ARCHIVE TABLE hist (id BIGINT PRIMARY KEY, v FLOAT)").(*CreateTable)
+	if !ct.Archive || ct.Stream || ct.Name != "hist" || len(ct.Columns) != 2 {
+		t.Fatalf("archive create = %+v", ct)
+	}
+	// ARCHIVE must be followed by TABLE.
+	if _, err := Parse("CREATE ARCHIVE STREAM s (v BIGINT)"); err == nil {
+		t.Error("CREATE ARCHIVE STREAM parsed")
+	}
+}
+
 func TestParseCreateStream(t *testing.T) {
 	ct := mustParse(t, "CREATE STREAM s1 (v BIGINT, ts TIMESTAMP)").(*CreateTable)
 	if !ct.Stream {

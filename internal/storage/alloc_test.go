@@ -40,6 +40,7 @@ func TestEndMutateAllocFree(t *testing.T) {
 	}
 }
 
+//sstore:allocgate Table.liveRow
 //sstore:allocgate Table.versionAt
 //sstore:allocgate Table.Get
 func TestVersionReadAllocFree(t *testing.T) {

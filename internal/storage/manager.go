@@ -23,6 +23,10 @@ type Catalog struct {
 	// every table created through the catalog joins its copy-on-write
 	// protocol.
 	views *Views
+	// archive, when non-nil, supplies the disk-backed heap site for
+	// CREATE ARCHIVE TABLE; the partition engine installs it lazily so
+	// partitions that never archive pay nothing.
+	archive func() (*ArchiveSite, error)
 }
 
 // NewCatalog returns an empty catalog.
@@ -87,16 +91,45 @@ func (c *Catalog) Lookup(name string) (*Table, bool) {
 	return t, ok
 }
 
-// Drop removes a table.
+// Drop removes a table. The read-view registry is told so the table's
+// queued version-chain entries are reclaimed even while pins are open
+// (nothing can resolve the table once it leaves the map).
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := c.tables[key]; !ok {
+	t, ok := c.tables[key]
+	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("storage: no such table %q", name)
 	}
 	delete(c.tables, key)
+	v := c.views
+	c.mu.Unlock()
+	if v != nil {
+		v.noteDropped(t)
+	}
 	return nil
+}
+
+// SetArchiveProvider installs the hook that materializes the
+// partition's archive site (buffer pool + page-file directory) on
+// first use.
+func (c *Catalog) SetArchiveProvider(fn func() (*ArchiveSite, error)) {
+	c.mu.Lock()
+	c.archive = fn
+	c.mu.Unlock()
+}
+
+// ArchiveSite resolves the partition's archive site through the
+// installed provider.
+func (c *Catalog) ArchiveSite() (*ArchiveSite, error) {
+	c.mu.RLock()
+	fn := c.archive
+	c.mu.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("storage: no archive storage configured for this partition")
+	}
+	return fn()
 }
 
 // Names returns all table names in sorted order.

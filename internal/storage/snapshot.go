@@ -26,7 +26,10 @@ import (
 // time-disorder tracking [maxTS:varint maxTSSet:u8 timeDisorder:u8]
 // and the maintained aggregate accumulators: uvarint-count, then per
 // aggregate fn:u8 col:varint n:varint sumI:varint sumF:8-byte-LE
-// bestN:varint dirty:u8 best:types.Value). Window deques are not
+// bestN:varint dirty:u8 best:types.Value), or 3 (archive stub: the
+// table's rows travel as a checkpointed page file, and the snapshot
+// records only uvarint-rowcount for validation — no row section
+// follows). Window deques are not
 // encoded: rows carry their staging flags and TIDs, so the deques
 // rebuild during row restore. Aggregate accumulators also rebuild from
 // the rows; the encoded states overwrite the rebuilt ones so float
@@ -43,6 +46,15 @@ func EncodeTable(buf []byte, t *Table) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(t.name)))
 	buf = append(buf, t.name...)
 	buf = binary.AppendUvarint(buf, t.nextTID)
+	if t.arch != nil {
+		// Archive tables snapshot as page files beside the manifest (the
+		// checkpoint copies the quiesced page file; see
+		// Table.ArchiveCheckpoint). The snapshot stream carries only a
+		// stub: marker byte 3 and the live row count, validated against
+		// the restored page file.
+		buf = append(buf, 3)
+		return binary.AppendUvarint(buf, uint64(len(t.arch.loc)))
+	}
 	if t.window != nil {
 		buf = append(buf, 2)
 		buf = append(buf, b2u8(t.window.filled), b2u8(t.window.started))
@@ -116,6 +128,25 @@ func RestoreTable(t *Table, b []byte) (int, error) {
 	}
 	windowVersion := b[n]
 	n++
+	if windowVersion == 3 {
+		// Archive stub: rows live in the checkpoint's page file, applied
+		// afterwards by Table.ArchiveRestore; here only the expected row
+		// count and the TID counter are recorded.
+		if t.arch == nil {
+			return 0, fmt.Errorf("storage: archive snapshot stub applied to non-archive table %s", name)
+		}
+		count, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return 0, fmt.Errorf("storage: truncated archive row count of %s", name)
+		}
+		n += m
+		t.arch.pendingRestore = true
+		t.arch.expectRows = count
+		if nextTID > t.nextTID {
+			t.nextTID = nextTID
+		}
+		return n, nil
+	}
 	if windowVersion > 2 {
 		return 0, fmt.Errorf("storage: unknown window snapshot version %d of %s", windowVersion, name)
 	}

@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"sstore/internal/index"
+	"sstore/internal/types"
+)
+
+// Store is the storage-manager seam: the row-store surface the
+// execution and partition engines program against. Two implementations
+// exist behind it — the version-chained in-memory heap (every stream,
+// window, and ordinary table) and the disk-backed archive heap
+// (page file behind a buffer pool, selected per table with CREATE
+// ARCHIVE TABLE). Both are *Table under the hood so the versioning
+// protocol, mutation brackets, and index machinery are shared; the
+// interface pins down exactly what the upper layers may rely on.
+//
+// Concurrency contract: all mutators run on the owning partition's
+// goroutine; Get/Scan/ScanAll may additionally run on a reader that
+// resolved the table through a pinned ReadView, which holds the read
+// latch for the duration of one statement. Rows handed to callers must
+// not be mutated; archive reads return decoded copies, memory reads
+// return the live row.
+type Store interface {
+	Name() string
+	Kind() Kind
+	Schema() *types.Schema
+	Window() *WindowState
+	Len() int
+	ActiveLen() int
+	IsArchive() bool
+
+	Insert(row types.Row, batchID int64, undo Undo) (InsertResult, error)
+	Delete(tid uint64, undo Undo) (types.Row, error)
+	Update(tid uint64, newRow types.Row, undo Undo) error
+	Get(tid uint64) (TupleMeta, types.Row, bool)
+	Scan(fn func(meta TupleMeta, row types.Row) bool)
+	ScanAll(fn func(meta TupleMeta, row types.Row) bool)
+	RestoreRow(meta TupleMeta, row types.Row) error
+	RestoreStaged(tid uint64, staged bool)
+	Truncate()
+
+	AddIndex(idx index.Index) error
+	IndexOn(cols []int) index.Index
+	Indexes() []index.Index
+
+	MaintainedAggregate(fn AggFunc, col int) (types.Value, bool)
+	MaintainedAggregates() []*WindowAggregate
+}
+
+var _ Store = (*Table)(nil)

@@ -135,11 +135,12 @@ type Table struct {
 	// reader has pinned across a mutation. Guarded by latch while
 	// readers exist.
 	olds map[uint64]*rowVer
-	// truncImages are whole-table fallback images detached by Truncate
-	// while readers were pinned: truncation invalidates every version
-	// chain at once, so the rare truncate-under-pin keeps the old copy
-	// engine. Entry i serves every boundary ≤ its to.
-	truncImages []*tableImage
+
+	// arch, when non-nil, is the disk-backed heap replacing rows: the
+	// table is an archive table and every heap access routes through
+	// liveRow/putRow/removeRow instead of the map. The rows map stays
+	// empty and unused for archive tables.
+	arch *archHeap
 
 	// src/asOf turn a Table value into a read-only versioned shim:
 	// when src is non-nil, Get/Scan resolve src's row versions at
@@ -220,7 +221,7 @@ func (t *Table) preserveVersion(tid uint64, r storedRow) {
 //
 //sstore:nomalloc
 func (t *Table) versionAt(tid, b uint64) (TupleMeta, types.Row, bool) {
-	if r, ok := t.rows[tid]; ok && r.installedAt <= b {
+	if r, ok := t.liveRow(tid); ok && r.installedAt <= b {
 		return r.meta, r.data, true
 	}
 	for n := t.olds[tid]; n != nil; n = n.older {
@@ -242,6 +243,89 @@ func (t *Table) stampInstalled() uint64 {
 		return 0
 	}
 	return t.views.curTask.Load()
+}
+
+// liveRow returns the live (newest) image of a tuple — the heap seam's
+// read half. The in-memory heap is a map hit; the archive heap pins
+// the row's page in the buffer pool and decodes a copy.
+//
+//sstore:nomalloc
+func (t *Table) liveRow(tid uint64) (storedRow, bool) {
+	if t.arch != nil {
+		//lint:allow hotalloc -- the archive branch decodes a row copy off a pinned page; the in-memory hot path below stays allocation-free
+		return t.arch.get(tid)
+	}
+	r, ok := t.rows[tid]
+	return r, ok
+}
+
+// putRow installs r as the tuple's live image — the heap seam's write
+// half. The in-memory heap cannot fail; the archive heap can surface
+// page-file I/O errors, which callers unwind like index failures.
+func (t *Table) putRow(tid uint64, r storedRow) error {
+	if t.arch != nil {
+		return t.arch.put(tid, r)
+	}
+	t.rows[tid] = r
+	return nil
+}
+
+// removeRow drops the tuple's live image. Absent tuples are a no-op.
+func (t *Table) removeRow(tid uint64) error {
+	if t.arch != nil {
+		return t.arch.remove(tid)
+	}
+	delete(t.rows, tid)
+	return nil
+}
+
+// hasRow reports live-image presence without materializing the row;
+// for archive tables this is a locator check, no page access.
+func (t *Table) hasRow(tid uint64) bool {
+	if t.arch != nil {
+		return t.arch.has(tid)
+	}
+	_, ok := t.rows[tid]
+	return ok
+}
+
+// heapLen returns the number of live tuples.
+func (t *Table) heapLen() int {
+	if t.arch != nil {
+		return len(t.arch.loc)
+	}
+	return len(t.rows)
+}
+
+// sortedTIDs appends every live TID to dst in ascending (arrival)
+// order. The sort happens here, next to the map iterations, so no
+// map-order dependence escapes to replay-deterministic callers.
+func (t *Table) sortedTIDs(dst []uint64) []uint64 {
+	if t.arch != nil {
+		for tid := range t.arch.loc {
+			dst = append(dst, tid)
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+		return dst
+	}
+	for tid := range t.rows {
+		dst = append(dst, tid)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// clearRows empties the heap. For archive tables a failure to truncate
+// the page file leaves no consistent state to continue from, so it
+// follows the engine's crash-and-recover failure model.
+func (t *Table) clearRows() {
+	if t.arch != nil {
+		if err := t.arch.clear(); err != nil {
+			panic(fmt.Sprintf("storage: truncate archive %s: %v", t.name, err))
+		}
+		return
+	}
+	t.rows = make(map[uint64]storedRow)
 }
 
 // NewTable creates an empty table of the given kind.
@@ -285,7 +369,7 @@ func (t *Table) Len() int {
 		}
 		return n
 	}
-	return len(t.rows)
+	return t.heapLen()
 }
 
 // ActiveLen returns the number of rows visible to queries (live rows
@@ -301,9 +385,9 @@ func (t *Table) ActiveLen() int {
 		return n
 	}
 	if t.window == nil {
-		return len(t.rows)
+		return t.heapLen()
 	}
-	return len(t.rows) - t.window.staged.Len()
+	return t.heapLen() - t.window.staged.Len()
 }
 
 // AddIndex attaches an index and backfills it from existing rows. Row
@@ -321,13 +405,10 @@ func (t *Table) AddIndex(idx index.Index) error {
 	// Backfill in tid order: hash buckets accumulate entries in insert
 	// order, so a map-order backfill would give a replayed run different
 	// bucket layouts (and different scan orders) than the live run.
-	tids := make([]uint64, 0, len(t.rows))
-	for tid := range t.rows {
-		tids = append(tids, tid)
-	}
-	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	tids := t.sortedTIDs(make([]uint64, 0, t.heapLen()))
 	for _, tid := range tids {
-		if err := idx.Insert(t.extractKey(idx, t.rows[tid].data), tid); err != nil {
+		r, _ := t.liveRow(tid)
+		if err := idx.Insert(t.extractKey(idx, r.data), tid); err != nil {
 			return fmt.Errorf("storage: backfilling index %s: %w", idx.Name(), err)
 		}
 	}
@@ -430,7 +511,13 @@ func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, err
 			return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
 		}
 	}
-	t.rows[meta.TID] = storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}
+	if err := t.putRow(meta.TID, storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}); err != nil {
+		for _, done := range t.indexes {
+			done.Delete(t.extractKey(done, row), meta.TID)
+		}
+		t.nextTID--
+		return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
+	}
 	t.order = append(t.order, meta.TID)
 	if undo != nil {
 		undo.RecordInsert(t, meta.TID)
@@ -444,7 +531,7 @@ func (t *Table) insertRaw(meta TupleMeta, row types.Row, undo Undo) (uint64, err
 func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 	t.beginMutate()
 	defer t.endMutate()
-	if _, exists := t.rows[meta.TID]; exists {
+	if t.hasRow(meta.TID) {
 		return fmt.Errorf("storage: restore of live tid %d in %s", meta.TID, t.name)
 	}
 	for _, idx := range t.indexes {
@@ -452,7 +539,12 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 			return fmt.Errorf("storage: restore into %s: %w", t.name, err)
 		}
 	}
-	t.rows[meta.TID] = storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}
+	if err := t.putRow(meta.TID, storedRow{meta: meta, data: row, installedAt: t.stampInstalled()}); err != nil {
+		for _, idx := range t.indexes {
+			idx.Delete(t.extractKey(idx, row), meta.TID)
+		}
+		return fmt.Errorf("storage: restore into %s: %w", t.name, err)
+	}
 	// The TID may still be listed in order as a tombstone from the
 	// earlier delete (rollback paths delete and restore the same
 	// tuple); appending again would make scans visit the row twice.
@@ -485,7 +577,7 @@ func (t *Table) RestoreRow(meta TupleMeta, row types.Row) error {
 func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 	t.beginMutate()
 	defer t.endMutate()
-	r, ok := t.rows[tid]
+	r, ok := t.liveRow(tid)
 	if !ok {
 		return nil, fmt.Errorf("storage: delete of missing tid %d in %s", tid, t.name)
 	}
@@ -493,7 +585,12 @@ func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 	for _, idx := range t.indexes {
 		idx.Delete(t.extractKey(idx, r.data), tid)
 	}
-	delete(t.rows, tid)
+	if err := t.removeRow(tid); err != nil {
+		for _, idx := range t.indexes {
+			_ = idx.Insert(t.extractKey(idx, r.data), tid)
+		}
+		return nil, fmt.Errorf("storage: delete from %s: %w", t.name, err)
+	}
 	t.tombs[tid] = struct{}{}
 	t.maybeCompact()
 	if t.window != nil {
@@ -516,7 +613,7 @@ func (t *Table) Delete(tid uint64, undo Undo) (types.Row, error) {
 func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
 	t.beginMutate()
 	defer t.endMutate()
-	r, ok := t.rows[tid]
+	r, ok := t.liveRow(tid)
 	if !ok {
 		return fmt.Errorf("storage: update of missing tid %d in %s", tid, t.name)
 	}
@@ -542,12 +639,21 @@ func (t *Table) Update(tid uint64, newRow types.Row, undo Undo) error {
 			return fmt.Errorf("storage: update %s: %w", t.name, err)
 		}
 	}
+	t.preserveVersion(tid, r)
+	if err := t.putRow(tid, storedRow{meta: r.meta, data: newRow, installedAt: t.stampInstalled()}); err != nil {
+		// Roll the index changes back to the old row.
+		for _, idx := range t.indexes {
+			idx.Delete(t.extractKey(idx, newRow), tid)
+		}
+		for _, idx := range t.indexes {
+			_ = idx.Insert(t.extractKey(idx, r.data), tid)
+		}
+		return fmt.Errorf("storage: update %s: %w", t.name, err)
+	}
 	if undo != nil {
 		undo.RecordDelete(t, r.meta, r.data)
 		undo.RecordInsert(t, tid)
 	}
-	t.preserveVersion(tid, r)
-	t.rows[tid] = storedRow{meta: r.meta, data: newRow, installedAt: t.stampInstalled()}
 	if t.window != nil && !r.meta.Staged {
 		t.windowAggUpdate(r.data, newRow)
 	}
@@ -584,7 +690,7 @@ func (t *Table) Get(tid uint64) (TupleMeta, types.Row, bool) {
 	if t.src != nil {
 		return t.src.versionAt(tid, t.asOf)
 	}
-	r, ok := t.rows[tid]
+	r, ok := t.liveRow(tid)
 	if !ok {
 		var none TupleMeta
 		return none, nil, false
@@ -609,7 +715,7 @@ func (t *Table) Scan(fn func(meta TupleMeta, row types.Row) bool) {
 		return
 	}
 	for _, tid := range t.order {
-		r, ok := t.rows[tid]
+		r, ok := t.liveRow(tid)
 		if !ok || r.meta.Staged {
 			continue
 		}
@@ -635,7 +741,7 @@ func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
 		return
 	}
 	for _, tid := range t.order {
-		r, ok := t.rows[tid]
+		r, ok := t.liveRow(tid)
 		if !ok {
 			continue
 		}
@@ -653,7 +759,7 @@ func (t *Table) ScanAll(fn func(meta TupleMeta, row types.Row) bool) {
 func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
 	t.beginMutate()
 	defer t.endMutate()
-	r, ok := t.rows[tid]
+	r, ok := t.liveRow(tid)
 	if !ok || r.meta.Staged == staged {
 		return
 	}
@@ -663,7 +769,11 @@ func (t *Table) setStaged(tid uint64, staged bool, undo Undo) {
 	t.preserveVersion(tid, r)
 	r.meta.Staged = staged
 	r.installedAt = t.stampInstalled()
-	t.rows[tid] = r
+	if err := t.putRow(tid, r); err != nil {
+		// Unreachable in practice: staging is a window mechanism and
+		// archive tables are never windows. An in-memory put cannot fail.
+		panic(fmt.Sprintf("storage: stage flip in %s: %v", t.name, err))
+	}
 	if t.window != nil {
 		if staged {
 			t.window.active.Remove(tid)
@@ -697,7 +807,7 @@ func (t *Table) maybeCompact() {
 	}
 	live := t.order[:0]
 	for _, tid := range t.order {
-		if _, ok := t.rows[tid]; ok {
+		if t.hasRow(tid) {
 			live = append(live, tid)
 		}
 	}
@@ -710,24 +820,36 @@ func (t *Table) maybeCompact() {
 // phase, slide count, deques, and maintained-aggregate accumulators —
 // so a truncated window resumes from scratch, not mid-phase.
 //
-// Truncation invalidates every version chain at once, so if a reader
-// is pinned the whole pre-truncate table is detached as a fallback
-// image (the one case that still pays a table-granularity copy; it is
-// a snapshot-load event, never the ingest hot path).
+// Under a pinned reader, truncation routes through the version chains
+// like any other mutation: every live row's pre-image is pushed onto
+// its chain and its TID tombstoned — O(rows retired) through the
+// retire ring, no whole-table fallback image. Versioned scans keep
+// resolving the pre-truncate rows until the pins advance and the ring
+// drains the chains.
 func (t *Table) Truncate() {
 	t.beginMutate()
 	defer t.endMutate()
-	if v := t.views; v != nil && v.pinCount.Load() > 0 {
-		if task := v.curTask.Load(); task > 0 {
-			img := t.cloneForRead()
-			t.truncImages = append(t.truncImages, &tableImage{to: task - 1, tbl: img})
-			v.noteTruncImage(t)
-		}
+	pinned := false
+	if v := t.views; v != nil && v.pinCount.Load() > 0 && v.curTask.Load() > 0 {
+		pinned = true
 	}
-	t.olds = nil
-	t.rows = make(map[uint64]storedRow)
-	t.order = t.order[:0]
-	t.tombs = make(map[uint64]struct{})
+	if pinned {
+		// order (not the heap map) drives the walk so replayed runs
+		// retire versions in the same sequence as the live run.
+		for _, tid := range t.order {
+			r, ok := t.liveRow(tid)
+			if !ok {
+				continue
+			}
+			t.preserveVersion(tid, r)
+			t.tombs[tid] = struct{}{}
+		}
+	} else {
+		t.olds = nil
+		t.order = t.order[:0]
+		t.tombs = make(map[uint64]struct{})
+	}
+	t.clearRows()
 	if t.window != nil {
 		w := t.window
 		w.filled = false
@@ -749,17 +871,4 @@ func (t *Table) Truncate() {
 			t.indexes[i] = index.NewBTree(ix.Name(), ix.Columns(), ix.Unique())
 		}
 	}
-}
-
-// imageAt returns the oldest truncate-fallback image covering boundary
-// b, or nil. Images are appended in truncation order, so the first
-// image with to ≥ b is the state the boundary saw. Callers hold the
-// read latch.
-func (t *Table) imageAt(b uint64) *Table {
-	for _, img := range t.truncImages {
-		if b <= img.to {
-			return img.tbl
-		}
-	}
-	return nil
 }

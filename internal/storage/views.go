@@ -48,9 +48,11 @@ import (
 //
 // Maintained window aggregates are captured by value at pin time
 // (O(#aggregates)), so aggregate reads never touch the live window at
-// all — the O(1) read path. Truncate is the one mutation that
-// invalidates every chain at once; under a pin it falls back to
-// detaching a whole-table image (snapshot load only, never ingest).
+// all — the O(1) read path. Truncate-under-pin is just a bulk
+// mutation: every live row's pre-image goes onto its chain and the
+// ring reclaims them like any other version. Dropped tables get their
+// ring entries reclaimed eagerly (noteDropped) — no pin can reach a
+// table the catalog no longer resolves.
 
 // rowVer is one preserved (superseded) row version covering commit
 // boundaries [from, to], linked newest-first on Table.olds. Nodes are
@@ -71,14 +73,6 @@ type retiredVer struct {
 	tbl *Table
 	tid uint64
 	ver *rowVer
-}
-
-// tableImage is a whole-table fallback image detached by
-// Truncate-under-pin: the state of a table for every commit boundary
-// ≤ to.
-type tableImage struct {
-	to  uint64
-	tbl *Table
 }
 
 // AggCapture is one maintained window aggregate's value captured at a
@@ -146,10 +140,13 @@ type Views struct {
 
 	// retireMu guards the retire ring and the version free list; it is
 	// taken per version push (pins open only) and once per BeginTask.
-	retireMu  sync.Mutex
-	retire    []retiredVer
-	freeVers  []*rowVer
-	truncTabs map[*Table]struct{}
+	retireMu sync.Mutex
+	retire   []retiredVer
+	freeVers []*rowVer
+	// dropTabs are tables dropped from the catalog whose ring entries
+	// are still queued; their versions are reclaimed regardless of pin
+	// boundaries, since no reader can resolve the table anymore.
+	dropTabs  map[*Table]struct{}
 	reclaimed uint64
 }
 
@@ -319,14 +316,19 @@ func (v *Views) retireVer(t *Table, tid uint64, n *rowVer) {
 	v.retireMu.Unlock()
 }
 
-// noteTruncImage records that a table detached a truncate-fallback
-// image, so reclamation knows to age it out.
-func (v *Views) noteTruncImage(t *Table) {
+// noteDropped records that the catalog dropped a table. Its queued
+// ring entries become reclaimable immediately — catalog lookups can no
+// longer reach the table, so no new reader resolves it, and an
+// in-flight reader mid-statement still holds the read latch, which
+// makes the unlink try-lock back off and retry at the next boundary.
+// Without this, a drop mid-pin would strand the table's entries in the
+// ring until every pin closed.
+func (v *Views) noteDropped(t *Table) {
 	v.retireMu.Lock()
-	if v.truncTabs == nil {
-		v.truncTabs = make(map[*Table]struct{})
+	if v.dropTabs == nil {
+		v.dropTabs = make(map[*Table]struct{})
 	}
-	v.truncTabs[t] = struct{}{}
+	v.dropTabs[t] = struct{}{}
 	v.retireMu.Unlock()
 }
 
@@ -339,7 +341,8 @@ func (v *Views) noteTruncImage(t *Table) {
 func (v *Views) drainRetired() {
 	v.retireMu.Lock()
 	defer v.retireMu.Unlock()
-	if len(v.retire) == 0 && len(v.truncTabs) == 0 {
+	if len(v.retire) == 0 {
+		v.dropTabs = nil
 		return
 	}
 	pinned := v.pinCount.Load() > 0
@@ -369,33 +372,54 @@ func (v *Views) drainRetired() {
 		}
 		v.retire = v.retire[:n]
 	}
-	for t := range v.truncTabs {
-		if !t.latch.TryLock() {
-			continue
+	// Sweep dropped tables' remaining entries out of the ring order:
+	// their versions are unreachable regardless of pin boundaries (see
+	// noteDropped), so holding them behind a pinned prefix would leak
+	// them until the last pin closed.
+	if len(v.dropTabs) > 0 && len(v.retire) > 0 {
+		kept := v.retire[:0]
+		for _, e := range v.retire {
+			if _, dropped := v.dropTabs[e.tbl]; !dropped {
+				kept = append(kept, e)
+				continue
+			}
+			ok, freed := e.tbl.tryUnlink(e.tid, e.ver)
+			if !ok {
+				kept = append(kept, e)
+				continue
+			}
+			if freed != nil {
+				freed.meta, freed.data, freed.older = TupleMeta{}, nil, nil
+				if len(v.freeVers) < maxFreeVers {
+					v.freeVers = append(v.freeVers, freed)
+				}
+			}
+			v.reclaimed++
 		}
-		keep := t.truncImages[:0]
-		for _, img := range t.truncImages {
-			if pinned && img.to >= min {
-				keep = append(keep, img)
+		for j := len(kept); j < len(v.retire); j++ {
+			v.retire[j] = retiredVer{}
+		}
+		v.retire = kept
+		for t := range v.dropTabs {
+			still := false
+			for _, e := range v.retire {
+				if e.tbl == t {
+					still = true
+					break
+				}
+			}
+			if !still {
+				delete(v.dropTabs, t)
 			}
 		}
-		for j := len(keep); j < len(t.truncImages); j++ {
-			t.truncImages[j] = nil
-		}
-		t.truncImages = keep
-		if len(keep) == 0 {
-			t.truncImages = nil
-			delete(v.truncTabs, t)
-		}
-		t.latch.Unlock()
 	}
 }
 
 // tryUnlink detaches ver — by ring order, the oldest un-reclaimed node
 // of tid's chain — under the write latch, returning ok=false when a
 // reader (or writer) holds the latch. The freed result is nil when the
-// chain migrated to a truncate image, which owns the node until the
-// image ages out.
+// node is no longer on the chain (an unpinned truncate reset the
+// chains wholesale); the entry is still consumed.
 func (t *Table) tryUnlink(tid uint64, ver *rowVer) (ok bool, freed *rowVer) {
 	if !t.latch.TryLock() {
 		return false, nil
@@ -477,10 +501,6 @@ func (rv *ReadView) aggEntry(key string) *aggEntry {
 	return e
 }
 
-// releaseNone is the release function for resolutions that hold no
-// latch (truncate-fallback images are immutable).
-var releaseNone = func() {}
-
 // Table resolves a table to the state at the view's boundary: the live
 // heap when nothing mutated it since the pin (full speed, indexes
 // included), else a versioned shim resolving each tuple through its
@@ -497,10 +517,6 @@ func (rv *ReadView) Table(name string) (*Table, func(), error) {
 	t.latch.RLock()
 	if t.liveTask.Load() <= rv.epoch {
 		return t, t.releaseRead, nil
-	}
-	if img := t.imageAt(rv.epoch); img != nil {
-		t.latch.RUnlock()
-		return rv.shimFor(img), releaseNone, nil
 	}
 	return rv.shimFor(t), t.releaseRead, nil
 }
@@ -545,66 +561,6 @@ func (rv *ReadView) MaintainedValue(table string, fn AggFunc, col int) (types.Va
 		}
 	}
 	return types.Null, false
-}
-
-// cloneForRead detaches an immutable image of the table: rows, arrival
-// order, tombstones, indexes, version chains, and window bookkeeping
-// are copied or adopted; schema and row payloads are shared (the
-// engine treats both as immutable). Only Truncate-under-pin uses it —
-// the version chains it adopts stay reachable through the image after
-// the live table resets them.
-func (t *Table) cloneForRead() *Table {
-	c := &Table{
-		name:    t.name,
-		kind:    t.kind,
-		schema:  t.schema,
-		rows:    make(map[uint64]storedRow, len(t.rows)),
-		order:   append([]uint64(nil), t.order...),
-		tombs:   make(map[uint64]struct{}, len(t.tombs)),
-		nextTID: t.nextTID,
-		OwnerSP: t.OwnerSP,
-		olds:    t.olds,
-	}
-	c.releaseRead = func() { c.latch.RUnlock() }
-	for tid, r := range t.rows {
-		c.rows[tid] = r
-	}
-	for tid := range t.tombs {
-		c.tombs[tid] = struct{}{}
-	}
-	for _, idx := range t.indexes {
-		c.indexes = append(c.indexes, idx.Clone())
-	}
-	if t.window != nil {
-		c.window = t.window.cloneForRead()
-	}
-	return c
-}
-
-// cloneForRead copies a window's scalar state, deques, and maintained
-// aggregate accumulators.
-func (w *WindowState) cloneForRead() *WindowState {
-	c := &WindowState{
-		Spec:         w.Spec,
-		filled:       w.filled,
-		start:        w.start,
-		started:      w.started,
-		slides:       w.slides,
-		maxTS:        w.maxTS,
-		maxTSSet:     w.maxTSSet,
-		timeDisorder: w.timeDisorder,
-		active:       w.active.clone(),
-		staged:       w.staged.clone(),
-	}
-	for _, a := range w.aggs {
-		c.aggs = append(c.aggs, &WindowAggregate{fn: a.fn, col: a.col, state: a.state})
-	}
-	return c
-}
-
-// clone copies the deque's buffer.
-func (d *tidDeque) clone() tidDeque {
-	return tidDeque{buf: append([]uint64(nil), d.buf...), head: d.head, n: d.n}
 }
 
 // lowerKey mirrors the catalog's case-insensitive keying without

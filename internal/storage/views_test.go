@@ -213,10 +213,11 @@ func TestViewWindowVersions(t *testing.T) {
 	}
 }
 
-// TestViewTruncateFallback: truncation under a pin invalidates every
-// version chain at once, so the view falls back to a whole-table
-// image; closing the view ages the image out.
-func TestViewTruncateFallback(t *testing.T) {
+// TestViewTruncateUnderPin: truncation under a pin routes through the
+// version chains — every live row's pre-image is preserved and
+// tombstoned — so the pinned view keeps seeing the pre-truncate rows;
+// closing the view lets the retire ring drain the chains.
+func TestViewTruncateUnderPin(t *testing.T) {
 	_, v, tbl := viewFixture(t)
 	runTask(v, func() {
 		tbl.Insert(types.Row{types.NewInt(1)}, 0, nil)
@@ -240,8 +241,11 @@ func TestViewTruncateFallback(t *testing.T) {
 	release()
 	rv.Close()
 	runTask(v, func() {})
-	if len(tbl.truncImages) != 0 {
-		t.Errorf("truncate image survived last unpin: %d", len(tbl.truncImages))
+	if n := v.RetiredLen(); n != 0 {
+		t.Errorf("retire ring holds %d entries after last unpin", n)
+	}
+	if len(tbl.olds) != 0 {
+		t.Errorf("version chains survived last unpin: %d", len(tbl.olds))
 	}
 }
 

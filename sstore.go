@@ -211,6 +211,16 @@ type Config struct {
 	// bytes of new log; requires SnapshotDir. Zero leaves
 	// checkpointing manual.
 	CheckpointEveryBytes int64
+	// ArchiveDir is where archive tables (CREATE ARCHIVE TABLE) keep
+	// their disk-backed page files. Empty auto-creates a temporary
+	// directory removed on Close. The files are working state, not a
+	// durability artifact: recovery rebuilds them from the latest
+	// checkpoint generation plus the command log. See DESIGN.md §14.
+	ArchiveDir string
+	// ArchiveMemoryBudget caps the buffer-pool memory archive tables
+	// share (bytes, split across partitions); rows beyond it spill to
+	// disk and read back on demand. Zero picks a small default.
+	ArchiveMemoryBudget int64
 }
 
 // ClusterConfig is a static cluster map: node ID → address → the
@@ -275,6 +285,8 @@ func Open(cfg Config) (*Engine, error) {
 		Cluster:              cfg.Cluster,
 		NodeID:               cfg.NodeID,
 		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
+		ArchiveDir:           cfg.ArchiveDir,
+		ArchiveMemoryBudget:  cfg.ArchiveMemoryBudget,
 	})
 	if err != nil {
 		return nil, err
